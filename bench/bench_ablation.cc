@@ -1,0 +1,159 @@
+// Ablation benches for the design choices DESIGN.md calls out:
+//   1. CRF pairwise initialisation: co-occurrence counts (§4.3) vs zeros.
+//   2. CRF training epochs (0 = decode with initialisation only).
+//   3. Topic dimensionality sweep (the paper fixes 400 at full scale; the
+//      sweep shows sensitivity of the topic-aware model to this dial).
+//   4. First-order vs second-order (skip-chain) decoding -- the broader
+//      local context the paper defers to future work (§3.3/§6), with the
+//      O(K^2) -> O(K^3) decode cost it predicts.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "crf/skip_chain_decoder.h"
+#include "eval/model_eval.h"
+#include "util/timer.h"
+
+namespace sato::bench {
+namespace {
+
+void RunCrfInitAblation(const BenchEnv& env, const Split& split) {
+  std::printf("--- Ablation 1: CRF pairwise initialisation (Sato) ---\n");
+  std::printf("  %-26s %-10s %-12s\n", "init", "macro F1", "weighted F1");
+  PrintRule(50);
+  for (double scale : {0.0, env.config.crf_init_scale}) {
+    SatoConfig config = env.config;
+    config.crf_init_scale = scale;
+    util::Rng rng(66);
+    SatoModel model(SatoVariant::kFull, env.dims, env.context.topic_dim(),
+                    config, &rng);
+    Trainer trainer(config);
+    trainer.Train(&model, split.train, &rng);
+    auto r = eval::EvaluateModel(&model, split.test);
+    std::printf("  %-26s %-10.3f %-12.3f\n",
+                scale == 0.0 ? "zeros" : "co-occurrence (paper)", r.macro_f1,
+                r.weighted_f1);
+  }
+  PrintRule(50);
+  std::printf("\n");
+}
+
+void RunSkipChainAblation(const BenchEnv& env, const Split& split) {
+  std::printf("--- Ablation 4: second-order (skip-chain) decoding (Sato) ---\n");
+  util::Rng rng(66);
+  SatoModel model(SatoVariant::kFull, env.dims, env.context.topic_dim(),
+                  env.config, &rng);
+  Trainer trainer(env.config);
+  trainer.Train(&model, split.train, &rng);
+
+  // Skip potentials from distance-2 co-occurrence on the training split.
+  nn::Matrix skip = crf::SkipChainDecoder::SkipCooccurrenceInit(
+      split.train.LabelSequences(), kNumSemanticTypes,
+      env.config.crf_init_scale);
+  crf::SkipChainDecoder decoder(&model.crf(), skip);
+
+  std::vector<int> gold, first_order, second_order;
+  util::Timer t1;
+  double first_seconds = 0.0, second_seconds = 0.0;
+  for (const TableExample& table : split.test.tables) {
+    nn::Matrix probs = model.PredictProbs(table);
+    nn::Matrix unary(probs.rows(), probs.cols());
+    for (size_t i = 0; i < probs.size(); ++i) {
+      unary.data()[i] = std::log(std::max(probs.data()[i], 1e-12));
+    }
+    t1.Reset();
+    auto v1 = model.crf().Viterbi(unary);
+    first_seconds += t1.ElapsedSeconds();
+    t1.Reset();
+    auto v2 = decoder.Decode(unary);
+    second_seconds += t1.ElapsedSeconds();
+    gold.insert(gold.end(), table.labels.begin(), table.labels.end());
+    first_order.insert(first_order.end(), v1.begin(), v1.end());
+    second_order.insert(second_order.end(), v2.begin(), v2.end());
+  }
+  auto r1 = eval::Evaluate(gold, first_order, kNumSemanticTypes);
+  auto r2 = eval::Evaluate(gold, second_order, kNumSemanticTypes);
+  std::printf("  %-26s %-10s %-12s %-12s\n", "decoder", "macro F1",
+              "weighted F1", "decode [s]");
+  PrintRule(64);
+  std::printf("  %-26s %-10.3f %-12.3f %-12.3f\n", "first-order (paper)",
+              r1.macro_f1, r1.weighted_f1, first_seconds);
+  std::printf("  %-26s %-10.3f %-12.3f %-12.3f\n", "skip-chain (2nd order)",
+              r2.macro_f1, r2.weighted_f1, second_seconds);
+  PrintRule(64);
+  std::printf("  decode cost ratio: %.1fx (the K^2 -> K^3 growth of Sec 6)\n\n",
+              first_seconds > 0 ? second_seconds / first_seconds : 0.0);
+}
+
+void RunCrfEpochAblation(const BenchEnv& env, const Split& split) {
+  std::printf("--- Ablation 2: CRF training epochs (Sato) ---\n");
+  std::printf("  %-10s %-10s %-12s\n", "epochs", "macro F1", "weighted F1");
+  PrintRule(36);
+  for (int epochs : {0, 2, 5, env.config.crf_epochs}) {
+    SatoConfig config = env.config;
+    config.crf_epochs = epochs;
+    util::Rng rng(66);
+    SatoModel model(SatoVariant::kFull, env.dims, env.context.topic_dim(),
+                    config, &rng);
+    Trainer trainer(config);
+    trainer.Train(&model, split.train, &rng);
+    auto r = eval::EvaluateModel(&model, split.test);
+    std::printf("  %-10d %-10.3f %-12.3f\n", epochs, r.macro_f1, r.weighted_f1);
+  }
+  PrintRule(36);
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace sato::bench
+
+int main() {
+  using namespace sato::bench;
+  BenchEnv env = BuildEnv();
+
+  sato::util::Rng fold_rng(99);
+  auto folds = sato::eval::KFold(env.dataset_dmult.tables.size(), 5, &fold_rng);
+  Split split = MakeSplit(env.dataset_dmult, folds[0]);
+
+  std::printf("=== Ablations: design choices ===\n\n");
+  RunCrfInitAblation(env, split);
+  RunCrfEpochAblation(env, split);
+  RunSkipChainAblation(env, split);
+
+  // 3. Topic dimensionality sweep. Requires re-training LDA per setting,
+  // so it reuses the corpus but builds fresh contexts.
+  std::printf("--- Ablation 3: topic dimensionality (Sato_noStruct) ---\n");
+  std::printf("  %-10s %-10s %-12s\n", "topics", "macro F1", "weighted F1");
+  PrintRule(36);
+  sato::corpus::CorpusOptions copts;
+  copts.num_tables = env.scale.reference_tables;
+  copts.seed = 7 + 1000003;
+  sato::corpus::CorpusGenerator gen(copts);
+  auto reference = gen.Generate();
+  for (int topics : {8, 16, 32, 64}) {
+    sato::SatoConfig config = env.config;
+    config.num_topics = topics;
+    sato::util::Rng rng(77);
+    sato::FeatureContext context =
+        sato::FeatureContext::Build(reference, config, &rng);
+    sato::DatasetBuilder builder(&context);
+    sato::Dataset all = builder.Build(env.tables_dmult, &rng);
+    sato::util::Rng fold_rng2(99);
+    auto folds2 = sato::eval::KFold(all.tables.size(), 5, &fold_rng2);
+    sato::Dataset train = Subset(all, folds2[0].train);
+    sato::Dataset test = Subset(all, folds2[0].test);
+    sato::StandardizeSplits(&train, &test);
+
+    sato::ColumnwiseModel::Dims dims = env.dims;
+    sato::SatoModel model(sato::SatoVariant::kNoStruct, dims,
+                          context.topic_dim(), config, &rng);
+    sato::Trainer trainer(config);
+    trainer.Train(&model, train, &rng);
+    auto r = sato::eval::EvaluateModel(&model, test);
+    std::printf("  %-10d %-10.3f %-12.3f\n", topics, r.macro_f1,
+                r.weighted_f1);
+  }
+  PrintRule(36);
+  return 0;
+}

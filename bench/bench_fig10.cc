@@ -1,0 +1,106 @@
+// Regenerates Figure 10: 2-D t-SNE projections of column embeddings (the
+// activations entering the output layer) for the ambiguous
+// organisation-like types {affiliate, teamName, family, manufacturer},
+// comparing the topic-aware model (Sato_noStruct -- the paper uses the
+// column-wise part of Sato before the CRF) against the Sherlock-style Base.
+//
+// The paper shows the separation visually; here the claim is made testable
+// with silhouette scores over both the raw embeddings and the t-SNE
+// projections, plus exported 2-D coordinates.
+//
+// Expected shape (paper): higher separation (silhouette) for Sato.
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_common.h"
+#include "eval/tsne.h"
+
+namespace sato::bench {
+namespace {
+
+constexpr const char* kFocusTypes[] = {"affiliate", "teamName", "family",
+                                       "manufacturer"};
+
+// Collects embeddings of all test columns whose gold type is in the focus
+// set. Returns the matrix plus parallel labels (index into kFocusTypes).
+void CollectEmbeddings(sato::SatoModel* model, const Dataset& test,
+                       nn::Matrix* points, std::vector<int>* labels) {
+  std::map<int, int> focus;
+  for (size_t i = 0; i < std::size(kFocusTypes); ++i) {
+    focus[TypeIdOrDie(kFocusTypes[i])] = static_cast<int>(i);
+  }
+  std::vector<std::vector<double>> rows;
+  for (const auto& table : test.tables) {
+    nn::Matrix emb;
+    bool computed = false;
+    for (size_t c = 0; c < table.labels.size(); ++c) {
+      auto it = focus.find(table.labels[c]);
+      if (it == focus.end()) continue;
+      if (!computed) {
+        emb = model->ColumnEmbeddings(table);
+        computed = true;
+      }
+      rows.push_back(emb.RowVector(c));
+      labels->push_back(it->second);
+    }
+  }
+  *points = nn::Matrix::FromRows(rows);
+}
+
+}  // namespace
+}  // namespace sato::bench
+
+int main() {
+  using namespace sato::bench;
+  using sato::SatoModel;
+  BenchEnv env = BuildEnv();
+
+  // A 50/50 split: the focus types live deep in the long tail, so a 20%
+  // test fold would leave too few columns to project.
+  sato::util::Rng fold_rng(99);
+  auto folds = sato::eval::KFold(env.dataset_dmult.tables.size(), 2, &fold_rng);
+  Split split = MakeSplit(env.dataset_dmult, folds[0]);
+
+  SatoModel sato_model =
+      TrainVariant(sato::SatoVariant::kNoStruct, env, split.train, 44);
+  SatoModel sherlock =
+      TrainVariant(sato::SatoVariant::kBase, env, split.train, 44);
+
+  std::printf("=== Figure 10: column-embedding separation for ambiguous "
+              "organisation-like types ===\n");
+  std::printf("(types: affiliate, teamName, family, manufacturer; embeddings "
+              "= final-layer input activations of test columns)\n\n");
+
+  for (bool use_sato : {true, false}) {
+    sato::SatoModel* model = use_sato ? &sato_model : &sherlock;
+    const char* name = use_sato ? "(a) Sato (topic-aware, pre-CRF)"
+                                : "(b) Sherlock (Base)";
+    sato::nn::Matrix points;
+    std::vector<int> labels;
+    CollectEmbeddings(model, split.test, &points, &labels);
+    if (points.rows() < 8) {
+      std::printf("%s: too few focus columns in the test fold (%zu)\n", name,
+                  points.rows());
+      continue;
+    }
+    double raw_silhouette = sato::eval::SilhouetteScore(points, labels);
+
+    sato::util::Rng rng(7);
+    sato::eval::TSNE tsne(sato::eval::TSNE::Options{});
+    sato::nn::Matrix y = tsne.FitTransform(points, &rng);
+    double tsne_silhouette = sato::eval::SilhouetteScore(y, labels);
+
+    std::printf("%s: %zu columns\n", name, points.rows());
+    std::printf("  silhouette (raw %zu-d embeddings): %.3f\n", points.cols(),
+                raw_silhouette);
+    std::printf("  silhouette (t-SNE 2-d projection): %.3f\n", tsne_silhouette);
+    std::printf("  first 8 projected points (x, y, type):\n");
+    for (size_t i = 0; i < std::min<size_t>(8, y.rows()); ++i) {
+      std::printf("    %8.2f %8.2f  %s\n", y(i, 0), y(i, 1),
+                  kFocusTypes[labels[i]]);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Regenerates Figure 5: the counts of the 78 semantic types in the dataset
+// D, printed in descending order with an ASCII bar chart.
+//
+// Expected shape (paper): a long-tailed distribution -- the head types
+// (name, description, team, type, age, ...) dominate, the tail types
+// (continent, organisation, sales, director, ...) have few samples.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace sato::bench;
+  // Figure 5 needs only the corpus, not features/models -- but the scale
+  // profile should match the other benches, so go through the generator
+  // directly at the same table count.
+  BenchScale scale = GetScale();
+  sato::corpus::CorpusOptions copts;
+  copts.num_tables = scale.corpus_tables;
+  copts.seed = 7;
+  sato::corpus::CorpusGenerator gen(copts);
+  auto tables = gen.Generate();
+
+  std::vector<size_t> counts(sato::kNumSemanticTypes, 0);
+  size_t total = 0;
+  for (const auto& t : tables) {
+    for (const auto& c : t.columns()) {
+      ++counts[static_cast<size_t>(*c.type)];
+      ++total;
+    }
+  }
+
+  std::vector<int> order(sato::kNumSemanticTypes);
+  for (int i = 0; i < sato::kNumSemanticTypes; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return counts[a] > counts[b]; });
+
+  std::printf("=== Figure 5: counts of the 78 semantic types in D ===\n");
+  std::printf("(|D| = %zu tables, %zu labeled columns)\n\n", tables.size(),
+              total);
+  size_t max_count = counts[static_cast<size_t>(order[0])];
+  for (int rank = 0; rank < sato::kNumSemanticTypes; ++rank) {
+    int t = order[rank];
+    size_t c = counts[static_cast<size_t>(t)];
+    int bar = max_count > 0 ? static_cast<int>(50.0 * static_cast<double>(c) /
+                                               static_cast<double>(max_count))
+                            : 0;
+    std::printf("  %-16s %6zu  %s\n", sato::TypeName(t).c_str(), c,
+                std::string(static_cast<size_t>(bar), '#').c_str());
+  }
+
+  // Long-tail summary.
+  size_t head = 0, tail = 0;
+  for (int i = 0; i < 10; ++i) head += counts[static_cast<size_t>(order[i])];
+  for (int i = 63; i < 78; ++i) tail += counts[static_cast<size_t>(order[i])];
+  std::printf("\nShape check: top-10 types cover %.1f%% of columns; "
+              "bottom-15 cover %.1f%% (long tail: %s)\n",
+              100.0 * static_cast<double>(head) / static_cast<double>(total),
+              100.0 * static_cast<double>(tail) / static_cast<double>(total),
+              head > 10 * tail ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,166 @@
+// Micro-benchmarks (google-benchmark) for the hot paths behind the
+// experiment harness: feature extraction, LDA inference, CRF inference and
+// decoding, and the column-wise network forward pass. These quantify the
+// per-table prediction cost that Table 2 reports end-to-end.
+
+#include <benchmark/benchmark.h>
+
+#include "core/columnwise_model.h"
+#include "core/config.h"
+#include "corpus/generator.h"
+#include "crf/linear_chain_crf.h"
+#include "embedding/sgns.h"
+#include "embedding/tfidf.h"
+#include "features/pipeline.h"
+#include "nn/loss.h"
+#include "topic/lda.h"
+#include "topic/table_document.h"
+
+namespace {
+
+using namespace sato;
+
+// Shared fixtures, built once.
+struct MicroEnv {
+  std::vector<Table> tables;
+  embedding::WordEmbeddings embeddings;
+  embedding::TfIdf tfidf;
+  topic::LdaModel lda;
+  features::FeaturePipeline pipeline;
+
+  static const MicroEnv& Get() {
+    static MicroEnv* env = [] {
+      corpus::CorpusOptions copts;
+      copts.num_tables = 200;
+      copts.singleton_prob = 0.0;
+      corpus::CorpusGenerator gen(copts);
+      auto tables = gen.Generate();
+
+      util::Rng rng(1);
+      std::vector<std::vector<std::string>> sentences;
+      for (const auto& t : tables) {
+        for (const auto& c : t.columns()) {
+          std::vector<std::string> s;
+          for (const auto& v : c.values) {
+            auto toks = embedding::TokenizeCell(v);
+            s.insert(s.end(), toks.begin(), toks.end());
+          }
+          if (!s.empty()) sentences.push_back(std::move(s));
+        }
+      }
+      embedding::SgnsTrainer::Options sgns_opts;
+      embedding::SgnsTrainer trainer(sgns_opts);
+      auto embeddings = trainer.Train(sentences, &rng);
+
+      auto docs = topic::TablesToDocuments(tables);
+      embedding::TfIdf tfidf;
+      tfidf.Fit(docs);
+      topic::LdaOptions lda_opts;
+      lda_opts.num_topics = 32;
+      lda_opts.train_iterations = 40;
+      auto lda = topic::LdaModel::Train(docs, lda_opts, &rng);
+
+      return new MicroEnv{std::move(tables), std::move(embeddings),
+                          std::move(tfidf), std::move(lda),
+                          features::FeaturePipeline(nullptr, nullptr)};
+    }();
+    return *env;
+  }
+
+  MicroEnv(std::vector<Table> t, embedding::WordEmbeddings e,
+           embedding::TfIdf f, topic::LdaModel l,
+           features::FeaturePipeline /*unused*/)
+      : tables(std::move(t)), embeddings(std::move(e)), tfidf(std::move(f)),
+        lda(std::move(l)), pipeline(&embeddings, &tfidf) {}
+};
+
+void BM_FeatureExtractionPerColumn(benchmark::State& state) {
+  const MicroEnv& env = MicroEnv::Get();
+  size_t i = 0;
+  for (auto _ : state) {
+    const Table& t = env.tables[i % env.tables.size()];
+    const Column& c = t.column(i % t.num_columns());
+    benchmark::DoNotOptimize(env.pipeline.Extract(c));
+    ++i;
+  }
+}
+BENCHMARK(BM_FeatureExtractionPerColumn);
+
+void BM_LdaInferencePerTable(benchmark::State& state) {
+  const MicroEnv& env = MicroEnv::Get();
+  util::Rng rng(2);
+  size_t i = 0;
+  for (auto _ : state) {
+    const Table& t = env.tables[i % env.tables.size()];
+    benchmark::DoNotOptimize(
+        env.lda.InferTopics(topic::TableToDocument(t), &rng));
+    ++i;
+  }
+}
+BENCHMARK(BM_LdaInferencePerTable);
+
+void BM_CrfViterbi(benchmark::State& state) {
+  int columns = static_cast<int>(state.range(0));
+  util::Rng rng(3);
+  crf::LinearChainCrf crf(kNumSemanticTypes);
+  crf.pairwise().value =
+      nn::Matrix::Gaussian(kNumSemanticTypes, kNumSemanticTypes, 0.3, &rng);
+  nn::Matrix unary = nn::Matrix::Gaussian(
+      static_cast<size_t>(columns), kNumSemanticTypes, 1.0, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crf.Viterbi(unary));
+  }
+}
+BENCHMARK(BM_CrfViterbi)->Arg(2)->Arg(5)->Arg(10);
+
+void BM_CrfLogPartition(benchmark::State& state) {
+  int columns = static_cast<int>(state.range(0));
+  util::Rng rng(4);
+  crf::LinearChainCrf crf(kNumSemanticTypes);
+  nn::Matrix unary = nn::Matrix::Gaussian(
+      static_cast<size_t>(columns), kNumSemanticTypes, 1.0, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crf.LogPartition(unary));
+  }
+}
+BENCHMARK(BM_CrfLogPartition)->Arg(2)->Arg(10);
+
+void BM_ColumnwiseForward(benchmark::State& state) {
+  size_t batch = static_cast<size_t>(state.range(0));
+  util::Rng rng(5);
+  SatoConfig config;
+  ColumnwiseModel::Dims dims;
+  dims.char_dim = 212;
+  dims.word_dim = 50;
+  dims.para_dim = 25;
+  dims.stat_dim = 27;
+  dims.topic_dim = 32;
+  ColumnwiseModel model(dims, config, &rng);
+
+  FeatureBatch fb;
+  fb.char_features = nn::Matrix::Gaussian(batch, dims.char_dim, 1.0, &rng);
+  fb.word_features = nn::Matrix::Gaussian(batch, dims.word_dim, 1.0, &rng);
+  fb.para_features = nn::Matrix::Gaussian(batch, dims.para_dim, 1.0, &rng);
+  fb.stat_features = nn::Matrix::Gaussian(batch, dims.stat_dim, 1.0, &rng);
+  fb.topic_features = nn::Matrix::Gaussian(batch, dims.topic_dim, 1.0, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Forward(fb, false));
+  }
+}
+BENCHMARK(BM_ColumnwiseForward)->Arg(1)->Arg(16)->Arg(64);
+
+void BM_SoftmaxCrossEntropy(benchmark::State& state) {
+  util::Rng rng(6);
+  nn::Matrix logits = nn::Matrix::Gaussian(64, kNumSemanticTypes, 1.0, &rng);
+  std::vector<int> targets(64);
+  for (auto& t : targets) t = static_cast<int>(rng.UniformInt(0, 77));
+  nn::SoftmaxCrossEntropy loss;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(loss.Forward(logits, targets));
+  }
+}
+BENCHMARK(BM_SoftmaxCrossEntropy);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Hierarchical evaluation under the §6 type ontology ("country and city
+// are types of location; club and company are types of organisation") --
+// the future-work direction of exploiting type hierarchy, made measurable:
+//
+//   1. coarse-grained (parent-category) F1 for every model variant, and
+//   2. error locality: the fraction of misclassifications that stay
+//      *within* the gold type's semantic family.
+//
+// Expected shape: coarse F1 well above fine F1 for every model (most
+// confusion is within-family, e.g. birthPlace vs city); Sato reduces the
+// cross-family error fraction relative to Base because table context rules
+// out whole families at once.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "eval/model_eval.h"
+#include "table/ontology.h"
+
+int main() {
+  using namespace sato::bench;
+  using sato::SatoModel;
+  BenchEnv env = BuildEnv();
+
+  sato::util::Rng fold_rng(99);
+  auto folds = sato::eval::KFold(env.dataset_dmult.tables.size(), 5, &fold_rng);
+  Split split = MakeSplit(env.dataset_dmult, folds[0]);
+
+  std::printf("=== Ontology: hierarchical evaluation (Sec 6 future work) ===\n\n");
+  std::printf("  %-14s %-10s %-10s %-12s %-14s\n", "Model", "fine F1",
+              "coarse F1", "errors", "cross-family");
+  PrintRule(66);
+
+  const sato::SatoVariant kVariants[] = {
+      sato::SatoVariant::kBase, sato::SatoVariant::kNoStruct,
+      sato::SatoVariant::kNoTopic, sato::SatoVariant::kFull};
+  double base_cross = -1.0, sato_cross = -1.0;
+  for (sato::SatoVariant variant : kVariants) {
+    SatoModel model = TrainVariant(variant, env, split.train, 91);
+    std::vector<int> gold, pred;
+    sato::eval::PredictDataset(&model, split.test, &gold, &pred);
+
+    auto fine = sato::eval::Evaluate(gold, pred, sato::kNumSemanticTypes);
+    auto coarse = sato::eval::Evaluate(sato::MapToCoarse(gold),
+                                       sato::MapToCoarse(pred),
+                                       sato::kNumCoarseTypes);
+    size_t errors = 0, cross_family = 0;
+    for (size_t i = 0; i < gold.size(); ++i) {
+      if (gold[i] == pred[i]) continue;
+      ++errors;
+      if (sato::CoarseTypeOf(gold[i]) != sato::CoarseTypeOf(pred[i])) {
+        ++cross_family;
+      }
+    }
+    double cross_frac = errors > 0 ? static_cast<double>(cross_family) /
+                                         static_cast<double>(errors)
+                                   : 0.0;
+    if (variant == sato::SatoVariant::kBase) base_cross = cross_frac;
+    if (variant == sato::SatoVariant::kFull) sato_cross = cross_frac;
+    std::printf("  %-14s %-10.3f %-10.3f %-12zu %13.1f%%\n",
+                VariantName(variant).c_str(), fine.weighted_f1,
+                coarse.weighted_f1, errors, 100.0 * cross_frac);
+  }
+  PrintRule(66);
+  std::printf("\nShape check: coarse F1 > fine F1 (confusions mostly stay in "
+              "family); Sato cross-family error fraction (%.0f%%) <= Base "
+              "(%.0f%%): %s\n",
+              100.0 * sato_cross, 100.0 * base_cross,
+              sato_cross <= base_cross + 1e-9 ? "yes" : "NO");
+  return 0;
+}

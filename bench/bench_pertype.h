@@ -1,0 +1,61 @@
+#ifndef SATO_BENCH_BENCH_PERTYPE_H_
+#define SATO_BENCH_BENCH_PERTYPE_H_
+
+// Shared logic for the per-type F1 ablation figures (Fig 7 and Fig 8):
+// train the four variants on one split and print sorted per-type F1
+// comparisons in the paper's "with (blue) vs without (orange)" layout.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "eval/model_eval.h"
+
+namespace sato::bench {
+
+/// Per-type F1 for a model on a test set (only types with support).
+inline std::vector<eval::TypeMetrics> PerTypeF1(SatoModel* model,
+                                                const Dataset& test) {
+  return eval::EvaluateModel(model, test).per_type;
+}
+
+/// Prints the per-type comparison panel: types sorted by the "with" F1
+/// (descending, the paper's layout), followed by improved/equal/worse
+/// counts. `with_f1` plays the role of the blue series.
+inline void PrintPerTypePanel(const char* title,
+                              const std::vector<eval::TypeMetrics>& with_f1,
+                              const char* with_name,
+                              const std::vector<eval::TypeMetrics>& without_f1,
+                              const char* without_name) {
+  std::vector<int> types;
+  for (int t = 0; t < kNumSemanticTypes; ++t) {
+    if (with_f1[static_cast<size_t>(t)].support > 0) types.push_back(t);
+  }
+  std::sort(types.begin(), types.end(), [&](int a, int b) {
+    return with_f1[static_cast<size_t>(a)].f1 > with_f1[static_cast<size_t>(b)].f1;
+  });
+
+  std::printf("%s\n", title);
+  std::printf("  %-16s %10s %10s %8s\n", "type", with_name, without_name,
+              "delta");
+  PrintRule(50);
+  int improved = 0, equal = 0, worse = 0;
+  for (int t : types) {
+    double w = with_f1[static_cast<size_t>(t)].f1;
+    double wo = without_f1[static_cast<size_t>(t)].f1;
+    if (w > wo + 1e-9) ++improved;
+    else if (w < wo - 1e-9) ++worse;
+    else ++equal;
+    std::printf("  %-16s %10.3f %10.3f %+8.3f\n", TypeName(t).c_str(), w, wo,
+                w - wo);
+  }
+  PrintRule(50);
+  std::printf("  types improved: %d, unchanged: %d, worse: %d (of %zu with "
+              "support)\n\n",
+              improved, equal, worse, types.size());
+}
+
+}  // namespace sato::bench
+
+#endif  // SATO_BENCH_BENCH_PERTYPE_H_

@@ -1,0 +1,87 @@
+// Regenerates Table 2: average training and prediction time of Base vs
+// Sato on D_mult over repeated trials, with the training time split into
+// the column-wise model ("Features") and the CRF layer ("Structured").
+//
+// Expected shape (paper): the CRF layer adds noticeable training time; the
+// per-table prediction overhead of Sato over Base is well under a
+// millisecond, supporting interactive use.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "eval/model_eval.h"
+#include "util/math_util.h"
+#include "util/timer.h"
+
+namespace sato::bench {
+namespace {
+
+struct Timing {
+  std::vector<double> features_s;
+  std::vector<double> structured_s;
+  std::vector<double> predict_s;
+};
+
+}  // namespace
+}  // namespace sato::bench
+
+int main() {
+  using namespace sato::bench;
+  using sato::util::Mean;
+  BenchEnv env = BuildEnv();
+
+  // One fixed 80/20 split, as the paper times one train/test configuration.
+  sato::util::Rng fold_rng(42);
+  auto folds = sato::eval::KFold(env.dataset_dmult.tables.size(), 5, &fold_rng);
+  Split split = MakeSplit(env.dataset_dmult, folds[0]);
+  std::printf("=== Table 2: training and prediction time on D_mult ===\n");
+  std::printf("(train tables: %zu, test tables: %zu, %d trials, +- 95%% CI)\n\n",
+              split.train.tables.size(), split.test.tables.size(),
+              env.scale.trials);
+
+  Timing base_t, sato_t;
+  for (int trial = 0; trial < env.scale.trials; ++trial) {
+    for (bool full : {false, true}) {
+      sato::Trainer::TrainStats stats;
+      sato::SatoModel model =
+          TrainVariant(full ? sato::SatoVariant::kFull : sato::SatoVariant::kBase,
+                       env, split.train, 500 + 7 * trial, &stats);
+      sato::util::Timer timer;
+      std::vector<int> gold, pred;
+      sato::eval::PredictDataset(&model, split.test, &gold, &pred);
+      double predict_s = timer.ElapsedSeconds();
+      Timing& t = full ? sato_t : base_t;
+      t.features_s.push_back(stats.columnwise_seconds);
+      t.structured_s.push_back(stats.crf_seconds);
+      t.predict_s.push_back(predict_s);
+      std::fprintf(stderr, "[table2] trial %d %s: features=%.2fs crf=%.2fs predict=%.3fs\n",
+                   trial + 1, full ? "Sato" : "Base", stats.columnwise_seconds,
+                   stats.crf_seconds, predict_s);
+    }
+  }
+
+  std::printf("  %-8s %-22s %-22s %-20s\n", "", "Training time [s]", "", "Prediction time [s]");
+  std::printf("  %-8s %-22s %-22s %-20s\n", "Model", "Features", "Structured", "");
+  PrintRule(76);
+  std::printf("  %-8s %-22s %-22s %-20s\n", "Base",
+              FormatWithCi(base_t.features_s).c_str(), "N/A",
+              FormatWithCi(base_t.predict_s).c_str());
+  std::printf("  %-8s %-22s %-22s %-20s\n", "Sato",
+              FormatWithCi(sato_t.features_s).c_str(),
+              FormatWithCi(sato_t.structured_s).c_str(),
+              FormatWithCi(sato_t.predict_s).c_str());
+  PrintRule(76);
+
+  double tables = static_cast<double>(split.test.tables.size());
+  double base_per_table = Mean(base_t.predict_s) / tables * 1e3;
+  double sato_per_table = Mean(sato_t.predict_s) / tables * 1e3;
+  std::printf("\nPer-table prediction: Base %.3f ms, Sato %.3f ms "
+              "(overhead %.3f ms/table)\n",
+              base_per_table, sato_per_table,
+              sato_per_table - base_per_table);
+  std::printf("Shape check: CRF adds training time: %s; prediction overhead "
+              "< 1 ms/table: %s\n",
+              Mean(sato_t.structured_s) > 0.0 ? "yes" : "NO",
+              (sato_per_table - base_per_table) < 1.0 ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Robustness under dirty data -- the failure mode of rule-based detectors
+// the paper's introduction calls out ("not robust enough to process dirty
+// or missing data").
+//
+// This example trains Sato once, then evaluates the same test tables under
+// increasing corruption (missing cells, typos, case noise) and compares it
+// with a simple regex/dictionary detector of the kind commercial tools use.
+//
+// Build & run:
+//   ./build/examples/dirty_data
+
+#include <cctype>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/feature_context.h"
+#include "core/sato_model.h"
+#include "core/trainer.h"
+#include "corpus/generator.h"
+#include "eval/metrics.h"
+#include "eval/model_eval.h"
+#include "util/string_util.h"
+
+using namespace sato;
+
+namespace {
+
+// A deliberately simple rule-based detector: dictionary lookups over a few
+// well-known lexicons and regex-like shape checks, falling back to `name`.
+// This is the style of detection the paper attributes to commercial tools.
+int RuleBasedDetect(const Column& column) {
+  int dates = 0, small_ints = 0, four_digit_years = 0, isbn = 0, mf = 0;
+  int non_empty = 0;
+  for (const std::string& v : column.values) {
+    if (v.empty()) continue;
+    ++non_empty;
+    if (util::StartsWith(v, "978-")) ++isbn;
+    if (v == "M" || v == "F" || util::ToLower(v) == "male" ||
+        util::ToLower(v) == "female") {
+      ++mf;
+    }
+    auto num = util::ParseNumeric(v);
+    if (num.has_value()) {
+      if (*num >= 1900 && *num <= 2025 && v.size() == 4) ++four_digit_years;
+      else if (*num >= 0 && *num < 100) ++small_ints;
+    }
+    if (v.size() == 10 && v[4] == '-' && v[7] == '-') ++dates;
+  }
+  if (non_empty == 0) return TypeIdOrDie("notes");
+  double n = non_empty;
+  if (isbn / n > 0.5) return TypeIdOrDie("isbn");
+  if (dates / n > 0.5) return TypeIdOrDie("birthDate");
+  if (mf / n > 0.5) return TypeIdOrDie("sex");
+  if (four_digit_years / n > 0.5) return TypeIdOrDie("year");
+  if (small_ints / n > 0.5) return TypeIdOrDie("age");
+  return TypeIdOrDie("name");
+}
+
+// Corrupts a copy of the tables at the given severity.
+std::vector<Table> Corrupt(const std::vector<Table>& tables, double severity,
+                           util::Rng* rng) {
+  std::vector<Table> out = tables;
+  for (Table& t : out) {
+    for (size_t ci = 0; ci < t.num_columns(); ++ci) {
+      for (std::string& v : t.column(ci).values) {
+        if (v.empty()) continue;
+        if (rng->Bernoulli(severity * 0.5)) {
+          v.clear();  // missing cell
+        } else if (rng->Bernoulli(severity) && v.size() >= 3) {
+          size_t i = rng->Index(v.size() - 1);
+          std::swap(v[i], v[i + 1]);  // typo
+        } else if (rng->Bernoulli(severity)) {
+          v = rng->Bernoulli(0.5) ? util::ToUpper(v) : util::ToLower(v);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  corpus::CorpusOptions copts;
+  copts.num_tables = 1200;
+  corpus::CorpusGenerator generator(copts);
+  auto corpus_tables = generator.Generate();
+  auto reference = generator.GenerateWith(500, 99);
+  // Held-out evaluation tables, clean at generation time.
+  corpus::CorpusOptions test_opts = copts;
+  test_opts.missing_cell_prob = 0.0;
+  test_opts.typo_prob = 0.0;
+  test_opts.case_noise_prob = 0.0;
+  auto test_tables =
+      corpus::FilterMultiColumn(corpus::CorpusGenerator(test_opts).GenerateWith(250, 4242));
+
+  SatoConfig config;
+  config.num_topics = 32;
+  config.epochs = 25;
+  util::Rng rng(7);
+  std::printf("Training Sato...\n");
+  FeatureContext context = FeatureContext::Build(reference, config, &rng);
+  DatasetBuilder builder(&context);
+  Dataset train = builder.Build(corpus_tables, &rng);
+  Dataset none;
+  StandardizeSplits(&train, &none);
+
+  ColumnwiseModel::Dims dims;
+  dims.char_dim = context.pipeline().char_dim();
+  dims.word_dim = context.pipeline().word_dim();
+  dims.para_dim = context.pipeline().para_dim();
+  dims.stat_dim = context.pipeline().stat_dim();
+  SatoModel model(SatoVariant::kFull, dims, context.topic_dim(), config, &rng);
+  Trainer trainer(config);
+  trainer.Train(&model, train, &rng);
+
+  std::printf("\n%-10s %-26s %-26s\n", "severity", "Sato (weighted F1)",
+              "rule-based (weighted F1)");
+  for (int i = 0; i < 64; ++i) std::putchar('-');
+  std::putchar('\n');
+
+  // Unscaled training features, reused to refit the scaler per severity so
+  // test features are standardised against training statistics only.
+  Dataset train_raw = builder.Build(corpus_tables, &rng);
+
+  for (double severity : {0.0, 0.1, 0.2, 0.35, 0.5}) {
+    util::Rng noise_rng(31);
+    auto corrupted = Corrupt(test_tables, severity, &noise_rng);
+
+    Dataset test = builder.Build(corrupted, &rng);
+    Dataset train_copy = train_raw;
+    StandardizeSplits(&train_copy, &test);
+
+    std::vector<int> gold, sato_pred, rule_pred;
+    eval::PredictDataset(&model, test, &gold, &sato_pred);
+    for (const Table& t : corrupted) {
+      for (const Column& c : t.columns()) {
+        rule_pred.push_back(RuleBasedDetect(c));
+      }
+    }
+    auto sato_result = eval::Evaluate(gold, sato_pred, kNumSemanticTypes);
+    auto rule_result = eval::Evaluate(gold, rule_pred, kNumSemanticTypes);
+    std::printf("%-10.2f %-26.3f %-26.3f\n", severity,
+                sato_result.weighted_f1, rule_result.weighted_f1);
+  }
+  std::printf("\nSato should degrade gracefully while the rule-based\n"
+              "detector collapses on the types it cannot pattern-match.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+#ifndef SATO_CORE_CONFIG_H_
+#define SATO_CORE_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sato {
+
+/// Hyper-parameters of the column-wise network and the CRF layer.
+///
+/// The architecture follows §3.1/§4.3 exactly (per-group compression
+/// subnetworks; primary network of two fully-connected ReLU layers with
+/// BatchNorm and Dropout; Adam). Sizes default to a scaled-down profile so
+/// the full benchmark suite trains in minutes on a laptop; the paper-scale
+/// profile (1587-dim features, 400 topics, 100 epochs, lr 1e-4) is a matter
+/// of turning these dials up.
+struct SatoConfig {
+  // -- subnetwork widths ---------------------------------------------------
+  size_t subnet_hidden = 48;  ///< hidden width inside each subnetwork
+  size_t char_out = 32;       ///< Char subnetwork output
+  size_t word_out = 24;       ///< Word subnetwork output
+  size_t para_out = 16;       ///< Para subnetwork output
+  size_t topic_out = 24;      ///< Topic subnetwork output (§3.2)
+
+  // -- primary network ------------------------------------------------------
+  size_t primary_hidden = 96;
+  double dropout = 0.25;
+
+  // -- column-wise training (paper: Adam, lr 1e-4, wd 1e-4, 100 epochs) ----
+  double learning_rate = 1e-3;
+  double weight_decay = 1e-4;
+  int epochs = 30;
+  size_t batch_size = 64;
+
+  // -- CRF layer training (§4.3: batch of 10 tables, lr 1e-2, 15 epochs) ---
+  int crf_epochs = 15;
+  size_t crf_batch_size = 10;
+  double crf_learning_rate = 1e-2;
+  /// Scale applied to the co-occurrence initialisation of the pairwise
+  /// potentials (0 disables the init -- an ablation axis).
+  double crf_init_scale = 0.1;
+
+  // -- topic model -----------------------------------------------------------
+  int num_topics = 48;        ///< paper uses 400 at full scale
+
+  uint64_t seed = 42;
+};
+
+}  // namespace sato
+
+#endif  // SATO_CORE_CONFIG_H_

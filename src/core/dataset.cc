@@ -1,0 +1,96 @@
+#include "core/dataset.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+namespace sato {
+
+size_t Dataset::NumColumns() const {
+  size_t n = 0;
+  for (const auto& t : tables) n += t.labels.size();
+  return n;
+}
+
+std::vector<std::vector<int>> Dataset::LabelSequences() const {
+  std::vector<std::vector<int>> out;
+  out.reserve(tables.size());
+  for (const auto& t : tables) out.push_back(t.labels);
+  return out;
+}
+
+TableExample DatasetBuilder::BuildExample(const Table& table,
+                                          uint64_t seed) const {
+  TableExample example;
+  example.id = table.id();
+  example.labels.reserve(table.num_columns());
+  example.features.reserve(table.num_columns());
+  for (const Column& column : table.columns()) {
+    example.labels.push_back(*column.type);
+    example.features.push_back(context_->pipeline().Extract(column));
+  }
+  util::Rng table_rng(seed);
+  example.topic = context_->TopicVector(table, &table_rng);
+  return example;
+}
+
+Dataset DatasetBuilder::Build(const std::vector<Table>& tables,
+                              util::Rng* rng, int threads) const {
+  // Per-table sub-seeds drawn sequentially, so results are independent of
+  // the thread count.
+  std::vector<uint64_t> seeds(tables.size());
+  for (uint64_t& s : seeds) s = rng->engine()();
+
+  std::vector<size_t> eligible;
+  eligible.reserve(tables.size());
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (tables[i].FullyLabeled() && tables[i].num_columns() > 0) {
+      eligible.push_back(i);
+    }
+  }
+
+  std::vector<TableExample> examples(eligible.size());
+  int workers = std::max(1, threads);
+  if (workers == 1) {
+    for (size_t j = 0; j < eligible.size(); ++j) {
+      examples[j] = BuildExample(tables[eligible[j]], seeds[eligible[j]]);
+    }
+  } else {
+    std::atomic<size_t> next{0};
+    auto work = [&] {
+      for (size_t j = next.fetch_add(1); j < eligible.size();
+           j = next.fetch_add(1)) {
+        examples[j] = BuildExample(tables[eligible[j]], seeds[eligible[j]]);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(workers));
+    for (int w = 0; w < workers; ++w) pool.emplace_back(work);
+    for (auto& t : pool) t.join();
+  }
+
+  Dataset dataset;
+  dataset.tables = std::move(examples);
+  return dataset;
+}
+
+features::FeatureScaler StandardizeSplits(Dataset* train, Dataset* test) {
+  std::vector<features::ColumnFeatures> train_features;
+  train_features.reserve(train->NumColumns());
+  for (const auto& t : train->tables) {
+    for (const auto& f : t.features) train_features.push_back(f);
+  }
+  features::FeatureScaler scaler;
+  scaler.Fit(train_features);
+  ApplyScaler(scaler, train);
+  if (test != nullptr) ApplyScaler(scaler, test);
+  return scaler;
+}
+
+void ApplyScaler(const features::FeatureScaler& scaler, Dataset* data) {
+  for (auto& t : data->tables) {
+    for (auto& f : t.features) scaler.Transform(&f);
+  }
+}
+
+}  // namespace sato

@@ -1,0 +1,79 @@
+#include "core/model_io.h"
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace sato {
+
+namespace {
+
+constexpr uint64_t kBundleMagic = 0x5341544f424e444cull;  // "SATOBNDL"
+
+void WriteU64(std::ostream* out, uint64_t v) {
+  out->write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+uint64_t ReadU64(std::istream* in) {
+  uint64_t v = 0;
+  in->read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!*in) throw std::runtime_error("LoadSatoBundle: truncated stream");
+  return v;
+}
+
+}  // namespace
+
+void SaveSatoBundle(const SatoModel& model, const FeatureContext& context,
+                    const features::FeatureScaler& scaler,
+                    std::ostream* out) {
+  WriteU64(out, kBundleMagic);
+  WriteU64(out, static_cast<uint64_t>(model.variant()));
+
+  const SatoConfig& config = model.config();
+  out->write(reinterpret_cast<const char*>(&config), sizeof(config));
+
+  // Reconstruct the dims from the pipeline so the loaded model is built
+  // with identical shapes.
+  ColumnwiseModel::Dims dims;
+  dims.char_dim = context.pipeline().char_dim();
+  dims.word_dim = context.pipeline().word_dim();
+  dims.para_dim = context.pipeline().para_dim();
+  dims.stat_dim = context.pipeline().stat_dim();
+  out->write(reinterpret_cast<const char*>(&dims), sizeof(dims));
+
+  context.Save(out);
+  scaler.Save(out);
+  model.Save(out);
+}
+
+LoadedSato LoadSatoBundle(std::istream* in) {
+  if (ReadU64(in) != kBundleMagic) {
+    throw std::runtime_error("LoadSatoBundle: bad magic");
+  }
+  auto variant = static_cast<SatoVariant>(ReadU64(in));
+
+  SatoConfig config;
+  in->read(reinterpret_cast<char*>(&config), sizeof(config));
+  ColumnwiseModel::Dims dims;
+  in->read(reinterpret_cast<char*>(&dims), sizeof(dims));
+  if (!*in) throw std::runtime_error("LoadSatoBundle: truncated stream");
+
+  LoadedSato loaded;
+  loaded.context =
+      std::make_unique<FeatureContext>(FeatureContext::Load(in));
+  loaded.scaler = features::FeatureScaler::Load(in);
+
+  // Build the architecture (weights are placeholder-initialised, then
+  // overwritten by Load).
+  util::Rng init_rng(config.seed);
+  loaded.model = std::make_unique<SatoModel>(
+      variant, dims, loaded.context->topic_dim(), config, &init_rng);
+  loaded.model->Load(in);
+
+  loaded.predictor = std::make_unique<SatoPredictor>(
+      loaded.model.get(), loaded.context.get(), loaded.scaler);
+  return loaded;
+}
+
+}  // namespace sato

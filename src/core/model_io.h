@@ -1,0 +1,37 @@
+#ifndef SATO_CORE_MODEL_IO_H_
+#define SATO_CORE_MODEL_IO_H_
+
+#include <iosfwd>
+#include <memory>
+
+#include "core/feature_context.h"
+#include "core/predictor.h"
+#include "core/sato_model.h"
+#include "features/pipeline.h"
+
+namespace sato {
+
+/// A fully-deployable Sato restored from disk: the pre-trained feature
+/// context, the model, the training-split scaler, and a predictor wired to
+/// all three. (The paper publicly releases its trained model, §8 -- this
+/// is the equivalent mechanism here.)
+struct LoadedSato {
+  std::unique_ptr<FeatureContext> context;
+  std::unique_ptr<SatoModel> model;
+  features::FeatureScaler scaler;
+  std::unique_ptr<SatoPredictor> predictor;
+};
+
+/// Writes a single self-contained bundle: variant + config + feature dims,
+/// the feature context (embeddings, TF-IDF, LDA), the scaler, and the
+/// model parameters (including the CRF for structured variants).
+void SaveSatoBundle(const SatoModel& model, const FeatureContext& context,
+                    const features::FeatureScaler& scaler, std::ostream* out);
+
+/// Restores a bundle saved with SaveSatoBundle. Throws std::runtime_error
+/// on malformed input.
+LoadedSato LoadSatoBundle(std::istream* in);
+
+}  // namespace sato
+
+#endif  // SATO_CORE_MODEL_IO_H_

@@ -1,0 +1,36 @@
+#include "core/predictor.h"
+
+namespace sato {
+
+TableExample SatoPredictor::Featurize(const Table& table,
+                                      util::Rng* rng) const {
+  TableExample example;
+  example.id = table.id();
+  for (const Column& column : table.columns()) {
+    features::ColumnFeatures f = context_->pipeline().Extract(column);
+    scaler_.Transform(&f);
+    example.features.push_back(std::move(f));
+    example.labels.push_back(0);  // unused at prediction time
+  }
+  example.topic = context_->TopicVector(table, rng);
+  return example;
+}
+
+std::vector<TypeId> SatoPredictor::PredictTable(const Table& table,
+                                                util::Rng* rng) const {
+  return model_->Predict(Featurize(table, rng));
+}
+
+std::vector<std::string> SatoPredictor::PredictTypeNames(
+    const Table& table, util::Rng* rng) const {
+  std::vector<std::string> names;
+  for (TypeId id : PredictTable(table, rng)) names.push_back(TypeName(id));
+  return names;
+}
+
+nn::Matrix SatoPredictor::PredictProbs(const Table& table,
+                                       util::Rng* rng) const {
+  return model_->PredictProbs(Featurize(table, rng));
+}
+
+}  // namespace sato

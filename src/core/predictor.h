@@ -1,0 +1,49 @@
+#ifndef SATO_CORE_PREDICTOR_H_
+#define SATO_CORE_PREDICTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/feature_context.h"
+#include "core/sato_model.h"
+#include "features/pipeline.h"
+
+namespace sato {
+
+/// End-to-end prediction facade for *raw tables*: featurise through the
+/// shared context, standardise with the scaler that was fitted on the
+/// training split, and decode with the model. This is the API an
+/// application uses after training -- without it, callers would feed
+/// unstandardised features into a network trained on standardised ones.
+class SatoPredictor {
+ public:
+  /// All pointers are borrowed and must outlive the predictor.
+  SatoPredictor(SatoModel* model, const FeatureContext* context,
+                features::FeatureScaler scaler)
+      : model_(model), context_(context), scaler_(std::move(scaler)) {}
+
+  /// Featurises one raw table (no headers consulted).
+  TableExample Featurize(const Table& table, util::Rng* rng) const;
+
+  /// Predicted semantic type ids, one per column.
+  std::vector<TypeId> PredictTable(const Table& table, util::Rng* rng) const;
+
+  /// Predicted canonical type names, one per column.
+  std::vector<std::string> PredictTypeNames(const Table& table,
+                                            util::Rng* rng) const;
+
+  /// Column-wise probabilities [num_columns x 78] (pre-CRF scores).
+  nn::Matrix PredictProbs(const Table& table, util::Rng* rng) const;
+
+  SatoModel& model() { return *model_; }
+
+ private:
+  SatoModel* model_;               // not owned
+  const FeatureContext* context_;  // not owned
+  features::FeatureScaler scaler_;
+};
+
+}  // namespace sato
+
+#endif  // SATO_CORE_PREDICTOR_H_

@@ -1,0 +1,111 @@
+#include "core/trainer.h"
+
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+#include "crf/crf_trainer.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "util/timer.h"
+
+namespace sato {
+
+double Trainer::TrainColumnwise(SatoModel* model, const Dataset& train,
+                                util::Rng* rng) const {
+  // Flatten (table, column) pairs.
+  std::vector<std::pair<size_t, size_t>> index;
+  index.reserve(train.NumColumns());
+  for (size_t t = 0; t < train.tables.size(); ++t) {
+    for (size_t c = 0; c < train.tables[t].labels.size(); ++c) {
+      index.emplace_back(t, c);
+    }
+  }
+
+  nn::AdamOptimizer::Options adam;
+  adam.learning_rate = config_.learning_rate;
+  adam.weight_decay = config_.weight_decay;
+  nn::AdamOptimizer optimizer(model->columnwise().Parameters(), adam);
+  nn::SoftmaxCrossEntropy loss;
+
+  bool with_topic = model->uses_topic();
+  double last_epoch_loss = 0.0;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng->Shuffle(&index);
+    double epoch_loss = 0.0;
+    size_t batches = 0;
+    for (size_t start = 0; start < index.size(); start += config_.batch_size) {
+      size_t end = std::min(index.size(), start + config_.batch_size);
+      std::vector<const features::ColumnFeatures*> columns;
+      std::vector<const std::vector<double>*> topics;
+      std::vector<int> targets;
+      columns.reserve(end - start);
+      targets.reserve(end - start);
+      for (size_t i = start; i < end; ++i) {
+        const auto& [t, c] = index[i];
+        columns.push_back(&train.tables[t].features[c]);
+        if (with_topic) topics.push_back(&train.tables[t].topic);
+        targets.push_back(train.tables[t].labels[c]);
+      }
+      FeatureBatch batch = FeatureBatch::FromColumns(columns, topics);
+      nn::Matrix logits = model->columnwise().Forward(batch, /*train=*/true);
+      epoch_loss += loss.Forward(logits, targets);
+      ++batches;
+      optimizer.ZeroGrad();
+      model->columnwise().Backward(loss.Backward());
+      optimizer.Step();
+    }
+    last_epoch_loss = batches > 0 ? epoch_loss / static_cast<double>(batches) : 0.0;
+  }
+  return last_epoch_loss;
+}
+
+double Trainer::TrainCrf(SatoModel* model, const Dataset& train,
+                         util::Rng* rng) const {
+  // Initialise pairwise potentials from train-split co-occurrence (§4.3).
+  auto sequences = train.LabelSequences();
+  nn::Matrix counts = crf::AdjacentCooccurrence(
+      sequences, model->crf().num_states());
+  if (config_.crf_init_scale != 0.0) {
+    model->crf().InitFromCooccurrence(counts, config_.crf_init_scale);
+  }
+
+  // Unary potentials: log of the trained column-wise model's normalised
+  // prediction scores, fixed during CRF training.
+  std::vector<crf::CrfExample> examples;
+  examples.reserve(train.tables.size());
+  for (const TableExample& table : train.tables) {
+    if (table.labels.size() < 2) continue;  // no pairwise signal
+    nn::Matrix probs = model->PredictProbs(table);
+    crf::CrfExample ex;
+    ex.unary = nn::Matrix(probs.rows(), probs.cols());
+    for (size_t i = 0; i < probs.size(); ++i) {
+      ex.unary.data()[i] = std::log(std::max(probs.data()[i], 1e-12));
+    }
+    ex.labels = table.labels;
+    examples.push_back(std::move(ex));
+  }
+
+  crf::CrfTrainer::Options opts;
+  opts.epochs = config_.crf_epochs;
+  opts.batch_size = config_.crf_batch_size;
+  opts.learning_rate = config_.crf_learning_rate;
+  crf::CrfTrainer crf_trainer(opts);
+  return crf_trainer.Train(&model->crf(), examples, rng);
+}
+
+Trainer::TrainStats Trainer::Train(SatoModel* model, const Dataset& train,
+                                   util::Rng* rng) const {
+  TrainStats stats;
+  util::Timer timer;
+  stats.final_loss = TrainColumnwise(model, train, rng);
+  stats.columnwise_seconds = timer.ElapsedSeconds();
+  if (model->uses_crf()) {
+    timer.Reset();
+    stats.final_crf_nll = TrainCrf(model, train, rng);
+    stats.crf_seconds = timer.ElapsedSeconds();
+  }
+  return stats;
+}
+
+}  // namespace sato

@@ -1,0 +1,139 @@
+#include "corpus/generator.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "table/canonicalize.h"
+#include "util/string_util.h"
+
+namespace sato::corpus {
+
+namespace {
+
+// Splits a canonical camelCase type name into its lower-case words.
+std::vector<std::string> TypeWords(const std::string& name) {
+  std::vector<std::string> words;
+  std::string current;
+  for (char c : name) {
+    if (std::isupper(static_cast<unsigned char>(c)) && !current.empty()) {
+      words.push_back(current);
+      current.clear();
+    }
+    current += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (!current.empty()) words.push_back(current);
+  return words;
+}
+
+std::string ApplyTypo(const std::string& s, util::Rng* rng) {
+  if (s.size() < 3) return s;
+  std::string out = s;
+  size_t i = rng->Index(out.size() - 1);
+  std::swap(out[i], out[i + 1]);
+  return out;
+}
+
+}  // namespace
+
+std::string NoisyHeaderForType(TypeId type, util::Rng* rng) {
+  const std::string& canonical = TypeName(type);
+  std::vector<std::string> words = TypeWords(canonical);
+  std::string spaced = util::Join(words, " ");
+  static const char* kParens[] = {" (official)", " (2019)", " (est.)",
+                                  " (first occurrence)", " (total)"};
+  switch (rng->UniformInt(0, 5)) {
+    case 0: return canonical;                       // "birthPlace"
+    case 1: return spaced;                          // "birth place"
+    case 2: return util::ToUpper(spaced);           // "BIRTH PLACE"
+    case 3: {                                       // "Birth Place"
+      std::vector<std::string> caps;
+      caps.reserve(words.size());
+      for (const auto& w : words) caps.push_back(util::Capitalize(w));
+      return util::Join(caps, " ");
+    }
+    case 4:                                         // "birth_place"
+      return util::Join(words, "_");
+    default:                                        // "birth place (est.)"
+      return spaced + kParens[rng->Index(std::size(kParens))];
+  }
+}
+
+CorpusGenerator::CorpusGenerator(CorpusOptions options)
+    : options_(options), intents_(BuiltinIntents()) {}
+
+Table CorpusGenerator::GenerateTable(size_t index, util::Rng* rng) const {
+  std::vector<double> weights;
+  weights.reserve(intents_.size());
+  for (const auto& intent : intents_) weights.push_back(intent.weight);
+  const IntentSpec& intent = intents_[rng->Categorical(weights)];
+
+  // Assemble the type sequence: core types in order, then sampled optionals.
+  std::vector<TypeId> types = intent.core;
+  for (const auto& [type, prob] : intent.optional) {
+    if (rng->Bernoulli(prob)) types.push_back(type);
+  }
+  // Occasionally duplicate one type (non-zero Fig 6 diagonal).
+  if (types.size() >= 2 && rng->Bernoulli(options_.duplicate_prob)) {
+    types.push_back(types[rng->Index(types.size())]);
+  }
+  // One random adjacent swap keeps adjacency structured but not rigid.
+  if (types.size() >= 2 && rng->Bernoulli(options_.column_swap_prob)) {
+    size_t i = rng->Index(types.size() - 1);
+    std::swap(types[i], types[i + 1]);
+  }
+  // Singleton collapse: the table keeps one random column and thus loses
+  // all table context (the D vs D_mult distinction).
+  if (rng->Bernoulli(options_.singleton_prob)) {
+    types = {types[rng->Index(types.size())]};
+  }
+
+  Table table("t" + std::to_string(index));
+  size_t rows = static_cast<size_t>(rng->UniformInt(
+      static_cast<int64_t>(options_.min_rows),
+      static_cast<int64_t>(options_.max_rows)));
+
+  for (TypeId type : types) {
+    Column column;
+    column.header = NoisyHeaderForType(type, rng);
+    column.type = type;
+    column.values.reserve(rows);
+    int style = static_cast<int>(rng->UniformInt(0, ValueFactory::kNumStyles - 1));
+    for (size_t r = 0; r < rows; ++r) {
+      if (rng->Bernoulli(options_.missing_cell_prob)) {
+        column.values.emplace_back();
+        continue;
+      }
+      std::string value = factory_.Generate(type, style, intent, rng);
+      if (rng->Bernoulli(options_.typo_prob)) value = ApplyTypo(value, rng);
+      if (rng->Bernoulli(options_.case_noise_prob)) {
+        value = rng->Bernoulli(0.5) ? util::ToUpper(value) : util::ToLower(value);
+      }
+      column.values.push_back(std::move(value));
+    }
+    table.AddColumn(std::move(column));
+  }
+  return table;
+}
+
+std::vector<Table> CorpusGenerator::Generate() const {
+  return GenerateWith(options_.num_tables, options_.seed);
+}
+
+std::vector<Table> CorpusGenerator::GenerateWith(size_t n,
+                                                 uint64_t seed) const {
+  util::Rng rng(seed);
+  std::vector<Table> tables;
+  tables.reserve(n);
+  for (size_t i = 0; i < n; ++i) tables.push_back(GenerateTable(i, &rng));
+  return tables;
+}
+
+std::vector<Table> FilterMultiColumn(const std::vector<Table>& tables) {
+  std::vector<Table> out;
+  for (const Table& t : tables) {
+    if (t.num_columns() > 1) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace sato::corpus

@@ -1,0 +1,80 @@
+#ifndef SATO_CORPUS_GENERATOR_H_
+#define SATO_CORPUS_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/intents.h"
+#include "corpus/value_factory.h"
+#include "table/table.h"
+#include "util/rng.h"
+
+namespace sato::corpus {
+
+/// Parameters of the synthetic WebTables-style corpus (DESIGN.md §1
+/// documents the substitution for the VizNet corpus).
+struct CorpusOptions {
+  /// Total number of tables ("D" in the paper). About half end up
+  /// single-column, mirroring the 80K-total / 33K-multi-column split.
+  size_t num_tables = 2000;
+
+  size_t min_rows = 4;
+  size_t max_rows = 24;
+
+  /// Probability of collapsing a generated table to a single random column
+  /// (singleton tables carry no table context, paper §4.1).
+  double singleton_prob = 0.5;
+
+  /// Probability of one extra column duplicating an existing column's type
+  /// (Fig 6 shows a non-zero co-occurrence diagonal).
+  double duplicate_prob = 0.05;
+
+  /// One random adjacent column swap with this probability, so the CRF sees
+  /// noisy-but-structured adjacency patterns.
+  double column_swap_prob = 0.25;
+
+  // -- dirty-data injection (the robustness the paper targets) ------------
+  double missing_cell_prob = 0.03;   ///< cell replaced by empty string
+  double typo_prob = 0.01;           ///< one adjacent-char swap in the cell
+  double case_noise_prob = 0.04;     ///< whole cell upper/lower-cased
+
+  uint64_t seed = 7;
+};
+
+/// Generates labeled tables by sampling intents and their type sets, then
+/// filling columns through the ValueFactory.
+class CorpusGenerator {
+ public:
+  explicit CorpusGenerator(CorpusOptions options);
+
+  /// Generates options.num_tables labeled tables (the dataset D).
+  std::vector<Table> Generate() const;
+
+  /// Generates `n` tables with a specific seed offset; used to make the
+  /// disjoint LDA pre-training corpus (the paper trains LDA on a separate
+  /// 10K-table set, §4.2).
+  std::vector<Table> GenerateWith(size_t n, uint64_t seed) const;
+
+  const CorpusOptions& options() const { return options_; }
+  const std::vector<IntentSpec>& intents() const { return intents_; }
+
+ private:
+  Table GenerateTable(size_t index, util::Rng* rng) const;
+
+  CorpusOptions options_;
+  std::vector<IntentSpec> intents_;
+  ValueFactory factory_;
+};
+
+/// Returns only the multi-column tables (the dataset D_mult).
+std::vector<Table> FilterMultiColumn(const std::vector<Table>& tables);
+
+/// Produces a noisy raw header for a type ("birthPlace" ->
+/// "Birth Place", "BIRTH PLACE", "birth place (city)", ...) that
+/// canonicalises back to the type name; exercises §4.1 end to end.
+std::string NoisyHeaderForType(TypeId type, util::Rng* rng);
+
+}  // namespace sato::corpus
+
+#endif  // SATO_CORPUS_GENERATOR_H_

@@ -1,0 +1,236 @@
+#include "corpus/intents.h"
+
+#include <unordered_set>
+
+namespace sato::corpus {
+
+namespace {
+
+TypeId T(const char* name) { return TypeIdOrDie(name); }
+
+std::vector<IntentSpec> MakeIntents() {
+  std::vector<IntentSpec> intents;
+
+  intents.push_back(IntentSpec{
+      "sports_roster", 30.0,
+      {T("name"), T("age"), T("position")},
+      {{T("team"), 0.7}, {T("weight"), 0.5}, {T("status"), 0.3},
+       {T("nationality"), 0.25}, {T("club"), 0.3}, {T("result"), 0.25},
+       {T("gender"), 0.15}, {T("notes"), 0.2}},
+      {"season", "league", "roster", "match", "player", "coach", "squad",
+       "fixture", "training", "captain", "transfer", "lineup"}});
+
+  intents.push_back(IntentSpec{
+      "sports_standings", 22.0,
+      {T("team"), T("rank"), T("plays"), T("result")},
+      {{T("year"), 0.4}, {T("club"), 0.3}, {T("teamName"), 0.45},
+       {T("status"), 0.2}, {T("order"), 0.25}},
+      {"standings", "league", "points", "season", "wins", "losses",
+       "division", "conference", "playoff", "streak", "table"}});
+
+  intents.push_back(IntentSpec{
+      "biography", 16.0,
+      {T("name"), T("birthDate"), T("birthPlace")},
+      {{T("nationality"), 0.5}, {T("age"), 0.3}, {T("notes"), 0.35},
+       {T("person"), 0.25}, {T("religion"), 0.18}, {T("education"), 0.22},
+       {T("position"), 0.2}},
+      {"born", "died", "life", "career", "famous", "history", "influential",
+       "biography", "legacy", "era", "notable", "historian"}});
+
+  intents.push_back(IntentSpec{
+      "cities_geo", 12.0,
+      {T("city"), T("country")},
+      {{T("state"), 0.3}, {T("area"), 0.4}, {T("elevation"), 0.4},
+       {T("region"), 0.3}, {T("continent"), 0.3}, {T("year"), 0.2}},
+      {"geography", "capital", "municipal", "metro", "census", "urban",
+       "district", "population", "settlement", "province", "mayor"}});
+
+  intents.push_back(IntentSpec{
+      "product_catalog", 14.0,
+      {T("product"), T("brand"), T("category")},
+      {{T("manufacturer"), 0.4}, {T("code"), 0.4}, {T("status"), 0.2},
+       {T("description"), 0.55}, {T("sales"), 0.25}, {T("type"), 0.4}},
+      {"catalog", "price", "warranty", "retail", "stock", "discount",
+       "shipping", "inventory", "sku", "wholesale", "bestseller"}});
+
+  intents.push_back(IntentSpec{
+      "business_directory", 10.0,
+      {T("company"), T("industry")},
+      {{T("address"), 0.4}, {T("city"), 0.3}, {T("state"), 0.3},
+       {T("symbol"), 0.35}, {T("description"), 0.45}, {T("owner"), 0.3},
+       {T("service"), 0.3}},
+      {"business", "revenue", "firm", "enterprise", "market", "founded",
+       "headquarters", "employees", "profit", "corporate", "subsidiary"}});
+
+  intents.push_back(IntentSpec{
+      "music_releases", 8.0,
+      {T("artist"), T("album")},
+      {{T("year"), 0.5}, {T("genre"), 0.5}, {T("format"), 0.4},
+       {T("duration"), 0.4}, {T("publisher"), 0.3}, {T("notes"), 0.2},
+       {T("plays"), 0.25}},
+      {"album", "track", "studio", "release", "chart", "record", "single",
+       "tour", "billboard", "vocals", "producer", "remaster"}});
+
+  intents.push_back(IntentSpec{
+      "book_catalog", 6.0,
+      {T("isbn"), T("publisher")},
+      {{T("creator"), 0.5}, {T("year"), 0.4}, {T("format"), 0.4},
+       {T("sales"), 0.3}, {T("symbol"), 0.3}, {T("company"), 0.35},
+       {T("language"), 0.3}, {T("description"), 0.3}},
+      {"book", "edition", "magazine", "press", "title", "author", "volume",
+       "paperback", "hardcover", "chapter", "manuscript", "print"}});
+
+  intents.push_back(IntentSpec{
+      "horse_racing", 3.5,
+      {T("jockey"), T("result")},
+      {{T("rank"), 0.4}, {T("age"), 0.35}, {T("weight"), 0.5},
+       {T("club"), 0.2}, {T("order"), 0.35}, {T("status"), 0.2}},
+      {"race", "derby", "furlong", "odds", "track", "stakes", "trainer",
+       "thoroughbred", "handicap", "paddock", "gallop"}});
+
+  intents.push_back(IntentSpec{
+      "file_listing", 3.0,
+      {T("fileSize"), T("format")},
+      {{T("code"), 0.3}, {T("day"), 0.3}, {T("command"), 0.35},
+       {T("description"), 0.3}, {T("order"), 0.2}, {T("type"), 0.3}},
+      {"file", "download", "archive", "directory", "upload", "backup",
+       "folder", "mirror", "checksum", "compressed", "release"}});
+
+  intents.push_back(IntentSpec{
+      "flights_transport", 4.0,
+      {T("code"), T("status")},
+      {{T("day"), 0.4}, {T("duration"), 0.4}, {T("city"), 0.5},
+       {T("operator"), 0.45}, {T("notes"), 0.2}},
+      {"flight", "departure", "arrival", "gate", "terminal", "airline",
+       "runway", "boarding", "schedule", "route", "aircraft"}});
+
+  intents.push_back(IntentSpec{
+      "education_records", 4.0,
+      {T("grades"), T("class")},
+      {{T("credit"), 0.45}, {T("name"), 0.5}, {T("education"), 0.35},
+       {T("language"), 0.25}, {T("requirement"), 0.3}, {T("year"), 0.2}},
+      {"course", "semester", "exam", "student", "campus", "syllabus",
+       "lecture", "faculty", "enrollment", "transcript", "tuition"}});
+
+  intents.push_back(IntentSpec{
+      "biology_taxonomy", 1.5,
+      {T("species"), T("family")},
+      {{T("classification"), 0.45}, {T("class"), 0.3}, {T("origin"), 0.35},
+       {T("status"), 0.25}, {T("region"), 0.25}, {T("type"), 0.3}},
+      {"taxonomy", "habitat", "specimen", "conservation", "genus",
+       "wildlife", "endemic", "breeding", "flora", "fauna", "herbarium"}});
+
+  intents.push_back(IntentSpec{
+      "org_membership", 1.2,
+      {T("organisation"), T("affiliation")},
+      {{T("person"), 0.4}, {T("country"), 0.35}, {T("affiliate"), 0.45},
+       {T("category"), 0.2}, {T("religion"), 0.2}, {T("status"), 0.2}},
+      {"association", "federation", "member", "chapter", "charter",
+       "council", "committee", "delegate", "assembly", "union", "branch"}});
+
+  intents.push_back(IntentSpec{
+      "finance_markets", 3.5,
+      {T("symbol"), T("currency")},
+      {{T("sales"), 0.3}, {T("company"), 0.5}, {T("code"), 0.3},
+       {T("credit"), 0.3}, {T("range"), 0.35}, {T("year"), 0.2}},
+      {"exchange", "trading", "stock", "dividend", "index", "portfolio",
+       "equity", "bond", "yield", "broker", "futures", "ticker"}});
+
+  intents.push_back(IntentSpec{
+      "geography_features", 2.5,
+      {T("location"), T("elevation")},
+      {{T("depth"), 0.45}, {T("area"), 0.4}, {T("region"), 0.4},
+       {T("county"), 0.3}, {T("range"), 0.35}, {T("continent"), 0.25}},
+      {"mountain", "river", "lake", "peak", "survey", "glacier", "valley",
+       "basin", "plateau", "summit", "terrain", "ridge"}});
+
+  intents.push_back(IntentSpec{
+      "hardware_parts", 2.0,
+      {T("component"), T("manufacturer")},
+      {{T("code"), 0.4}, {T("weight"), 0.3}, {T("capacity"), 0.35},
+       {T("product"), 0.25}, {T("requirement"), 0.2}, {T("brand"), 0.25},
+       {T("type"), 0.3}},
+      {"assembly", "spare", "machine", "spec", "torque", "voltage",
+       "tolerance", "fitting", "maintenance", "warranty", "industrial"}});
+
+  intents.push_back(IntentSpec{
+      "events_schedule", 5.0,
+      {T("day"), T("location")},
+      {{T("duration"), 0.4}, {T("notes"), 0.4}, {T("service"), 0.3},
+       {T("status"), 0.3}, {T("address"), 0.35}, {T("year"), 0.2}},
+      {"event", "schedule", "venue", "ticket", "festival", "concert",
+       "workshop", "registration", "program", "session", "opening"}});
+
+  intents.push_back(IntentSpec{
+      "demographics", 2.5,
+      {T("age"), T("sex")},
+      {{T("gender"), 0.35}, {T("nationality"), 0.3}, {T("education"), 0.3},
+       {T("religion"), 0.25}, {T("county"), 0.25}, {T("ranking"), 0.2}},
+      {"survey", "census", "population", "household", "median", "income",
+       "respondent", "sample", "demographic", "cohort", "percentile"}});
+
+  intents.push_back(IntentSpec{
+      "media_library", 2.0,
+      {T("collection"), T("genre")},
+      {{T("creator"), 0.45}, {T("format"), 0.4}, {T("year"), 0.3},
+       {T("description"), 0.3}, {T("plays"), 0.35}, {T("language"), 0.25},
+       {T("type"), 0.25}},
+      {"library", "gallery", "exhibit", "catalog", "curator", "archive",
+       "acquisition", "restoration", "collection", "donor", "display"}});
+
+  intents.push_back(IntentSpec{
+      "rankings_list", 5.0,
+      {T("ranking"), T("name")},
+      {{T("sales"), 0.3}, {T("country"), 0.35}, {T("person"), 0.3},
+       {T("capacity"), 0.2}, {T("order"), 0.3}, {T("notes"), 0.2}},
+      {"top", "best", "list", "rating", "review", "score", "annual",
+       "awards", "editors", "votes", "poll", "critics"}});
+
+  intents.push_back(IntentSpec{
+      "tech_ops", 1.0,
+      {T("command"), T("requirement")},
+      {{T("service"), 0.4}, {T("status"), 0.4}, {T("code"), 0.3},
+       {T("notes"), 0.3}, {T("operator"), 0.35}, {T("fileSize"), 0.25}},
+      {"server", "deploy", "admin", "shell", "config", "cluster", "daemon",
+       "uptime", "monitoring", "kernel", "release", "patch"}});
+
+  intents.push_back(IntentSpec{
+      "venues", 1.8,
+      {T("capacity"), T("address")},
+      {{T("city"), 0.5}, {T("teamName"), 0.45}, {T("owner"), 0.35},
+       {T("club"), 0.3}, {T("county"), 0.25}, {T("year"), 0.25}},
+      {"stadium", "arena", "seats", "venue", "grandstand", "pitch",
+       "tenant", "renovation", "attendance", "turf", "concourse"}});
+
+  intents.push_back(IntentSpec{
+      "movies", 1.2,
+      {T("director"), T("genre")},
+      {{T("year"), 0.5}, {T("creator"), 0.3}, {T("duration"), 0.4},
+       {T("description"), 0.35}, {T("company"), 0.3}, {T("language"), 0.25}},
+      {"film", "cinema", "premiere", "box", "office", "screenplay", "cast",
+       "trailer", "sequel", "studio", "festival", "critics"}});
+
+  return intents;
+}
+
+}  // namespace
+
+const std::vector<IntentSpec>& BuiltinIntents() {
+  static const std::vector<IntentSpec> intents = MakeIntents();
+  return intents;
+}
+
+std::vector<TypeId> UnreachableTypes(const std::vector<IntentSpec>& intents) {
+  std::unordered_set<TypeId> reachable;
+  for (const auto& intent : intents) {
+    for (TypeId t : intent.core) reachable.insert(t);
+    for (const auto& [t, p] : intent.optional) reachable.insert(t);
+  }
+  std::vector<TypeId> missing;
+  for (TypeId t = 0; t < kNumSemanticTypes; ++t) {
+    if (!reachable.count(t)) missing.push_back(t);
+  }
+  return missing;
+}
+
+}  // namespace sato::corpus

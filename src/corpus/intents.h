@@ -1,0 +1,44 @@
+#ifndef SATO_CORPUS_INTENTS_H_
+#define SATO_CORPUS_INTENTS_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "table/semantic_type.h"
+
+namespace sato::corpus {
+
+/// A *table intent* (paper §3.2): the latent theme a table's creator had in
+/// mind. The intent determines which semantic types appear (and in what
+/// typical order), and flavours the table's free-text columns with theme
+/// vocabulary -- the signal the LDA table-intent estimator picks up.
+struct IntentSpec {
+  /// Identifier, e.g. "biography".
+  std::string name;
+
+  /// Relative sampling weight; heavier intents dominate the corpus and give
+  /// their types the head of the Figure 5 long tail.
+  double weight = 1.0;
+
+  /// Types that always appear, in their typical column order.
+  std::vector<TypeId> core;
+
+  /// Optional types with independent inclusion probabilities.
+  std::vector<std::pair<TypeId, double>> optional;
+
+  /// Theme vocabulary injected into description/notes/caption-like values.
+  std::vector<std::string> theme_words;
+};
+
+/// The built-in intent catalogue (24 intents covering all 78 types).
+const std::vector<IntentSpec>& BuiltinIntents();
+
+/// Validation helper: every registry type is reachable from some intent.
+/// Returns the list of unreachable type ids (empty when the catalogue is
+/// complete).
+std::vector<TypeId> UnreachableTypes(const std::vector<IntentSpec>& intents);
+
+}  // namespace sato::corpus
+
+#endif  // SATO_CORPUS_INTENTS_H_

@@ -1,0 +1,405 @@
+#include "corpus/lexicons.h"
+
+namespace sato::corpus {
+
+namespace {
+
+using sv = std::string_view;
+
+constexpr sv kFirstNames[] = {
+    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael",
+    "Linda", "David", "Elizabeth", "William", "Barbara", "Richard", "Susan",
+    "Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen", "Lucas",
+    "Nancy", "Henry", "Lisa", "Oliver", "Betty", "Leo", "Margaret", "Arthur",
+    "Sandra", "Felix", "Ashley", "Hugo", "Dorothy", "Oscar", "Kimberly",
+    "Victor", "Emily", "Walter", "Donna", "Marco", "Michelle", "Pierre",
+    "Carol", "Hans", "Amanda", "Yuki", "Melissa", "Ravi", "Deborah", "Chen",
+    "Stephanie", "Ivan", "Rebecca", "Omar", "Sharon", "Kofi", "Laura",
+    "Niels", "Cynthia", "Stefan", "Kathleen", "Pablo", "Amy", "Igor",
+    "Angela", "Bruno", "Helen", "Andre", "Anna",
+};
+
+constexpr sv kLastNames[] = {
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+    "Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+    "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
+    "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King",
+    "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green",
+    "Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
+    "Carter", "Roberts", "Kowalski", "Novak", "Fischer", "Weber", "Rossi",
+    "Ferrari", "Tanaka", "Sato", "Suzuki", "Kim", "Park", "Singh", "Patel",
+    "Ivanov", "Petrov", "Dubois", "Moreau", "Silva", "Santos", "Costa",
+};
+
+constexpr sv kCities[] = {
+    "Florence", "Warsaw", "London", "Braunschweig", "Paris", "Berlin",
+    "Madrid", "Rome", "Vienna", "Prague", "Budapest", "Amsterdam",
+    "Brussels", "Lisbon", "Dublin", "Copenhagen", "Stockholm", "Oslo",
+    "Helsinki", "Athens", "Zurich", "Geneva", "Munich", "Hamburg",
+    "Frankfurt", "Cologne", "Milan", "Naples", "Turin", "Barcelona",
+    "Valencia", "Seville", "Porto", "Krakow", "Gdansk", "Brno", "Graz",
+    "Lyon", "Marseille", "Toulouse", "Bordeaux", "Rotterdam", "Antwerp",
+    "Ghent", "Basel", "Bern", "New York", "Chicago", "Boston", "Seattle",
+    "Denver", "Austin", "Portland", "Toronto", "Montreal", "Vancouver",
+    "Tokyo", "Osaka", "Kyoto", "Seoul", "Singapore", "Sydney", "Melbourne",
+    "Auckland", "Cairo", "Nairobi", "Lagos", "Mumbai", "Delhi", "Shanghai",
+    "Beijing", "Springfield", "Richmond", "Georgetown", "Salem", "Dover",
+};
+
+constexpr sv kCountries[] = {
+    "Italy", "Poland", "England", "Germany", "France", "Spain", "Austria",
+    "Czechia", "Hungary", "Netherlands", "Belgium", "Portugal", "Ireland",
+    "Denmark", "Sweden", "Norway", "Finland", "Greece", "Switzerland",
+    "United States", "Canada", "Japan", "South Korea", "Singapore",
+    "Australia", "New Zealand", "Egypt", "Kenya", "Nigeria", "India",
+    "China", "Brazil", "Argentina", "Chile", "Mexico", "Peru", "Colombia",
+    "Turkey", "Russia", "Ukraine", "Romania", "Bulgaria", "Croatia",
+    "Serbia", "Slovakia", "Slovenia", "Estonia", "Latvia", "Lithuania",
+    "Iceland", "Scotland", "Wales",
+};
+
+constexpr sv kNationalities[] = {
+    "Italian", "Polish", "English", "German", "French", "Spanish",
+    "Austrian", "Czech", "Hungarian", "Dutch", "Belgian", "Portuguese",
+    "Irish", "Danish", "Swedish", "Norwegian", "Finnish", "Greek", "Swiss",
+    "American", "Canadian", "Japanese", "Korean", "Singaporean",
+    "Australian", "Egyptian", "Kenyan", "Nigerian", "Indian", "Chinese",
+    "Brazilian", "Argentine", "Chilean", "Mexican", "Peruvian", "Colombian",
+    "Turkish", "Russian", "Ukrainian", "Romanian", "Bulgarian", "Croatian",
+    "Serbian", "Slovak", "Slovenian", "Estonian", "Latvian", "Lithuanian",
+    "Icelandic", "Scottish", "Welsh",
+};
+
+constexpr sv kContinents[] = {
+    "Europe", "Asia", "Africa", "North America", "South America", "Oceania",
+    "Antarctica",
+};
+
+constexpr sv kStates[] = {
+    "Alabama", "Alaska", "Arizona", "Arkansas", "California", "Colorado",
+    "Connecticut", "Delaware", "Florida", "Georgia", "Hawaii", "Idaho",
+    "Illinois", "Indiana", "Iowa", "Kansas", "Kentucky", "Louisiana",
+    "Maine", "Maryland", "Massachusetts", "Michigan", "Minnesota",
+    "Mississippi", "Missouri", "Montana", "Nebraska", "Nevada",
+    "New Hampshire", "New Jersey", "New Mexico", "North Carolina", "Ohio",
+    "Oklahoma", "Oregon", "Pennsylvania", "Rhode Island", "South Carolina",
+    "Tennessee", "Texas", "Utah", "Vermont", "Virginia", "Washington",
+    "Wisconsin", "Wyoming", "NY", "CA", "TX", "WA", "OR", "IL",
+};
+
+constexpr sv kCounties[] = {
+    "Cook County", "Harris County", "Maricopa County", "San Diego County",
+    "Orange County", "Kings County", "Dallas County", "Clark County",
+    "Queens County", "Wayne County", "Bexar County", "Broward County",
+    "Essex", "Kent", "Surrey", "Hampshire", "Norfolk", "Suffolk",
+    "Yorkshire", "Lancashire", "Devon", "Cornwall", "Somerset", "Dorset",
+    "Cumbria", "Durham", "Cheshire", "Derbyshire", "Wiltshire", "Oxfordshire",
+};
+
+constexpr sv kRegions[] = {
+    "Tuscany", "Bavaria", "Catalonia", "Andalusia", "Provence", "Brittany",
+    "Normandy", "Lombardy", "Piedmont", "Silesia", "Moravia", "Flanders",
+    "Wallonia", "Scandinavia", "Midwest", "New England", "Pacific Northwest",
+    "Deep South", "Great Plains", "Outback", "Highlands", "Lowlands",
+    "Riviera", "Balkans", "Baltics", "Patagonia", "Amazonia", "Sahel",
+};
+
+constexpr sv kLanguages[] = {
+    "English", "German", "French", "Spanish", "Italian", "Portuguese",
+    "Dutch", "Polish", "Czech", "Hungarian", "Greek", "Swedish", "Danish",
+    "Norwegian", "Finnish", "Russian", "Ukrainian", "Turkish", "Arabic",
+    "Hebrew", "Hindi", "Bengali", "Mandarin", "Cantonese", "Japanese",
+    "Korean", "Vietnamese", "Thai", "Swahili", "Yoruba", "Zulu", "Latin",
+};
+
+constexpr sv kReligions[] = {
+    "Christianity", "Islam", "Hinduism", "Buddhism", "Judaism", "Sikhism",
+    "Jainism", "Shinto", "Taoism", "Zoroastrianism", "Catholic",
+    "Protestant", "Orthodox", "Methodist", "Baptist", "Lutheran",
+};
+
+constexpr sv kCompanies[] = {
+    "Acme Corporation", "Globex Industries", "Initech", "Umbrella Holdings",
+    "Stark Manufacturing", "Wayne Enterprises", "Wonka Foods",
+    "Tyrell Systems", "Cyberdyne Labs", "Soylent Foods", "Vandelay Imports",
+    "Hooli", "Pied Piper", "Aviato", "Dunder Mifflin", "Sterling Cooper",
+    "Bluth Development", "Oceanic Airlines", "Virtucon", "Zorin Industries",
+    "Nakatomi Trading", "Weyland Logistics", "Gekko Capital",
+    "Duff Beverages", "Oscorp Technologies", "Massive Dynamic",
+    "Veridian Dynamics", "Prestige Worldwide", "Paper Street Soap",
+    "Gringotts Finance", "Monarch Solutions", "Abstergo Group",
+    "Aperture Science", "Black Mesa Research", "Octan Energy",
+    "Sirius Cybernetics", "MomCorp", "Planet Express", "Buy n Large",
+    "InGen Biosciences",
+};
+
+constexpr sv kTeams[] = {
+    "Eagles", "Tigers", "Lions", "Bears", "Wolves", "Hawks", "Falcons",
+    "Panthers", "Sharks", "Dolphins", "Bulls", "Rams", "Colts", "Broncos",
+    "Chargers", "Raiders", "Jets", "Giants", "Titans", "Vikings",
+    "Spartans", "Trojans", "Warriors", "Knights", "Pirates", "Rangers",
+    "Rockets", "Comets", "Thunder", "Lightning", "Hurricanes", "Cyclones",
+    "Avalanche", "Blizzard", "Storm", "Flames", "Suns", "Stars",
+};
+
+constexpr sv kClubs[] = {
+    "Riverside Rovers", "Northgate United", "Southport FC", "Eastwood Athletic",
+    "Westfield Wanderers", "Hillcrest City", "Lakeside Albion",
+    "Oakmont Rangers", "Maplewood Town", "Brookfield County FC",
+    "Harborview FC", "Summit United", "Valley Forge SC", "Ironbridge FC",
+    "Kingsport Athletic", "Queensbury FC", "Ashford Rovers", "Millbrook City",
+    "Fairhaven United", "Stonegate SC", "Redcliff Albion", "Whitewater FC",
+    "Greenfield Town", "Bluehaven Rovers", "Silverlake United",
+};
+
+constexpr sv kBrands[] = {
+    "Zephyr", "Nimbus", "Aurora", "Vertex", "Quantum", "Solstice",
+    "Meridian", "Polaris", "Titanium", "Obsidian", "Cascade", "Horizon",
+    "Velocity", "Eclipse", "Radiant", "Summit", "Pinnacle", "Catalyst",
+    "Element", "Fusion", "Matrix", "Vortex", "Zenith", "Apex", "Nova",
+};
+
+constexpr sv kProducts[] = {
+    "UltraWidget 3000", "PowerDrill X2", "SmartKettle Pro", "AeroVac Lite",
+    "TurboBlender Max", "EcoLamp Mini", "FlexChair Plus", "RapidCharger 45W",
+    "CrystalScreen 27", "SoundPod Air", "ThermoMug Steel", "GlideMouse S",
+    "TypeMaster Keyboard", "VisionCam 4K", "PureFilter Jug", "SwiftRouter AX",
+    "CozyHeater 1500", "BrightBeam Torch", "AquaPump 12V", "TrailPack 40L",
+    "SilentFan Desk", "SparkGrill Duo", "FreshBrew Drip", "LumenStrip LED",
+};
+
+constexpr sv kManufacturers[] = {
+    "Northwind Works", "Ironclad Tools", "Precision Dynamics",
+    "Atlas Machinery", "Orion Fabrication", "Sterling Metalworks",
+    "Everest Instruments", "Falcon Assembly", "Granite Industrial",
+    "Helix Components", "Keystone Plants", "Liberty Castings",
+    "Magnolia Mills", "Neptune Marine", "Pioneer Engines", "Quarry Heavy",
+    "Redwood Equipment", "Sequoia Motors", "Tundra Machines", "Vulcan Forge",
+};
+
+constexpr sv kPublishers[] = {
+    "Harborlight Press", "Bluestone Books", "Cedar Grove Publishing",
+    "Daybreak Editions", "Emberwick House", "Foxglove Press",
+    "Gaslight Media", "Hawthorn Publishing", "Inkwell House",
+    "Juniper Books", "Kestrel Press", "Lanternfish Editions",
+    "Mulberry House", "Nightingale Press", "Oakleaf Media",
+    "Paperbark Press", "Quill and Crown", "Rosewood Publishing",
+};
+
+constexpr sv kAlbums[] = {
+    "Midnight Echoes", "Paper Skies", "Glass Harbor", "Neon Rivers",
+    "Quiet Thunder", "Golden Static", "Velvet Morning", "Broken Compass",
+    "Silver Lining", "Electric Garden", "Fading Maps", "Hollow Crown",
+    "Winter Postcards", "Amber Waves", "Crimson Tide Songs", "Lunar Dust",
+    "Saltwater Heart", "Gravel Road Hymns", "Porcelain Dreams",
+    "Static Bloom", "Iron Lullaby", "Cobalt Summer",
+};
+
+constexpr sv kGenres[] = {
+    "Rock", "Pop", "Jazz", "Blues", "Classical", "Folk", "Country",
+    "Electronic", "Hip Hop", "Reggae", "Soul", "Funk", "Metal", "Punk",
+    "Indie", "Ambient", "Techno", "House", "Opera", "Gospel", "Latin",
+    "Drama", "Comedy", "Thriller", "Documentary", "Animation",
+};
+
+constexpr sv kSpecies[] = {
+    "Panthera leo", "Panthera tigris", "Canis lupus", "Ursus arctos",
+    "Felis catus", "Equus caballus", "Bos taurus", "Ovis aries",
+    "Sus scrofa", "Gallus gallus", "Anas platyrhynchos", "Aquila chrysaetos",
+    "Falco peregrinus", "Corvus corax", "Passer domesticus",
+    "Salmo salar", "Thunnus thynnus", "Carcharodon carcharias",
+    "Balaenoptera musculus", "Tursiops truncatus", "Apis mellifera",
+    "Danaus plexippus", "Quercus robur", "Pinus sylvestris",
+    "Acer saccharum", "Betula pendula", "Rosa canina", "Tulipa gesneriana",
+};
+
+constexpr sv kTaxonomicFamilies[] = {
+    "Felidae", "Canidae", "Ursidae", "Equidae", "Bovidae", "Suidae",
+    "Phasianidae", "Anatidae", "Accipitridae", "Falconidae", "Corvidae",
+    "Passeridae", "Salmonidae", "Scombridae", "Lamnidae", "Balaenopteridae",
+    "Delphinidae", "Apidae", "Nymphalidae", "Fagaceae", "Pinaceae",
+    "Sapindaceae", "Betulaceae", "Rosaceae", "Liliaceae",
+};
+
+constexpr sv kComponents[] = {
+    "engine", "gearbox", "radiator", "alternator", "crankshaft", "piston",
+    "camshaft", "turbocharger", "injector", "manifold", "axle", "chassis",
+    "suspension", "brake caliper", "clutch", "flywheel", "driveshaft",
+    "motherboard", "processor", "heatsink", "power supply", "capacitor",
+    "resistor", "transformer", "compressor", "condenser", "evaporator",
+    "impeller", "bearing", "gasket", "valve", "solenoid", "actuator",
+};
+
+constexpr sv kCommands[] = {
+    "ls", "cd", "mkdir", "rmdir", "cp", "mv", "rm", "cat", "grep", "find",
+    "chmod", "chown", "tar", "gzip", "ssh", "scp", "curl", "wget", "ping",
+    "netstat", "ps", "kill", "top", "df", "du", "mount", "umount", "sed",
+    "awk", "sort", "uniq", "head", "tail", "diff", "patch", "make",
+};
+
+constexpr sv kServices[] = {
+    "consulting", "maintenance", "installation", "delivery", "catering",
+    "cleaning", "landscaping", "plumbing", "roofing", "painting",
+    "accounting", "auditing", "legal counsel", "translation", "tutoring",
+    "web hosting", "data backup", "IT support", "security monitoring",
+    "payroll processing", "recruiting", "training", "logistics", "storage",
+};
+
+constexpr sv kIndustries[] = {
+    "Agriculture", "Automotive", "Banking", "Biotechnology", "Chemicals",
+    "Construction", "Education", "Energy", "Entertainment", "Fashion",
+    "Finance", "Food Processing", "Healthcare", "Hospitality", "Insurance",
+    "Logistics", "Manufacturing", "Media", "Mining", "Pharmaceuticals",
+    "Real Estate", "Retail", "Software", "Telecommunications", "Textiles",
+    "Tourism", "Transportation", "Utilities",
+};
+
+constexpr sv kEducationLevels[] = {
+    "High School Diploma", "Associate Degree", "Bachelor of Arts",
+    "Bachelor of Science", "Master of Arts", "Master of Science", "MBA",
+    "PhD", "Doctorate", "Postdoctoral", "Vocational Certificate",
+    "Some College", "Elementary", "Secondary", "Undergraduate", "Graduate",
+};
+
+constexpr sv kStatuses[] = {
+    "active", "inactive", "pending", "approved", "rejected", "completed",
+    "in progress", "on hold", "cancelled", "archived", "draft", "published",
+    "open", "closed", "suspended", "expired", "retired", "injured",
+    "available", "unavailable",
+};
+
+constexpr sv kResults[] = {
+    "W", "L", "D", "win", "loss", "draw", "won", "lost", "tied", "1-0",
+    "2-1", "3-2", "0-0", "2-2", "4-1", "pass", "fail", "qualified",
+    "eliminated", "DNF", "DQ", "advanced", "retired",
+};
+
+constexpr sv kFormats[] = {
+    "PDF", "CSV", "XML", "JSON", "HTML", "TXT", "DOCX", "XLSX", "PNG",
+    "JPEG", "GIF", "MP3", "MP4", "WAV", "AVI", "ZIP", "EPUB", "Hardcover",
+    "Paperback", "Kindle", "Audiobook", "Vinyl", "CD", "Cassette",
+    "Digital", "Streaming",
+};
+
+constexpr sv kCategories[] = {
+    "electronics", "furniture", "clothing", "footwear", "appliances",
+    "toys", "books", "music", "sports", "outdoor", "garden", "kitchen",
+    "bathroom", "office", "automotive", "beauty", "health", "grocery",
+    "jewelry", "pet supplies", "hardware", "lighting", "stationery",
+};
+
+constexpr sv kClasses[] = {
+    "A", "B", "C", "D", "E", "Class A", "Class B", "Class C", "first",
+    "second", "third", "economy", "business", "premium", "standard",
+    "deluxe", "junior", "senior", "open", "amateur", "professional",
+    "lightweight", "middleweight", "heavyweight",
+};
+
+constexpr sv kCollections[] = {
+    "Spring Collection", "Summer Collection", "Autumn Collection",
+    "Winter Collection", "Heritage Series", "Signature Line",
+    "Limited Edition", "Classic Archive", "Modern Essentials",
+    "Vintage Reserve", "Anniversary Set", "Designer Capsule",
+    "Artist Series", "Founders Collection", "Urban Line", "Coastal Series",
+};
+
+constexpr sv kCurrencies[] = {
+    "US Dollar", "Euro", "British Pound", "Japanese Yen", "Swiss Franc",
+    "Canadian Dollar", "Australian Dollar", "Chinese Yuan", "Indian Rupee",
+    "Brazilian Real", "Mexican Peso", "Russian Ruble", "Korean Won",
+    "Swedish Krona", "Norwegian Krone", "Danish Krone", "Polish Zloty",
+    "Czech Koruna", "Turkish Lira", "South African Rand",
+};
+
+constexpr sv kCurrencyCodes[] = {
+    "USD", "EUR", "GBP", "JPY", "CHF", "CAD", "AUD", "CNY", "INR", "BRL",
+    "MXN", "RUB", "KRW", "SEK", "NOK", "DKK", "PLN", "CZK", "TRY", "ZAR",
+};
+
+constexpr sv kDays[] = {
+    "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday",
+    "Sunday", "Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun",
+};
+
+constexpr sv kMonths[] = {
+    "January", "February", "March", "April", "May", "June", "July",
+    "August", "September", "October", "November", "December",
+};
+
+constexpr sv kPositions[] = {
+    "goalkeeper", "defender", "midfielder", "forward", "striker", "winger",
+    "pitcher", "catcher", "shortstop", "outfielder", "quarterback",
+    "linebacker", "center", "guard", "manager", "director", "analyst",
+    "engineer", "intern", "associate", "vice president", "consultant",
+    "coordinator", "specialist", "technician", "supervisor",
+};
+
+constexpr sv kRequirements[] = {
+    "valid passport", "driver license", "background check", "minimum age 18",
+    "minimum age 21", "two references", "proof of residence",
+    "health certificate", "safety training", "first aid certification",
+    "security clearance", "signed waiver", "deposit required",
+    "advance booking", "membership card", "prior experience",
+    "fluent English", "work permit",
+};
+
+constexpr sv kGenericWords[] = {
+    "annual", "report", "summary", "overview", "total", "average", "record",
+    "official", "regional", "national", "local", "general", "public",
+    "final", "current", "previous", "estimated", "approved", "standard",
+    "updated", "complete", "partial", "primary", "secondary", "special",
+    "daily", "weekly", "monthly", "quarterly", "seasonal", "historical",
+};
+
+}  // namespace
+
+#define SATO_LEXICON_ACCESSOR(Name, array)                       \
+  std::span<const std::string_view> Lexicons::Name() {           \
+    return std::span<const std::string_view>(array);             \
+  }
+
+SATO_LEXICON_ACCESSOR(FirstNames, kFirstNames)
+SATO_LEXICON_ACCESSOR(LastNames, kLastNames)
+SATO_LEXICON_ACCESSOR(Cities, kCities)
+SATO_LEXICON_ACCESSOR(Countries, kCountries)
+SATO_LEXICON_ACCESSOR(Nationalities, kNationalities)
+SATO_LEXICON_ACCESSOR(Continents, kContinents)
+SATO_LEXICON_ACCESSOR(States, kStates)
+SATO_LEXICON_ACCESSOR(Counties, kCounties)
+SATO_LEXICON_ACCESSOR(Regions, kRegions)
+SATO_LEXICON_ACCESSOR(Languages, kLanguages)
+SATO_LEXICON_ACCESSOR(Religions, kReligions)
+SATO_LEXICON_ACCESSOR(Companies, kCompanies)
+SATO_LEXICON_ACCESSOR(Teams, kTeams)
+SATO_LEXICON_ACCESSOR(Clubs, kClubs)
+SATO_LEXICON_ACCESSOR(Brands, kBrands)
+SATO_LEXICON_ACCESSOR(Products, kProducts)
+SATO_LEXICON_ACCESSOR(Manufacturers, kManufacturers)
+SATO_LEXICON_ACCESSOR(Publishers, kPublishers)
+SATO_LEXICON_ACCESSOR(Albums, kAlbums)
+SATO_LEXICON_ACCESSOR(Genres, kGenres)
+SATO_LEXICON_ACCESSOR(Species, kSpecies)
+SATO_LEXICON_ACCESSOR(TaxonomicFamilies, kTaxonomicFamilies)
+SATO_LEXICON_ACCESSOR(Components, kComponents)
+SATO_LEXICON_ACCESSOR(Commands, kCommands)
+SATO_LEXICON_ACCESSOR(Services, kServices)
+SATO_LEXICON_ACCESSOR(Industries, kIndustries)
+SATO_LEXICON_ACCESSOR(EducationLevels, kEducationLevels)
+SATO_LEXICON_ACCESSOR(Statuses, kStatuses)
+SATO_LEXICON_ACCESSOR(Results, kResults)
+SATO_LEXICON_ACCESSOR(Formats, kFormats)
+SATO_LEXICON_ACCESSOR(Categories, kCategories)
+SATO_LEXICON_ACCESSOR(Classes, kClasses)
+SATO_LEXICON_ACCESSOR(Collections, kCollections)
+SATO_LEXICON_ACCESSOR(Currencies, kCurrencies)
+SATO_LEXICON_ACCESSOR(CurrencyCodes, kCurrencyCodes)
+SATO_LEXICON_ACCESSOR(Days, kDays)
+SATO_LEXICON_ACCESSOR(Months, kMonths)
+SATO_LEXICON_ACCESSOR(Positions, kPositions)
+SATO_LEXICON_ACCESSOR(Requirements, kRequirements)
+SATO_LEXICON_ACCESSOR(GenericWords, kGenericWords)
+
+#undef SATO_LEXICON_ACCESSOR
+
+}  // namespace sato::corpus

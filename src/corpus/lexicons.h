@@ -1,0 +1,61 @@
+#ifndef SATO_CORPUS_LEXICONS_H_
+#define SATO_CORPUS_LEXICONS_H_
+
+#include <span>
+#include <string_view>
+
+namespace sato::corpus {
+
+/// Shared string pools backing the synthetic value generators.
+///
+/// The pools are deliberately *shared across semantic types* to reproduce
+/// the central ambiguity of the paper (Fig 1): a column holding 'Florence',
+/// 'Warsaw', 'London' may be a `city`, a `birthPlace`, or a `location` --
+/// only table context disambiguates. Pools are plain static arrays so the
+/// corpus is fully deterministic and dependency-free.
+struct Lexicons {
+  static std::span<const std::string_view> FirstNames();
+  static std::span<const std::string_view> LastNames();
+  static std::span<const std::string_view> Cities();
+  static std::span<const std::string_view> Countries();
+  static std::span<const std::string_view> Nationalities();
+  static std::span<const std::string_view> Continents();
+  static std::span<const std::string_view> States();
+  static std::span<const std::string_view> Counties();
+  static std::span<const std::string_view> Regions();
+  static std::span<const std::string_view> Languages();
+  static std::span<const std::string_view> Religions();
+  static std::span<const std::string_view> Companies();
+  static std::span<const std::string_view> Teams();
+  static std::span<const std::string_view> Clubs();
+  static std::span<const std::string_view> Brands();
+  static std::span<const std::string_view> Products();
+  static std::span<const std::string_view> Manufacturers();
+  static std::span<const std::string_view> Publishers();
+  static std::span<const std::string_view> Albums();
+  static std::span<const std::string_view> Genres();
+  static std::span<const std::string_view> Species();
+  static std::span<const std::string_view> TaxonomicFamilies();
+  static std::span<const std::string_view> Components();
+  static std::span<const std::string_view> Commands();
+  static std::span<const std::string_view> Services();
+  static std::span<const std::string_view> Industries();
+  static std::span<const std::string_view> EducationLevels();
+  static std::span<const std::string_view> Statuses();
+  static std::span<const std::string_view> Results();
+  static std::span<const std::string_view> Formats();
+  static std::span<const std::string_view> Categories();
+  static std::span<const std::string_view> Classes();
+  static std::span<const std::string_view> Collections();
+  static std::span<const std::string_view> Currencies();
+  static std::span<const std::string_view> CurrencyCodes();
+  static std::span<const std::string_view> Days();
+  static std::span<const std::string_view> Months();
+  static std::span<const std::string_view> Positions();
+  static std::span<const std::string_view> Requirements();
+  static std::span<const std::string_view> GenericWords();
+};
+
+}  // namespace sato::corpus
+
+#endif  // SATO_CORPUS_LEXICONS_H_

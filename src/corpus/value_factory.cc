@@ -1,0 +1,439 @@
+#include "corpus/value_factory.h"
+
+#include <array>
+#include <cstdio>
+#include <span>
+#include <string_view>
+#include <unordered_map>
+
+#include "corpus/lexicons.h"
+#include "util/string_util.h"
+
+namespace sato::corpus {
+
+namespace {
+
+using Pool = std::span<const std::string_view>;
+
+std::string Pick(Pool pool, util::Rng* rng) {
+  return std::string(pool[rng->Index(pool.size())]);
+}
+
+std::string PersonName(int style, util::Rng* rng) {
+  std::string first = Pick(Lexicons::FirstNames(), rng);
+  std::string last = Pick(Lexicons::LastNames(), rng);
+  switch (style % 3) {
+    case 0: return first + " " + last;
+    case 1: return last + ", " + first;
+    default: return first.substr(0, 1) + ". " + last;
+  }
+}
+
+std::string IntInRange(int64_t lo, int64_t hi, util::Rng* rng) {
+  return std::to_string(rng->UniformInt(lo, hi));
+}
+
+// 1,234,567-style separators used by large numeric web-table values.
+std::string WithThousands(int64_t v) {
+  std::string raw = std::to_string(v);
+  std::string out;
+  int count = 0;
+  for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+    if (count > 0 && count % 3 == 0) out += ',';
+    out += *it;
+    ++count;
+  }
+  return std::string(out.rbegin(), out.rend());
+}
+
+std::string FixedDecimal(double v, int places) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", places, v);
+  return buf;
+}
+
+std::string DateValue(int style, util::Rng* rng) {
+  int year = static_cast<int>(rng->UniformInt(1890, 2005));
+  int month = static_cast<int>(rng->UniformInt(1, 12));
+  int day = static_cast<int>(rng->UniformInt(1, 28));
+  char buf[48];
+  switch (style % 3) {
+    case 0:
+      std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", year, month, day);
+      return buf;
+    case 1:
+      std::snprintf(buf, sizeof(buf), "%02d/%02d/%04d", day, month, year);
+      return buf;
+    default: {
+      std::string m = Pick(Lexicons::Months(), rng);
+      std::snprintf(buf, sizeof(buf), "%s %d, %04d", m.c_str(), day, year);
+      return buf;
+    }
+  }
+}
+
+std::string CodeValue(int style, util::Rng* rng) {
+  auto letter = [&] { return static_cast<char>('A' + rng->UniformInt(0, 25)); };
+  std::string out;
+  switch (style % 3) {
+    case 0:
+      out += letter();
+      out += letter();
+      out += '-';
+      out += IntInRange(100, 9999, rng);
+      return out;
+    case 1:
+      out += letter();
+      out += IntInRange(10, 99, rng);
+      return out;
+    default:
+      for (int i = 0; i < 3; ++i) out += letter();
+      out += IntInRange(0, 9, rng);
+      return out;
+  }
+}
+
+std::string TickerSymbol(util::Rng* rng) {
+  std::string out;
+  int len = static_cast<int>(rng->UniformInt(2, 4));
+  for (int i = 0; i < len; ++i) {
+    out += static_cast<char>('A' + rng->UniformInt(0, 25));
+  }
+  return out;
+}
+
+std::string DurationValue(int style, util::Rng* rng) {
+  char buf[32];
+  switch (style % 3) {
+    case 0:
+      std::snprintf(buf, sizeof(buf), "%d:%02d",
+                    static_cast<int>(rng->UniformInt(0, 9)),
+                    static_cast<int>(rng->UniformInt(0, 59)));
+      return buf;
+    case 1:
+      std::snprintf(buf, sizeof(buf), "%dh %02dm",
+                    static_cast<int>(rng->UniformInt(0, 13)),
+                    static_cast<int>(rng->UniformInt(0, 59)));
+      return buf;
+    default:
+      return IntInRange(30, 240, rng) + " min";
+  }
+}
+
+std::string IsbnValue(util::Rng* rng) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "978-%d-%04d-%04d-%d",
+                static_cast<int>(rng->UniformInt(0, 9)),
+                static_cast<int>(rng->UniformInt(0, 9999)),
+                static_cast<int>(rng->UniformInt(0, 9999)),
+                static_cast<int>(rng->UniformInt(0, 9)));
+  return buf;
+}
+
+std::string FileSizeValue(int style, util::Rng* rng) {
+  switch (style % 3) {
+    case 0: return FixedDecimal(rng->Uniform(0.1, 99.9), 1) + " MB";
+    case 1: return IntInRange(4, 999, rng) + " KB";
+    default: return FixedDecimal(rng->Uniform(0.1, 8.0), 2) + " GB";
+  }
+}
+
+std::string GradeValue(int style, util::Rng* rng) {
+  static constexpr std::string_view kLetters[] = {"A", "A-", "B+", "B", "B-",
+                                                  "C+", "C", "D", "F"};
+  switch (style % 3) {
+    case 0: return std::string(kLetters[rng->Index(std::size(kLetters))]);
+    case 1: return IntInRange(52, 100, rng) + "%";
+    default: return FixedDecimal(rng->Uniform(1.0, 4.0), 1);
+  }
+}
+
+std::string AddressValue(int style, util::Rng* rng) {
+  static constexpr std::string_view kStreets[] = {
+      "Oak Street", "Main Street", "Maple Avenue", "Park Road", "High Street",
+      "Church Lane", "Mill Road", "Station Road", "King Street",
+      "Queen Avenue", "Bridge Street", "Garden Way", "Elm Drive",
+      "River Road", "Hillcrest Boulevard"};
+  std::string addr = IntInRange(1, 999, rng) + " " +
+                     std::string(kStreets[rng->Index(std::size(kStreets))]);
+  if (style % 2 == 1) addr += ", " + Pick(Lexicons::Cities(), rng);
+  return addr;
+}
+
+std::string VenueName(util::Rng* rng) {
+  static constexpr std::string_view kSuffixes[] = {
+      "Park", "Arena", "Stadium", "Field", "Gardens", "Hall", "Center",
+      "Grounds", "Pavilion", "Coliseum"};
+  return Pick(Lexicons::Cities(), rng) + " " +
+         std::string(kSuffixes[rng->Index(std::size(kSuffixes))]);
+}
+
+std::string TeamNameValue(util::Rng* rng) {
+  return Pick(Lexicons::Cities(), rng) + " " + Pick(Lexicons::Teams(), rng);
+}
+
+std::string OrganisationValue(util::Rng* rng) {
+  static constexpr std::string_view kKinds[] = {
+      "Association", "Federation", "Society", "Institute", "Foundation",
+      "Council", "Alliance", "Committee", "Union", "League"};
+  static constexpr std::string_view kScopes[] = {
+      "National", "International", "Regional", "European", "World", "United",
+      "Central", "Global", "Royal", "American"};
+  return std::string(kScopes[rng->Index(std::size(kScopes))]) + " " +
+         Pick(Lexicons::Industries(), rng) + " " +
+         std::string(kKinds[rng->Index(std::size(kKinds))]);
+}
+
+std::string UniversityValue(util::Rng* rng) {
+  return "University of " + Pick(Lexicons::Cities(), rng);
+}
+
+std::string RangeValue(int style, util::Rng* rng) {
+  int64_t lo = rng->UniformInt(1, 80);
+  int64_t hi = lo + rng->UniformInt(1, 120);
+  switch (style % 3) {
+    case 0: return std::to_string(lo) + "-" + std::to_string(hi);
+    case 1: return std::to_string(lo) + " to " + std::to_string(hi);
+    default: return std::to_string(lo) + "\xE2\x80\x93" + std::to_string(hi);
+  }
+}
+
+std::string YearValue(int style, util::Rng* rng) {
+  int year = static_cast<int>(rng->UniformInt(1900, 2019));
+  if (style % 3 == 2) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%04d-%02d", year, (year + 1) % 100);
+    return buf;  // "2003-04" season form
+  }
+  return std::to_string(year);
+}
+
+std::string SalesValue(int style, util::Rng* rng) {
+  int64_t v = rng->UniformInt(1, 9000) * 1000 + rng->UniformInt(0, 999);
+  switch (style % 3) {
+    case 0: return WithThousands(v);
+    case 1: {
+      std::string out = "$";
+      out += WithThousands(v);
+      return out;
+    }
+    default: return FixedDecimal(static_cast<double>(v) / 1e6, 1) + "M";
+  }
+}
+
+std::string OrdinalValue(int64_t v) {
+  int64_t mod100 = v % 100;
+  const char* suffix = "th";
+  if (mod100 < 11 || mod100 > 13) {
+    switch (v % 10) {
+      case 1: suffix = "st"; break;
+      case 2: suffix = "nd"; break;
+      case 3: suffix = "rd"; break;
+      default: break;
+    }
+  }
+  return std::to_string(v) + suffix;
+}
+
+}  // namespace
+
+std::string ValueFactory::ThemePhrase(const IntentSpec& intent, int min_words,
+                                      int max_words, util::Rng* rng) const {
+  int n = static_cast<int>(rng->UniformInt(min_words, max_words));
+  std::vector<std::string> words;
+  words.reserve(static_cast<size_t>(n));
+  Pool generic = Lexicons::GenericWords();
+  for (int i = 0; i < n; ++i) {
+    // Bias towards theme vocabulary: that is what gives every intent a
+    // recognisable topic signature.
+    if (!intent.theme_words.empty() && rng->Bernoulli(0.6)) {
+      words.push_back(intent.theme_words[rng->Index(intent.theme_words.size())]);
+    } else {
+      words.push_back(Pick(generic, rng));
+    }
+  }
+  return util::Join(words, " ");
+}
+
+std::string ValueFactory::Generate(TypeId type, int style,
+                                   const IntentSpec& intent,
+                                   util::Rng* rng) const {
+  const std::string& name = TypeName(type);
+
+  // --- person-name group (shared lexicon) --------------------------------
+  if (name == "name" || name == "person" || name == "artist" ||
+      name == "jockey" || name == "director" || name == "creator") {
+    return PersonName(style, rng);
+  }
+  // --- place group (shared lexicon; the paper's Fig 1 ambiguity) ---------
+  if (name == "city" || name == "birthPlace") return Pick(Lexicons::Cities(), rng);
+  if (name == "location") {
+    double u = rng->Uniform();
+    if (u < 0.40) return Pick(Lexicons::Cities(), rng);
+    if (u < 0.60) return Pick(Lexicons::Cities(), rng) + ", " + Pick(Lexicons::States(), rng);
+    if (u < 0.85) return VenueName(rng);
+    return Pick(Lexicons::Countries(), rng);
+  }
+  if (name == "origin") {
+    return rng->Bernoulli(0.6) ? Pick(Lexicons::Countries(), rng)
+                               : Pick(Lexicons::Cities(), rng);
+  }
+  if (name == "country") return Pick(Lexicons::Countries(), rng);
+  if (name == "nationality") return Pick(Lexicons::Nationalities(), rng);
+  if (name == "continent") return Pick(Lexicons::Continents(), rng);
+  if (name == "state") return Pick(Lexicons::States(), rng);
+  if (name == "county") return Pick(Lexicons::Counties(), rng);
+  if (name == "region") return Pick(Lexicons::Regions(), rng);
+
+  // --- organisation group (shared lexicons) ------------------------------
+  if (name == "company") return Pick(Lexicons::Companies(), rng);
+  if (name == "team") return Pick(Lexicons::Teams(), rng);
+  if (name == "teamName") return TeamNameValue(rng);
+  if (name == "club") return Pick(Lexicons::Clubs(), rng);
+  if (name == "organisation") {
+    return rng->Bernoulli(0.7) ? OrganisationValue(rng)
+                               : Pick(Lexicons::Companies(), rng);
+  }
+  if (name == "affiliation") {
+    double u = rng->Uniform();
+    if (u < 0.4) return Pick(Lexicons::Companies(), rng);
+    if (u < 0.7) return UniversityValue(rng);
+    return Pick(Lexicons::Clubs(), rng);
+  }
+  if (name == "affiliate") {
+    return rng->Bernoulli(0.5) ? Pick(Lexicons::Companies(), rng)
+                               : Pick(Lexicons::Clubs(), rng);
+  }
+  if (name == "owner") {
+    return rng->Bernoulli(0.5) ? PersonName(style, rng)
+                               : Pick(Lexicons::Companies(), rng);
+  }
+  if (name == "operator") {
+    return rng->Bernoulli(0.5) ? Pick(Lexicons::Companies(), rng)
+                               : PersonName(style, rng);
+  }
+  if (name == "manufacturer") return Pick(Lexicons::Manufacturers(), rng);
+  if (name == "brand") return Pick(Lexicons::Brands(), rng);
+  if (name == "publisher") return Pick(Lexicons::Publishers(), rng);
+
+  // --- free-text group (theme-flavoured; feeds the topic model) ----------
+  if (name == "description") return ThemePhrase(intent, 4, 9, rng);
+  if (name == "notes") return ThemePhrase(intent, 2, 6, rng);
+  if (name == "requirement") {
+    return rng->Bernoulli(0.7) ? Pick(Lexicons::Requirements(), rng)
+                               : ThemePhrase(intent, 2, 4, rng);
+  }
+
+  // --- categorical groups -------------------------------------------------
+  if (name == "type" || name == "category") {
+    // Both draw from categories plus theme words -> ambiguous pair.
+    if (rng->Bernoulli(0.3) && !intent.theme_words.empty()) {
+      return intent.theme_words[rng->Index(intent.theme_words.size())];
+    }
+    return Pick(Lexicons::Categories(), rng);
+  }
+  if (name == "class") return Pick(Lexicons::Classes(), rng);
+  if (name == "classification") {
+    return rng->Bernoulli(0.5) ? Pick(Lexicons::Classes(), rng)
+                               : "Group " + std::string(1, static_cast<char>('A' + rng->UniformInt(0, 7)));
+  }
+  if (name == "status") return Pick(Lexicons::Statuses(), rng);
+  if (name == "result") return Pick(Lexicons::Results(), rng);
+  if (name == "format") return Pick(Lexicons::Formats(), rng);
+  if (name == "genre") return Pick(Lexicons::Genres(), rng);
+  if (name == "industry") return Pick(Lexicons::Industries(), rng);
+  if (name == "language") return Pick(Lexicons::Languages(), rng);
+  if (name == "religion") return Pick(Lexicons::Religions(), rng);
+  if (name == "education") return Pick(Lexicons::EducationLevels(), rng);
+  if (name == "service") return Pick(Lexicons::Services(), rng);
+  if (name == "collection") return Pick(Lexicons::Collections(), rng);
+  if (name == "species") return Pick(Lexicons::Species(), rng);
+  if (name == "family") {
+    // Taxonomic family or surname -- deliberately ambiguous with person
+    // names; only table context separates biology tables from households.
+    return rng->Bernoulli(0.6) ? Pick(Lexicons::TaxonomicFamilies(), rng)
+                               : Pick(Lexicons::LastNames(), rng);
+  }
+  if (name == "component") return Pick(Lexicons::Components(), rng);
+  if (name == "command") return Pick(Lexicons::Commands(), rng);
+  if (name == "product") return Pick(Lexicons::Products(), rng);
+  if (name == "album") return Pick(Lexicons::Albums(), rng);
+  if (name == "currency") {
+    return style % 2 == 0 ? Pick(Lexicons::Currencies(), rng)
+                          : Pick(Lexicons::CurrencyCodes(), rng);
+  }
+  if (name == "day") {
+    return rng->Bernoulli(0.8) ? Pick(Lexicons::Days(), rng)
+                               : DateValue(style, rng);
+  }
+  if (name == "gender" || name == "sex") {
+    static constexpr std::string_view kShort[] = {"M", "F"};
+    static constexpr std::string_view kLong[] = {"Male", "Female"};
+    static constexpr std::string_view kLower[] = {"male", "female"};
+    switch (style % 3) {
+      case 0: return std::string(kShort[rng->Index(2)]);
+      case 1: return std::string(kLong[rng->Index(2)]);
+      default: return std::string(kLower[rng->Index(2)]);
+    }
+  }
+  if (name == "position") {
+    // Job/field position word, or a small integer (ambiguous with rank).
+    return style % 2 == 0 ? Pick(Lexicons::Positions(), rng)
+                          : IntInRange(1, 11, rng);
+  }
+
+  // --- numeric groups (overlapping ranges by design) ----------------------
+  if (name == "age") return IntInRange(16, 79, rng);
+  if (name == "weight") {
+    switch (style % 3) {
+      case 0: return IntInRange(50, 120, rng);          // kg, bare
+      case 1: return IntInRange(110, 260, rng) + " lbs";
+      default: return IntInRange(50, 120, rng) + " kg";
+    }
+  }
+  if (name == "year") return YearValue(style, rng);
+  if (name == "rank") {
+    return style % 3 == 2 ? OrdinalValue(rng->UniformInt(1, 30))
+                          : IntInRange(1, 99, rng);
+  }
+  if (name == "ranking") return IntInRange(1, 200, rng);
+  if (name == "order") return IntInRange(1, 50, rng);
+  if (name == "plays") return IntInRange(0, 500, rng);
+  if (name == "credit") {
+    return style % 2 == 0 ? IntInRange(1, 6, rng)
+                          : FixedDecimal(rng->Uniform(0.5, 6.0), 1);
+  }
+  if (name == "grades") return GradeValue(style, rng);
+  if (name == "elevation") {
+    int64_t v = rng->UniformInt(50, 8848);
+    return style % 2 == 0 ? std::to_string(v) : WithThousands(v) + " m";
+  }
+  if (name == "depth") {
+    return FixedDecimal(rng->Uniform(0.5, 1000.0), 1);
+  }
+  if (name == "area") {
+    int64_t v = rng->UniformInt(10, 500000);
+    return style % 2 == 0 ? WithThousands(v) : std::to_string(v);
+  }
+  if (name == "capacity") {
+    int64_t v = rng->UniformInt(500, 99000);
+    return style % 2 == 0 ? WithThousands(v) : std::to_string(v);
+  }
+  if (name == "sales") return SalesValue(style, rng);
+  if (name == "duration") return DurationValue(style, rng);
+  if (name == "fileSize") return FileSizeValue(style, rng);
+  if (name == "isbn") return IsbnValue(rng);
+  if (name == "code") return CodeValue(style, rng);
+  if (name == "symbol") {
+    return rng->Bernoulli(0.7) ? TickerSymbol(rng)
+                               : Pick(Lexicons::CurrencyCodes(), rng);
+  }
+  if (name == "range") return RangeValue(style, rng);
+  if (name == "address") return AddressValue(style, rng);
+  if (name == "birthDate") return DateValue(style, rng);
+
+  // Fallback (should be unreachable: every registry type is handled above).
+  return ThemePhrase(intent, 1, 3, rng);
+}
+
+}  // namespace sato::corpus

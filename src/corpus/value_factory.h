@@ -1,0 +1,44 @@
+#ifndef SATO_CORPUS_VALUE_FACTORY_H_
+#define SATO_CORPUS_VALUE_FACTORY_H_
+
+#include <string>
+#include <vector>
+
+#include "corpus/intents.h"
+#include "table/semantic_type.h"
+#include "util/rng.h"
+
+namespace sato::corpus {
+
+/// Generates individual cell values for every one of the 78 semantic types.
+///
+/// Two properties are central to the reproduction:
+///
+///  * **Shared lexicons** -- several type groups draw from the same value
+///    pools (`city`/`birthPlace`/`location`, person-name types, org-name
+///    types, overlapping numeric ranges), making single-column prediction
+///    genuinely ambiguous, as in the paper's Fig 1.
+///  * **Column style** -- each column picks a `style` index once; all values
+///    of the column use that style (e.g. a gender column is consistently
+///    "M/F" or consistently "Male/Female"). Real web-table columns are
+///    format-consistent, and per-column consistency is what makes the
+///    Char/Stat feature groups informative.
+class ValueFactory {
+ public:
+  /// Number of style variants supported (styles are taken modulo this).
+  static constexpr int kNumStyles = 4;
+
+  /// Generates one cell value for `type` in the context of `intent`.
+  /// `style` selects the column-consistent formatting variant.
+  std::string Generate(TypeId type, int style, const IntentSpec& intent,
+                       util::Rng* rng) const;
+
+  /// Generates a free-text phrase of `min_words`..`max_words` words biased
+  /// towards the intent's theme vocabulary. Exposed for reuse by tests.
+  std::string ThemePhrase(const IntentSpec& intent, int min_words,
+                          int max_words, util::Rng* rng) const;
+};
+
+}  // namespace sato::corpus
+
+#endif  // SATO_CORPUS_VALUE_FACTORY_H_

@@ -1,0 +1,75 @@
+#include "crf/crf_trainer.h"
+
+#include <numeric>
+
+#include "nn/optimizer.h"
+
+namespace sato::crf {
+
+double CrfTrainer::Train(LinearChainCrf* crf,
+                         const std::vector<CrfExample>& examples,
+                         util::Rng* rng) const {
+  nn::AdamOptimizer::Options adam;
+  adam.learning_rate = options_.learning_rate;
+  adam.weight_decay = options_.weight_decay;
+  nn::AdamOptimizer optimizer({&crf->pairwise()}, adam);
+
+  std::vector<size_t> order(examples.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  double last_epoch_nll = 0.0;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng->Shuffle(&order);
+    double epoch_nll = 0.0;
+    size_t in_batch = 0;
+    optimizer.ZeroGrad();
+    for (size_t idx : order) {
+      const CrfExample& ex = examples[idx];
+      epoch_nll += crf->AccumulateGradients(ex.unary, ex.labels);
+      if (++in_batch == options_.batch_size) {
+        optimizer.Step();
+        optimizer.ZeroGrad();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) {
+      optimizer.Step();
+      optimizer.ZeroGrad();
+    }
+    last_epoch_nll = examples.empty()
+                         ? 0.0
+                         : epoch_nll / static_cast<double>(examples.size());
+  }
+  return last_epoch_nll;
+}
+
+nn::Matrix AdjacentCooccurrence(const std::vector<std::vector<int>>& sequences,
+                                int num_states) {
+  nn::Matrix counts(static_cast<size_t>(num_states),
+                    static_cast<size_t>(num_states));
+  for (const auto& seq : sequences) {
+    for (size_t i = 0; i + 1 < seq.size(); ++i) {
+      counts(static_cast<size_t>(seq[i]), static_cast<size_t>(seq[i + 1])) += 1.0;
+    }
+  }
+  return counts;
+}
+
+nn::Matrix TableCooccurrence(const std::vector<std::vector<int>>& sequences,
+                             int num_states) {
+  nn::Matrix counts(static_cast<size_t>(num_states),
+                    static_cast<size_t>(num_states));
+  for (const auto& seq : sequences) {
+    for (size_t i = 0; i < seq.size(); ++i) {
+      for (size_t j = i + 1; j < seq.size(); ++j) {
+        size_t a = static_cast<size_t>(seq[i]);
+        size_t b = static_cast<size_t>(seq[j]);
+        counts(a, b) += 1.0;
+        if (a != b) counts(b, a) += 1.0;
+      }
+    }
+  }
+  return counts;
+}
+
+}  // namespace sato::crf

@@ -1,0 +1,215 @@
+#include "crf/linear_chain_crf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "nn/serialize.h"
+#include "util/math_util.h"
+
+namespace sato::crf {
+
+namespace {
+
+void CheckShapes(const nn::Matrix& unary, int num_states) {
+  if (unary.rows() == 0 || unary.cols() != static_cast<size_t>(num_states)) {
+    throw std::invalid_argument("LinearChainCrf: bad unary shape");
+  }
+}
+
+}  // namespace
+
+LinearChainCrf::LinearChainCrf(int num_states)
+    : num_states_(num_states),
+      pairwise_("crf_pairwise",
+                nn::Matrix(static_cast<size_t>(num_states),
+                           static_cast<size_t>(num_states), 0.0)) {}
+
+void LinearChainCrf::InitFromCooccurrence(const nn::Matrix& counts,
+                                          double scale) {
+  if (counts.rows() != pairwise_.value.rows() ||
+      counts.cols() != pairwise_.value.cols()) {
+    throw std::invalid_argument("InitFromCooccurrence: shape mismatch");
+  }
+  nn::Matrix& p = pairwise_.value;
+  double mean = 0.0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    p.data()[i] = std::log1p(counts.data()[i]);
+    mean += p.data()[i];
+  }
+  mean /= static_cast<double>(counts.size());
+  for (size_t i = 0; i < p.size(); ++i) {
+    p.data()[i] = scale * (p.data()[i] - mean);
+  }
+}
+
+nn::Matrix LinearChainCrf::Forward(const nn::Matrix& unary) const {
+  const size_t m = unary.rows();
+  const size_t k = static_cast<size_t>(num_states_);
+  nn::Matrix alpha(m, k);
+  for (size_t s = 0; s < k; ++s) alpha(0, s) = unary(0, s);
+  std::vector<double> scratch(k);
+  for (size_t i = 1; i < m; ++i) {
+    for (size_t s = 0; s < k; ++s) {
+      for (size_t prev = 0; prev < k; ++prev) {
+        scratch[prev] = alpha(i - 1, prev) + pairwise_.value(prev, s);
+      }
+      alpha(i, s) = unary(i, s) + util::LogSumExp(scratch.data(), k);
+    }
+  }
+  return alpha;
+}
+
+nn::Matrix LinearChainCrf::Backward(const nn::Matrix& unary) const {
+  const size_t m = unary.rows();
+  const size_t k = static_cast<size_t>(num_states_);
+  nn::Matrix beta(m, k);  // beta(m-1, *) = 0
+  std::vector<double> scratch(k);
+  for (size_t ii = m - 1; ii > 0; --ii) {
+    size_t i = ii - 1;
+    for (size_t s = 0; s < k; ++s) {
+      for (size_t next = 0; next < k; ++next) {
+        scratch[next] =
+            pairwise_.value(s, next) + unary(i + 1, next) + beta(i + 1, next);
+      }
+      beta(i, s) = util::LogSumExp(scratch.data(), k);
+    }
+  }
+  return beta;
+}
+
+double LinearChainCrf::LogPartition(const nn::Matrix& unary) const {
+  CheckShapes(unary, num_states_);
+  nn::Matrix alpha = Forward(unary);
+  const size_t m = unary.rows();
+  return util::LogSumExp(alpha.Row(m - 1), static_cast<size_t>(num_states_));
+}
+
+double LinearChainCrf::LogLikelihood(const nn::Matrix& unary,
+                                     const std::vector<int>& labels) const {
+  CheckShapes(unary, num_states_);
+  if (labels.size() != unary.rows()) {
+    throw std::invalid_argument("LogLikelihood: label count mismatch");
+  }
+  double score = 0.0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    score += unary(i, static_cast<size_t>(labels[i]));
+    if (i + 1 < labels.size()) {
+      score += pairwise_.value(static_cast<size_t>(labels[i]),
+                               static_cast<size_t>(labels[i + 1]));
+    }
+  }
+  return score - LogPartition(unary);
+}
+
+double LinearChainCrf::AccumulateGradients(const nn::Matrix& unary,
+                                           const std::vector<int>& labels,
+                                           nn::Matrix* unary_grad) {
+  CheckShapes(unary, num_states_);
+  const size_t m = unary.rows();
+  const size_t k = static_cast<size_t>(num_states_);
+  nn::Matrix alpha = Forward(unary);
+  nn::Matrix beta = Backward(unary);
+  double log_z = util::LogSumExp(alpha.Row(m - 1), k);
+
+  // Gradient of NLL w.r.t. pairwise potentials: expected adjacent-pair
+  // marginals minus gold indicators.
+  for (size_t i = 0; i + 1 < m; ++i) {
+    for (size_t a = 0; a < k; ++a) {
+      double base = alpha(i, a) - log_z;
+      for (size_t b = 0; b < k; ++b) {
+        double log_marginal =
+            base + pairwise_.value(a, b) + unary(i + 1, b) + beta(i + 1, b);
+        pairwise_.grad(a, b) += std::exp(log_marginal);
+      }
+    }
+    pairwise_.grad(static_cast<size_t>(labels[i]),
+                   static_cast<size_t>(labels[i + 1])) -= 1.0;
+  }
+
+  if (unary_grad != nullptr) {
+    *unary_grad = nn::Matrix(m, k);
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t s = 0; s < k; ++s) {
+        (*unary_grad)(i, s) = std::exp(alpha(i, s) + beta(i, s) - log_z);
+      }
+      (*unary_grad)(i, static_cast<size_t>(labels[i])) -= 1.0;
+    }
+  }
+
+  // NLL itself.
+  double score = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    score += unary(i, static_cast<size_t>(labels[i]));
+    if (i + 1 < m) {
+      score += pairwise_.value(static_cast<size_t>(labels[i]),
+                               static_cast<size_t>(labels[i + 1]));
+    }
+  }
+  return log_z - score;
+}
+
+std::vector<int> LinearChainCrf::Viterbi(const nn::Matrix& unary) const {
+  CheckShapes(unary, num_states_);
+  const size_t m = unary.rows();
+  const size_t k = static_cast<size_t>(num_states_);
+  nn::Matrix delta(m, k);
+  std::vector<std::vector<int>> backptr(m, std::vector<int>(k, 0));
+  for (size_t s = 0; s < k; ++s) delta(0, s) = unary(0, s);
+  for (size_t i = 1; i < m; ++i) {
+    for (size_t s = 0; s < k; ++s) {
+      double best = -std::numeric_limits<double>::infinity();
+      int best_prev = 0;
+      for (size_t prev = 0; prev < k; ++prev) {
+        double cand = delta(i - 1, prev) + pairwise_.value(prev, s);
+        if (cand > best) {
+          best = cand;
+          best_prev = static_cast<int>(prev);
+        }
+      }
+      delta(i, s) = best + unary(i, s);
+      backptr[i][s] = best_prev;
+    }
+  }
+  std::vector<int> path(m);
+  const double* last = delta.Row(m - 1);
+  path[m - 1] = static_cast<int>(std::max_element(last, last + k) - last);
+  for (size_t ii = m - 1; ii > 0; --ii) {
+    path[ii - 1] = backptr[ii][static_cast<size_t>(path[ii])];
+  }
+  return path;
+}
+
+nn::Matrix LinearChainCrf::Marginals(const nn::Matrix& unary) const {
+  CheckShapes(unary, num_states_);
+  const size_t m = unary.rows();
+  const size_t k = static_cast<size_t>(num_states_);
+  nn::Matrix alpha = Forward(unary);
+  nn::Matrix beta = Backward(unary);
+  double log_z = util::LogSumExp(alpha.Row(m - 1), k);
+  nn::Matrix marginals(m, k);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t s = 0; s < k; ++s) {
+      marginals(i, s) = std::exp(alpha(i, s) + beta(i, s) - log_z);
+    }
+  }
+  return marginals;
+}
+
+void LinearChainCrf::Save(std::ostream* out) const {
+  nn::SaveMatrix(pairwise_.value, out);
+}
+
+LinearChainCrf LinearChainCrf::Load(std::istream* in) {
+  nn::Matrix p = nn::LoadMatrix(in);
+  if (p.rows() != p.cols()) {
+    throw std::runtime_error("LinearChainCrf::Load: non-square matrix");
+  }
+  LinearChainCrf crf(static_cast<int>(p.rows()));
+  crf.pairwise_.value = std::move(p);
+  return crf;
+}
+
+}  // namespace sato::crf

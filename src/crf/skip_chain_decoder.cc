@@ -1,0 +1,111 @@
+#include "crf/skip_chain_decoder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace sato::crf {
+
+SkipChainDecoder::SkipChainDecoder(const LinearChainCrf* crf, nn::Matrix skip)
+    : crf_(crf), skip_(std::move(skip)) {
+  size_t k = static_cast<size_t>(crf_->num_states());
+  if (skip_.rows() != k || skip_.cols() != k) {
+    throw std::invalid_argument("SkipChainDecoder: skip matrix shape");
+  }
+}
+
+nn::Matrix SkipChainDecoder::SkipCooccurrenceInit(
+    const std::vector<std::vector<int>>& sequences, int num_states,
+    double scale) {
+  nn::Matrix counts(static_cast<size_t>(num_states),
+                    static_cast<size_t>(num_states));
+  for (const auto& seq : sequences) {
+    for (size_t i = 0; i + 2 < seq.size(); ++i) {
+      counts(static_cast<size_t>(seq[i]), static_cast<size_t>(seq[i + 2])) += 1.0;
+    }
+  }
+  double mean = 0.0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    counts.data()[i] = std::log1p(counts.data()[i]);
+    mean += counts.data()[i];
+  }
+  mean /= static_cast<double>(counts.size());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    counts.data()[i] = scale * (counts.data()[i] - mean);
+  }
+  return counts;
+}
+
+std::vector<int> SkipChainDecoder::Decode(const nn::Matrix& unary) const {
+  const size_t m = unary.rows();
+  const size_t k = static_cast<size_t>(crf_->num_states());
+  if (m == 0 || unary.cols() != k) {
+    throw std::invalid_argument("SkipChainDecoder::Decode: bad unary shape");
+  }
+  // Short tables have no skip pairs: fall back to first-order Viterbi.
+  if (m <= 2) return crf_->Viterbi(unary);
+
+  const nn::Matrix& p = crf_->pairwise().value;
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+  // Pair-state Viterbi: state y_i = (t_i, t_{i+1}) for i in [0, m-2].
+  // delta holds scores over K x K pair states; backptr stores the previous
+  // first component (t_{i-1}) for each pair state.
+  nn::Matrix delta(k, k, kNegInf);
+  for (size_t a = 0; a < k; ++a) {
+    for (size_t b = 0; b < k; ++b) {
+      delta(a, b) = unary(0, a) + unary(1, b) + p(a, b);
+    }
+  }
+  std::vector<nn::Matrix> backptr;  // one [k x k] matrix per step i >= 1
+  backptr.reserve(m - 2);
+
+  for (size_t i = 1; i + 1 < m; ++i) {
+    nn::Matrix next(k, k, kNegInf);
+    nn::Matrix back(k, k, 0.0);
+    // Transition (a, b) -> (b, c): add unary(i+1, c) + P[b][c] + S[a][c].
+    for (size_t b = 0; b < k; ++b) {
+      for (size_t c = 0; c < k; ++c) {
+        double best = kNegInf;
+        size_t best_a = 0;
+        for (size_t a = 0; a < k; ++a) {
+          double cand = delta(a, b) + skip_(a, c);
+          if (cand > best) {
+            best = cand;
+            best_a = a;
+          }
+        }
+        next(b, c) = best + unary(i + 1, c) + p(b, c);
+        back(b, c) = static_cast<double>(best_a);
+      }
+    }
+    delta = std::move(next);
+    backptr.push_back(std::move(back));
+  }
+
+  // Terminal: best pair state at the last step.
+  size_t best_b = 0, best_c = 0;
+  double best = kNegInf;
+  for (size_t b = 0; b < k; ++b) {
+    for (size_t c = 0; c < k; ++c) {
+      if (delta(b, c) > best) {
+        best = delta(b, c);
+        best_b = b;
+        best_c = c;
+      }
+    }
+  }
+
+  std::vector<int> path(m);
+  path[m - 1] = static_cast<int>(best_c);
+  path[m - 2] = static_cast<int>(best_b);
+  for (size_t step = backptr.size(); step > 0; --step) {
+    size_t b = static_cast<size_t>(path[step]);      // t_{step}
+    size_t c = static_cast<size_t>(path[step + 1]);  // t_{step+1}
+    path[step - 1] = static_cast<int>(backptr[step - 1](b, c));
+  }
+  return path;
+}
+
+}  // namespace sato::crf

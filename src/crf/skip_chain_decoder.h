@@ -1,0 +1,49 @@
+#ifndef SATO_CRF_SKIP_CHAIN_DECODER_H_
+#define SATO_CRF_SKIP_CHAIN_DECODER_H_
+
+#include <vector>
+
+#include "crf/linear_chain_crf.h"
+
+namespace sato::crf {
+
+/// Second-order decoding -- the paper's future-work direction (§3.3/§6:
+/// "the notion of local context is not limited to immediate neighbors...
+/// high-order CRFs [cost] O(K^L); we leave broader local context as future
+/// work").
+///
+/// This decoder extends a trained first-order CRF with *skip* potentials
+/// S[a][c] coupling columns two apart (t_i, t_{i+2}):
+///
+///   score(t) = sum_i psi_UNI(t_i) + sum_i P[t_i][t_{i+1}] + sum_i S[t_i][t_{i+2}]
+///
+/// Exact MAP inference runs Viterbi over *pair states* (t_i, t_{i+1}),
+/// which is O(m K^3) instead of the first-order O(m K^2) -- the cost
+/// growth §6 describes, made concrete. Skip potentials are estimated from
+/// skip-distance co-occurrence counts rather than trained, keeping the
+/// extension decode-time only.
+class SkipChainDecoder {
+ public:
+  /// `crf` supplies the trained pairwise potentials; `skip` is the K x K
+  /// skip-potential matrix. Both borrowed/copied respectively.
+  SkipChainDecoder(const LinearChainCrf* crf, nn::Matrix skip);
+
+  /// Log-scale skip potentials from distance-2 co-occurrence counts,
+  /// centred like LinearChainCrf::InitFromCooccurrence.
+  static nn::Matrix SkipCooccurrenceInit(
+      const std::vector<std::vector<int>>& sequences, int num_states,
+      double scale);
+
+  /// Exact MAP sequence under unary + pairwise + skip potentials.
+  std::vector<int> Decode(const nn::Matrix& unary) const;
+
+  const nn::Matrix& skip() const { return skip_; }
+
+ private:
+  const LinearChainCrf* crf_;  // not owned
+  nn::Matrix skip_;
+};
+
+}  // namespace sato::crf
+
+#endif  // SATO_CRF_SKIP_CHAIN_DECODER_H_

@@ -1,0 +1,116 @@
+#include "embedding/sgns.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sato::embedding {
+
+namespace {
+
+// Builds the unigram^(3/4) negative-sampling table (word2vec convention).
+std::vector<double> NegativeWeights(const Vocabulary& vocab) {
+  std::vector<double> w(vocab.size());
+  for (size_t i = 0; i < vocab.size(); ++i) {
+    w[i] = std::pow(static_cast<double>(vocab.Frequency(static_cast<TokenId>(i))),
+                    0.75);
+  }
+  return w;
+}
+
+double Sigmoid(double x) {
+  if (x > 30.0) return 1.0;
+  if (x < -30.0) return 0.0;
+  return 1.0 / (1.0 + std::exp(-x));
+}
+
+}  // namespace
+
+WordEmbeddings SgnsTrainer::Train(
+    const std::vector<std::vector<std::string>>& sentences,
+    util::Rng* rng) const {
+  Vocabulary vocab;
+  for (const auto& sentence : sentences) vocab.CountAll(sentence);
+  vocab.Finalize(options_.min_count);
+
+  const size_t v = vocab.size();
+  const size_t d = options_.dim;
+  // Input vectors small-random, output vectors zero (word2vec convention).
+  nn::Matrix in_vecs(v, d);
+  nn::Matrix out_vecs(v, d);
+  for (size_t i = 0; i < in_vecs.size(); ++i) {
+    in_vecs.data()[i] = (rng->Uniform() - 0.5) / static_cast<double>(d);
+  }
+
+  std::vector<double> neg_weights = NegativeWeights(vocab);
+  const double total = static_cast<double>(vocab.TotalCount());
+
+  // Pre-encode sentences as id sequences (dropping OOV).
+  std::vector<std::vector<TokenId>> encoded;
+  encoded.reserve(sentences.size());
+  for (const auto& sentence : sentences) {
+    std::vector<TokenId> ids;
+    ids.reserve(sentence.size());
+    for (const auto& t : sentence) {
+      auto id = vocab.Id(t);
+      if (id.has_value()) ids.push_back(*id);
+    }
+    if (ids.size() >= 2) encoded.push_back(std::move(ids));
+  }
+
+  long long step = 0;
+  long long total_steps =
+      static_cast<long long>(options_.epochs) *
+      static_cast<long long>(std::max<size_t>(encoded.size(), 1));
+  std::vector<double> grad_center(d);
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (const auto& sentence : encoded) {
+      ++step;
+      double progress = static_cast<double>(step) / static_cast<double>(total_steps);
+      double lr = options_.learning_rate * std::max(1e-4, 1.0 - progress);
+      for (size_t pos = 0; pos < sentence.size(); ++pos) {
+        TokenId center = sentence[pos];
+        // Frequent-word subsampling.
+        if (options_.subsample > 0.0 && v > 0) {
+          double f = static_cast<double>(vocab.Frequency(center)) / total;
+          double keep = std::min(1.0, std::sqrt(options_.subsample / f));
+          if (rng->Uniform() > keep) continue;
+        }
+        int reduced = static_cast<int>(rng->UniformInt(1, options_.window));
+        size_t lo = pos >= static_cast<size_t>(reduced) ? pos - static_cast<size_t>(reduced) : 0;
+        size_t hi = std::min(sentence.size() - 1, pos + static_cast<size_t>(reduced));
+        for (size_t ctx = lo; ctx <= hi; ++ctx) {
+          if (ctx == pos) continue;
+          TokenId context = sentence[ctx];
+          std::fill(grad_center.begin(), grad_center.end(), 0.0);
+          double* vc = in_vecs.Row(static_cast<size_t>(center));
+          // Positive pair plus `negatives` sampled negatives.
+          for (int n = 0; n <= options_.negatives; ++n) {
+            TokenId target;
+            double label;
+            if (n == 0) {
+              target = context;
+              label = 1.0;
+            } else {
+              target = static_cast<TokenId>(rng->Categorical(neg_weights));
+              if (target == context) continue;
+              label = 0.0;
+            }
+            double* vo = out_vecs.Row(static_cast<size_t>(target));
+            double dot = 0.0;
+            for (size_t k = 0; k < d; ++k) dot += vc[k] * vo[k];
+            double g = (Sigmoid(dot) - label) * lr;
+            for (size_t k = 0; k < d; ++k) {
+              grad_center[k] += g * vo[k];
+              vo[k] -= g * vc[k];
+            }
+          }
+          for (size_t k = 0; k < d; ++k) vc[k] -= grad_center[k];
+        }
+      }
+    }
+  }
+  return WordEmbeddings(std::move(vocab), std::move(in_vecs));
+}
+
+}  // namespace sato::embedding

@@ -1,0 +1,39 @@
+#ifndef SATO_EMBEDDING_SGNS_H_
+#define SATO_EMBEDDING_SGNS_H_
+
+#include <vector>
+
+#include "embedding/vocabulary.h"
+#include "embedding/word_embeddings.h"
+#include "util/rng.h"
+
+namespace sato::embedding {
+
+/// Skip-gram with negative sampling (word2vec-style), trained on token
+/// sequences ("sentences" = table rows / columns). Produces the word
+/// vectors that replace pre-trained GloVe in the feature pipeline.
+class SgnsTrainer {
+ public:
+  struct Options {
+    size_t dim = 24;              ///< embedding dimensionality
+    int window = 4;               ///< symmetric context window
+    int negatives = 5;            ///< negative samples per positive
+    double learning_rate = 0.05;  ///< initial SGD rate, linearly decayed
+    int epochs = 3;
+    int64_t min_count = 2;        ///< vocabulary frequency cutoff
+    double subsample = 1e-3;      ///< frequent-word subsampling threshold
+  };
+
+  explicit SgnsTrainer(Options options) : options_(options) {}
+
+  /// Trains on the sentences and returns the input-vector table.
+  WordEmbeddings Train(const std::vector<std::vector<std::string>>& sentences,
+                       util::Rng* rng) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace sato::embedding
+
+#endif  // SATO_EMBEDDING_SGNS_H_

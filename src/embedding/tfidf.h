@@ -1,0 +1,39 @@
+#ifndef SATO_EMBEDDING_TFIDF_H_
+#define SATO_EMBEDDING_TFIDF_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace sato::embedding {
+
+/// Inverse-document-frequency statistics over a corpus of token documents,
+/// used to weight token vectors when composing paragraph embeddings.
+class TfIdf {
+ public:
+  /// Counts document frequencies over the given documents.
+  void Fit(const std::vector<std::vector<std::string>>& documents);
+
+  /// Smoothed idf: log((1 + N) / (1 + df)) + 1. Unseen tokens get the
+  /// maximum idf (df = 0).
+  double Idf(std::string_view token) const;
+
+  /// TF-IDF weights for a document's tokens (term frequency normalised by
+  /// document length).
+  std::vector<double> Weights(const std::vector<std::string>& tokens) const;
+
+  size_t num_documents() const { return num_documents_; }
+
+  void Save(std::ostream* out) const;
+  static TfIdf Load(std::istream* in);
+
+ private:
+  std::unordered_map<std::string, size_t> document_frequency_;
+  size_t num_documents_ = 0;
+};
+
+}  // namespace sato::embedding
+
+#endif  // SATO_EMBEDDING_TFIDF_H_

@@ -1,0 +1,60 @@
+#ifndef SATO_EMBEDDING_WORD_EMBEDDINGS_H_
+#define SATO_EMBEDDING_WORD_EMBEDDINGS_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "embedding/vocabulary.h"
+#include "nn/matrix.h"
+
+namespace sato::embedding {
+
+/// A table of dense word vectors keyed by a Vocabulary, standing in for the
+/// pre-trained GloVe vectors of the original Sherlock feature pipeline
+/// (substitution documented in DESIGN.md §1).
+///
+/// Out-of-vocabulary tokens get a deterministic pseudo-random vector seeded
+/// by the token hash, so unseen-but-identical tokens map to identical
+/// vectors across runs and processes.
+class WordEmbeddings {
+ public:
+  WordEmbeddings() = default;
+
+  /// Takes ownership of a finalized vocabulary and the [vocab, dim] vector
+  /// table (rows aligned to token ids).
+  WordEmbeddings(Vocabulary vocab, nn::Matrix vectors);
+
+  size_t dim() const { return vectors_.cols(); }
+  size_t vocab_size() const { return vocab_.size(); }
+  const Vocabulary& vocab() const { return vocab_; }
+  const nn::Matrix& vectors() const { return vectors_; }
+
+  /// Embedding for a token; OOV tokens hash to a deterministic vector with
+  /// matching scale.
+  std::vector<double> Lookup(std::string_view token) const;
+
+  /// True if the token is in-vocabulary.
+  bool Contains(std::string_view token) const {
+    return vocab_.Id(token).has_value();
+  }
+
+  /// Mean of token embeddings; zero vector when tokens is empty.
+  std::vector<double> Average(const std::vector<std::string>& tokens) const;
+
+  /// The `k` nearest in-vocabulary tokens by cosine similarity.
+  std::vector<std::pair<std::string, double>> Nearest(std::string_view token,
+                                                      size_t k) const;
+
+  void Save(std::ostream* out) const;
+  static WordEmbeddings Load(std::istream* in);
+
+ private:
+  Vocabulary vocab_;
+  nn::Matrix vectors_;
+};
+
+}  // namespace sato::embedding
+
+#endif  // SATO_EMBEDDING_WORD_EMBEDDINGS_H_

@@ -1,0 +1,147 @@
+#include "encoder/attention.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sato::encoder {
+
+using nn::Matrix;
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(size_t d_model,
+                                               size_t num_heads,
+                                               util::Rng* rng)
+    : d_model_(d_model), num_heads_(num_heads), d_head_(d_model / num_heads),
+      wq_("attn_wq", Matrix::Gaussian(d_model, d_model,
+                                      1.0 / std::sqrt(static_cast<double>(d_model)), rng)),
+      wk_("attn_wk", Matrix::Gaussian(d_model, d_model,
+                                      1.0 / std::sqrt(static_cast<double>(d_model)), rng)),
+      wv_("attn_wv", Matrix::Gaussian(d_model, d_model,
+                                      1.0 / std::sqrt(static_cast<double>(d_model)), rng)),
+      wo_("attn_wo", Matrix::Gaussian(d_model, d_model,
+                                      1.0 / std::sqrt(static_cast<double>(d_model)), rng)) {
+  if (d_model % num_heads != 0) {
+    throw std::invalid_argument("attention: d_model must divide by heads");
+  }
+}
+
+std::vector<nn::Parameter*> MultiHeadSelfAttention::Parameters() {
+  return {&wq_, &wk_, &wv_, &wo_};
+}
+
+Matrix MultiHeadSelfAttention::Forward(const Matrix& input, bool /*train*/) {
+  const size_t n = input.rows();
+  if (input.cols() != d_model_) {
+    throw std::invalid_argument("attention: input width mismatch");
+  }
+  input_cache_ = input;
+  q_ = MatMul(input, wq_.value);
+  k_ = MatMul(input, wk_.value);
+  v_ = MatMul(input, wv_.value);
+
+  double scale = 1.0 / std::sqrt(static_cast<double>(d_head_));
+  attn_.assign(num_heads_, Matrix());
+  concat_ = Matrix(n, d_model_);
+  for (size_t h = 0; h < num_heads_; ++h) {
+    size_t off = h * d_head_;
+    // Scores S = Q_h K_h^T * scale, then row softmax.
+    Matrix scores(n, n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        double dot = 0.0;
+        for (size_t d = 0; d < d_head_; ++d) {
+          dot += q_(i, off + d) * k_(j, off + d);
+        }
+        scores(i, j) = dot * scale;
+      }
+    }
+    // Softmax rows in place.
+    for (size_t i = 0; i < n; ++i) {
+      double* row = scores.Row(i);
+      double mx = row[0];
+      for (size_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+      double sum = 0.0;
+      for (size_t j = 0; j < n; ++j) {
+        row[j] = std::exp(row[j] - mx);
+        sum += row[j];
+      }
+      for (size_t j = 0; j < n; ++j) row[j] /= sum;
+    }
+    attn_[h] = scores;
+    // O_h = A V_h written into the concat slice.
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t d = 0; d < d_head_; ++d) {
+        double sum = 0.0;
+        for (size_t j = 0; j < n; ++j) sum += scores(i, j) * v_(j, off + d);
+        concat_(i, off + d) = sum;
+      }
+    }
+  }
+  return MatMul(concat_, wo_.value);
+}
+
+Matrix MultiHeadSelfAttention::Backward(const Matrix& grad_output) {
+  const size_t n = grad_output.rows();
+  // Output projection.
+  wo_.grad += MatMulTransposeA(concat_, grad_output);
+  Matrix d_concat = MatMulTransposeB(grad_output, wo_.value);
+
+  Matrix dq(n, d_model_), dk(n, d_model_), dv(n, d_model_);
+  double scale = 1.0 / std::sqrt(static_cast<double>(d_head_));
+  for (size_t h = 0; h < num_heads_; ++h) {
+    size_t off = h * d_head_;
+    const Matrix& a = attn_[h];
+    // dA = dO V^T ; dV = A^T dO   (all within the head's slice)
+    Matrix da(n, n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        double sum = 0.0;
+        for (size_t d = 0; d < d_head_; ++d) {
+          sum += d_concat(i, off + d) * v_(j, off + d);
+        }
+        da(i, j) = sum;
+      }
+    }
+    for (size_t j = 0; j < n; ++j) {
+      for (size_t d = 0; d < d_head_; ++d) {
+        double sum = 0.0;
+        for (size_t i = 0; i < n; ++i) sum += a(i, j) * d_concat(i, off + d);
+        dv(j, off + d) = sum;
+      }
+    }
+    // Softmax backward per row: dS = A * (dA - rowsum(dA*A)).
+    Matrix ds(n, n);
+    for (size_t i = 0; i < n; ++i) {
+      double dot = 0.0;
+      for (size_t j = 0; j < n; ++j) dot += da(i, j) * a(i, j);
+      for (size_t j = 0; j < n; ++j) {
+        ds(i, j) = a(i, j) * (da(i, j) - dot) * scale;
+      }
+    }
+    // dQ = dS K ; dK = dS^T Q.
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t d = 0; d < d_head_; ++d) {
+        double sum_q = 0.0;
+        for (size_t j = 0; j < n; ++j) sum_q += ds(i, j) * k_(j, off + d);
+        dq(i, off + d) = sum_q;
+      }
+    }
+    for (size_t j = 0; j < n; ++j) {
+      for (size_t d = 0; d < d_head_; ++d) {
+        double sum_k = 0.0;
+        for (size_t i = 0; i < n; ++i) sum_k += ds(i, j) * q_(i, off + d);
+        dk(j, off + d) = sum_k;
+      }
+    }
+  }
+
+  wq_.grad += MatMulTransposeA(input_cache_, dq);
+  wk_.grad += MatMulTransposeA(input_cache_, dk);
+  wv_.grad += MatMulTransposeA(input_cache_, dv);
+
+  Matrix d_input = MatMulTransposeB(dq, wq_.value);
+  d_input += MatMulTransposeB(dk, wk_.value);
+  d_input += MatMulTransposeB(dv, wv_.value);
+  return d_input;
+}
+
+}  // namespace sato::encoder

@@ -1,0 +1,40 @@
+#ifndef SATO_ENCODER_ATTENTION_H_
+#define SATO_ENCODER_ATTENTION_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace sato::encoder {
+
+/// Multi-head self-attention over one token sequence (a [seq_len, d_model]
+/// matrix). Used by the §6 extension model -- the miniature Transformer
+/// standing in for BERT to demonstrate that Sato's architecture accepts
+/// any column-wise predictor.
+class MultiHeadSelfAttention : public nn::Layer {
+ public:
+  MultiHeadSelfAttention(size_t d_model, size_t num_heads, util::Rng* rng);
+
+  nn::Matrix Forward(const nn::Matrix& input, bool train) override;
+  nn::Matrix Backward(const nn::Matrix& grad_output) override;
+  std::vector<nn::Parameter*> Parameters() override;
+  std::string name() const override { return "MultiHeadSelfAttention"; }
+
+  size_t d_model() const { return d_model_; }
+  size_t num_heads() const { return num_heads_; }
+
+ private:
+  size_t d_model_, num_heads_, d_head_;
+  nn::Parameter wq_, wk_, wv_, wo_;
+
+  // Forward caches (per call; forward must be followed by its backward).
+  nn::Matrix input_cache_;
+  nn::Matrix q_, k_, v_;             // [n, d_model] (heads side by side)
+  std::vector<nn::Matrix> attn_;     // per head: [n, n] softmax weights
+  nn::Matrix concat_;                // [n, d_model] pre-Wo
+};
+
+}  // namespace sato::encoder
+
+#endif  // SATO_ENCODER_ATTENTION_H_

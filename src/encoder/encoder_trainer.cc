@@ -1,0 +1,70 @@
+#include "encoder/encoder_trainer.h"
+
+#include <numeric>
+
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace sato::encoder {
+
+double EncoderTrainer::Train(TokenEncoderModel* model,
+                             const std::vector<const Column*>& columns,
+                             const std::vector<int>& labels,
+                             util::Rng* rng) const {
+  // Pre-encode once.
+  std::vector<std::vector<int>> encoded;
+  encoded.reserve(columns.size());
+  for (const Column* c : columns) encoded.push_back(model->Encode(*c));
+
+  nn::AdamOptimizer::Options adam;
+  adam.learning_rate = config_.learning_rate;
+  nn::AdamOptimizer optimizer(model->Parameters(), adam);
+  nn::SoftmaxCrossEntropy loss;
+
+  std::vector<size_t> order(columns.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  double last_epoch = 0.0;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng->Shuffle(&order);
+    double epoch_loss = 0.0;
+    size_t in_batch = 0;
+    optimizer.ZeroGrad();
+    for (size_t idx : order) {
+      nn::Matrix logits = model->Forward(encoded[idx], /*train=*/true);
+      epoch_loss += loss.Forward(logits, {labels[idx]});
+      model->Backward(loss.Backward());
+      if (++in_batch == config_.batch_size) {
+        optimizer.Step();
+        optimizer.ZeroGrad();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) {
+      optimizer.Step();
+      optimizer.ZeroGrad();
+    }
+    last_epoch = columns.empty()
+                     ? 0.0
+                     : epoch_loss / static_cast<double>(columns.size());
+  }
+  return last_epoch;
+}
+
+int PredictColumn(TokenEncoderModel* model, const Column& column) {
+  nn::Matrix logits = model->Forward(model->Encode(column), /*train=*/false);
+  const double* row = logits.Row(0);
+  int best = 0;
+  for (size_t c = 1; c < logits.cols(); ++c) {
+    if (row[c] > row[best]) best = static_cast<int>(c);
+  }
+  return best;
+}
+
+std::vector<double> PredictScores(TokenEncoderModel* model,
+                                  const Column& column) {
+  nn::Matrix logits = model->Forward(model->Encode(column), /*train=*/false);
+  return nn::SoftmaxRows(logits).RowVector(0);
+}
+
+}  // namespace sato::encoder

@@ -1,0 +1,36 @@
+#ifndef SATO_ENCODER_ENCODER_TRAINER_H_
+#define SATO_ENCODER_ENCODER_TRAINER_H_
+
+#include <vector>
+
+#include "encoder/token_encoder.h"
+#include "util/rng.h"
+
+namespace sato::encoder {
+
+/// Trains the Transformer column classifier with Adam + softmax
+/// cross-entropy over labeled columns.
+class EncoderTrainer {
+ public:
+  explicit EncoderTrainer(const EncoderConfig& config) : config_(config) {}
+
+  /// Runs training; returns the final epoch's mean loss.
+  double Train(TokenEncoderModel* model,
+               const std::vector<const Column*>& columns,
+               const std::vector<int>& labels, util::Rng* rng) const;
+
+ private:
+  EncoderConfig config_;
+};
+
+/// Argmax type prediction for one column.
+int PredictColumn(TokenEncoderModel* model, const Column& column);
+
+/// Softmax scores over the 78 types for one column (usable as CRF unary
+/// potentials -- the plug-in role §3.3 describes).
+std::vector<double> PredictScores(TokenEncoderModel* model,
+                                  const Column& column);
+
+}  // namespace sato::encoder
+
+#endif  // SATO_ENCODER_ENCODER_TRAINER_H_

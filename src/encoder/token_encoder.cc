@@ -1,0 +1,158 @@
+#include "encoder/token_encoder.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sato::encoder {
+
+using nn::Matrix;
+
+TransformerBlock::TransformerBlock(const EncoderConfig& config, util::Rng* rng)
+    : ln1_(config.d_model),
+      attention_(config.d_model, config.num_heads, rng),
+      ln2_(config.d_model),
+      ffn_in_(config.d_model, config.ffn_hidden, rng),
+      ffn_out_(config.ffn_hidden, config.d_model, rng) {}
+
+Matrix TransformerBlock::Forward(const Matrix& x, bool train) {
+  Matrix attn_out = attention_.Forward(ln1_.Forward(x, train), train);
+  Matrix mid = x;
+  mid += attn_out;  // residual 1
+  Matrix ffn_out =
+      ffn_out_.Forward(gelu_.Forward(ffn_in_.Forward(ln2_.Forward(mid, train),
+                                                     train),
+                                     train),
+                       train);
+  Matrix out = mid;
+  out += ffn_out;  // residual 2
+  return out;
+}
+
+Matrix TransformerBlock::Backward(const Matrix& grad) {
+  // Residual 2: grad flows both directly and through the FFN path.
+  Matrix d_mid = grad;
+  Matrix d_ffn = ffn_out_.Backward(grad);
+  d_ffn = gelu_.Backward(d_ffn);
+  d_ffn = ffn_in_.Backward(d_ffn);
+  d_mid += ln2_.Backward(d_ffn);
+  // Residual 1.
+  Matrix d_x = d_mid;
+  Matrix d_attn = attention_.Backward(d_mid);
+  d_x += ln1_.Backward(d_attn);
+  return d_x;
+}
+
+std::vector<nn::Parameter*> TransformerBlock::Parameters() {
+  std::vector<nn::Parameter*> params;
+  for (auto* p : ln1_.Parameters()) params.push_back(p);
+  for (auto* p : attention_.Parameters()) params.push_back(p);
+  for (auto* p : ln2_.Parameters()) params.push_back(p);
+  for (auto* p : ffn_in_.Parameters()) params.push_back(p);
+  for (auto* p : ffn_out_.Parameters()) params.push_back(p);
+  return params;
+}
+
+embedding::Vocabulary TokenEncoderModel::BuildVocabulary(
+    const std::vector<const Column*>& columns, const EncoderConfig& config) {
+  embedding::Vocabulary vocab;
+  for (const Column* column : columns) {
+    for (const std::string& value : column->values) {
+      vocab.CountAll(embedding::TokenizeCell(value));
+    }
+  }
+  vocab.Finalize(config.min_count);
+  return vocab;
+}
+
+TokenEncoderModel::TokenEncoderModel(const EncoderConfig& config,
+                                     embedding::Vocabulary vocab,
+                                     util::Rng* rng)
+    : config_(config), vocab_(std::move(vocab)),
+      token_embedding_("tok_emb",
+                       Matrix::Gaussian(vocab_.size() + 1, config.d_model,
+                                        0.02, rng)),
+      position_embedding_("pos_emb",
+                          Matrix::Gaussian(config.max_tokens + 1,
+                                           config.d_model, 0.02, rng)),
+      final_ln_(config.d_model),
+      classifier_(config.d_model, kNumSemanticTypes, rng) {
+  for (size_t b = 0; b < config.num_blocks; ++b) {
+    blocks_.push_back(std::make_unique<TransformerBlock>(config, rng));
+  }
+}
+
+std::vector<int> TokenEncoderModel::Encode(const Column& column) const {
+  std::vector<int> ids = {0};  // <cls>
+  for (const std::string& value : column.values) {
+    if (ids.size() > config_.max_tokens) break;
+    for (const std::string& token : embedding::TokenizeCell(value)) {
+      if (ids.size() > config_.max_tokens) break;
+      auto id = vocab_.Id(token);
+      // OOV tokens are dropped (a tiny-scale stand-in for subword pieces).
+      if (id.has_value()) ids.push_back(*id + 1);
+    }
+  }
+  return ids;
+}
+
+Matrix TokenEncoderModel::Forward(const std::vector<int>& tokens, bool train) {
+  tokens_cache_ = tokens;
+  seq_len_ = tokens.size();
+  Matrix x(seq_len_, config_.d_model);
+  for (size_t i = 0; i < seq_len_; ++i) {
+    const double* tok = token_embedding_.value.Row(static_cast<size_t>(tokens[i]));
+    const double* pos = position_embedding_.value.Row(i);
+    double* row = x.Row(i);
+    for (size_t d = 0; d < config_.d_model; ++d) row[d] = tok[d] + pos[d];
+  }
+  for (auto& block : blocks_) x = block->Forward(x, train);
+  x = final_ln_.Forward(x, train);
+  // Mean-pool over tokens.
+  Matrix pooled(1, config_.d_model);
+  for (size_t i = 0; i < seq_len_; ++i) {
+    const double* row = x.Row(i);
+    for (size_t d = 0; d < config_.d_model; ++d) pooled(0, d) += row[d];
+  }
+  pooled *= 1.0 / static_cast<double>(seq_len_);
+  return classifier_.Forward(pooled, train);
+}
+
+void TokenEncoderModel::Backward(const Matrix& grad_logits) {
+  Matrix d_pooled = classifier_.Backward(grad_logits);
+  // Un-pool: every token row receives d_pooled / seq_len.
+  Matrix d_x(seq_len_, config_.d_model);
+  double inv_n = 1.0 / static_cast<double>(seq_len_);
+  for (size_t i = 0; i < seq_len_; ++i) {
+    for (size_t d = 0; d < config_.d_model; ++d) {
+      d_x(i, d) = d_pooled(0, d) * inv_n;
+    }
+  }
+  d_x = final_ln_.Backward(d_x);
+  for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) {
+    d_x = (*it)->Backward(d_x);
+  }
+  for (size_t i = 0; i < seq_len_; ++i) {
+    double* tok_grad =
+        token_embedding_.grad.Row(static_cast<size_t>(tokens_cache_[i]));
+    double* pos_grad = position_embedding_.grad.Row(i);
+    const double* g = d_x.Row(i);
+    for (size_t d = 0; d < config_.d_model; ++d) {
+      tok_grad[d] += g[d];
+      pos_grad[d] += g[d];
+    }
+  }
+}
+
+std::vector<nn::Parameter*> TokenEncoderModel::Parameters() {
+  std::vector<nn::Parameter*> params = {&token_embedding_,
+                                        &position_embedding_};
+  for (auto& block : blocks_) {
+    auto p = block->Parameters();
+    params.insert(params.end(), p.begin(), p.end());
+  }
+  for (auto* p : final_ln_.Parameters()) params.push_back(p);
+  for (auto* p : classifier_.Parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace sato::encoder

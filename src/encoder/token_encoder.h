@@ -1,0 +1,95 @@
+#ifndef SATO_ENCODER_TOKEN_ENCODER_H_
+#define SATO_ENCODER_TOKEN_ENCODER_H_
+
+#include <memory>
+#include <vector>
+
+#include "embedding/vocabulary.h"
+#include "encoder/attention.h"
+#include "nn/activations.h"
+#include "nn/layer_norm.h"
+#include "nn/linear.h"
+#include "table/table.h"
+
+namespace sato::encoder {
+
+/// Configuration of the miniature Transformer column encoder (the §6
+/// "featurization-free" experiment: the paper fine-tunes BERT; we train a
+/// small Transformer from scratch -- same architectural family, same
+/// plug-in role).
+struct EncoderConfig {
+  size_t d_model = 32;
+  size_t num_heads = 2;
+  size_t num_blocks = 2;
+  size_t ffn_hidden = 64;
+  size_t max_tokens = 24;     ///< column values are truncated to this many tokens
+  int64_t min_count = 2;      ///< vocabulary cutoff
+  double learning_rate = 1e-3;
+  int epochs = 8;
+  size_t batch_size = 16;     ///< sequences per optimiser step
+};
+
+/// One pre-LN Transformer block: x + Attn(LN(x)), then x + FFN(LN(x)).
+class TransformerBlock {
+ public:
+  TransformerBlock(const EncoderConfig& config, util::Rng* rng);
+
+  nn::Matrix Forward(const nn::Matrix& x, bool train);
+  nn::Matrix Backward(const nn::Matrix& grad);
+  std::vector<nn::Parameter*> Parameters();
+
+ private:
+  nn::LayerNorm ln1_;
+  MultiHeadSelfAttention attention_;
+  nn::LayerNorm ln2_;
+  nn::Linear ffn_in_;
+  nn::GELU gelu_;
+  nn::Linear ffn_out_;
+};
+
+/// A from-scratch Transformer single-column classifier: tokenises a
+/// column's values, embeds tokens + positions, runs Transformer blocks,
+/// mean-pools and classifies into the 78 types. Implements the same
+/// "column-wise model" role as the Sherlock network, demonstrating Sato's
+/// plug-in extensibility (§3, §6).
+class TokenEncoderModel {
+ public:
+  TokenEncoderModel(const EncoderConfig& config, embedding::Vocabulary vocab,
+                    util::Rng* rng);
+
+  /// Builds the token vocabulary from training columns.
+  static embedding::Vocabulary BuildVocabulary(
+      const std::vector<const Column*>& columns, const EncoderConfig& config);
+
+  /// Token-id sequence for a column (always non-empty: index 0 is a
+  /// reserved <cls>-like token).
+  std::vector<int> Encode(const Column& column) const;
+
+  /// Logits over the 78 types for one encoded column.
+  nn::Matrix Forward(const std::vector<int>& tokens, bool train);
+
+  /// Backward from d(loss)/d(logits); accumulates gradients.
+  void Backward(const nn::Matrix& grad_logits);
+
+  std::vector<nn::Parameter*> Parameters();
+
+  const EncoderConfig& config() const { return config_; }
+  const embedding::Vocabulary& vocab() const { return vocab_; }
+
+ private:
+  EncoderConfig config_;
+  embedding::Vocabulary vocab_;
+  nn::Parameter token_embedding_;     // [vocab+1, d_model]; row 0 = <cls>
+  nn::Parameter position_embedding_;  // [max_tokens+1, d_model]
+  std::vector<std::unique_ptr<TransformerBlock>> blocks_;
+  nn::LayerNorm final_ln_;
+  nn::Linear classifier_;
+
+  // Forward caches.
+  std::vector<int> tokens_cache_;
+  size_t seq_len_ = 0;
+};
+
+}  // namespace sato::encoder
+
+#endif  // SATO_ENCODER_TOKEN_ENCODER_H_

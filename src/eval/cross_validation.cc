@@ -1,0 +1,29 @@
+#include "eval/cross_validation.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace sato::eval {
+
+std::vector<FoldIndices> KFold(size_t n, size_t k, util::Rng* rng) {
+  if (k < 2 || k > n) throw std::invalid_argument("KFold: need 2 <= k <= n");
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng->Shuffle(&order);
+
+  std::vector<FoldIndices> folds(k);
+  for (size_t fold = 0; fold < k; ++fold) {
+    size_t lo = fold * n / k;
+    size_t hi = (fold + 1) * n / k;
+    for (size_t i = 0; i < n; ++i) {
+      if (i >= lo && i < hi) {
+        folds[fold].test.push_back(order[i]);
+      } else {
+        folds[fold].train.push_back(order[i]);
+      }
+    }
+  }
+  return folds;
+}
+
+}  // namespace sato::eval

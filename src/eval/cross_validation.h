@@ -1,0 +1,23 @@
+#ifndef SATO_EVAL_CROSS_VALIDATION_H_
+#define SATO_EVAL_CROSS_VALIDATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace sato::eval {
+
+/// Index sets for one cross-validation fold.
+struct FoldIndices {
+  std::vector<size_t> train;
+  std::vector<size_t> test;
+};
+
+/// Shuffled k-fold split over `n` items (the paper's 5-fold CV over tables,
+/// §4.1: 80% train / 20% held-out per iteration).
+std::vector<FoldIndices> KFold(size_t n, size_t k, util::Rng* rng);
+
+}  // namespace sato::eval
+
+#endif  // SATO_EVAL_CROSS_VALIDATION_H_

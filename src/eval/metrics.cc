@@ -1,0 +1,59 @@
+#include "eval/metrics.h"
+
+#include <stdexcept>
+
+namespace sato::eval {
+
+EvaluationResult Evaluate(const std::vector<int>& gold,
+                          const std::vector<int>& predicted, int num_classes) {
+  if (gold.size() != predicted.size()) {
+    throw std::invalid_argument("Evaluate: size mismatch");
+  }
+  size_t k = static_cast<size_t>(num_classes);
+  std::vector<size_t> tp(k, 0), fp(k, 0), fn(k, 0);
+  size_t correct = 0;
+  for (size_t i = 0; i < gold.size(); ++i) {
+    int g = gold[i], p = predicted[i];
+    if (g < 0 || p < 0 || g >= num_classes || p >= num_classes) {
+      throw std::invalid_argument("Evaluate: label out of range");
+    }
+    if (g == p) {
+      ++tp[static_cast<size_t>(g)];
+      ++correct;
+    } else {
+      ++fn[static_cast<size_t>(g)];
+      ++fp[static_cast<size_t>(p)];
+    }
+  }
+
+  EvaluationResult result;
+  result.per_type.resize(k);
+  double macro_sum = 0.0, weighted_sum = 0.0;
+  size_t types_with_support = 0, total_support = 0;
+  for (size_t c = 0; c < k; ++c) {
+    TypeMetrics& m = result.per_type[c];
+    m.support = tp[c] + fn[c];
+    double denom_p = static_cast<double>(tp[c] + fp[c]);
+    double denom_r = static_cast<double>(tp[c] + fn[c]);
+    m.precision = denom_p > 0.0 ? static_cast<double>(tp[c]) / denom_p : 0.0;
+    m.recall = denom_r > 0.0 ? static_cast<double>(tp[c]) / denom_r : 0.0;
+    m.f1 = (m.precision + m.recall) > 0.0
+               ? 2.0 * m.precision * m.recall / (m.precision + m.recall)
+               : 0.0;
+    if (m.support > 0) {
+      macro_sum += m.f1;
+      weighted_sum += m.f1 * static_cast<double>(m.support);
+      ++types_with_support;
+      total_support += m.support;
+    }
+  }
+  result.macro_f1 =
+      types_with_support > 0 ? macro_sum / static_cast<double>(types_with_support) : 0.0;
+  result.weighted_f1 =
+      total_support > 0 ? weighted_sum / static_cast<double>(total_support) : 0.0;
+  result.accuracy =
+      gold.empty() ? 0.0 : static_cast<double>(correct) / static_cast<double>(gold.size());
+  return result;
+}
+
+}  // namespace sato::eval

@@ -1,0 +1,33 @@
+#ifndef SATO_EVAL_METRICS_H_
+#define SATO_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace sato::eval {
+
+/// Per-class precision/recall/F1 with support (test-set sample count).
+struct TypeMetrics {
+  size_t support = 0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Aggregate classification metrics (§4.4): the support-weighted F1
+/// (per-type F1 weighted by support) and the macro average F1 (unweighted
+/// mean over types *with support*, which is sensitive to the long tail).
+struct EvaluationResult {
+  std::vector<TypeMetrics> per_type;
+  double macro_f1 = 0.0;
+  double weighted_f1 = 0.0;
+  double accuracy = 0.0;
+};
+
+/// Computes metrics from parallel gold/predicted label vectors.
+EvaluationResult Evaluate(const std::vector<int>& gold,
+                          const std::vector<int>& predicted, int num_classes);
+
+}  // namespace sato::eval
+
+#endif  // SATO_EVAL_METRICS_H_

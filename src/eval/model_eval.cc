@@ -1,0 +1,20 @@
+#include "eval/model_eval.h"
+
+namespace sato::eval {
+
+void PredictDataset(SatoModel* model, const Dataset& data,
+                    std::vector<int>* gold, std::vector<int>* predicted) {
+  for (const TableExample& table : data.tables) {
+    std::vector<int> pred = model->Predict(table);
+    gold->insert(gold->end(), table.labels.begin(), table.labels.end());
+    predicted->insert(predicted->end(), pred.begin(), pred.end());
+  }
+}
+
+EvaluationResult EvaluateModel(SatoModel* model, const Dataset& data) {
+  std::vector<int> gold, predicted;
+  PredictDataset(model, data, &gold, &predicted);
+  return Evaluate(gold, predicted, kNumSemanticTypes);
+}
+
+}  // namespace sato::eval

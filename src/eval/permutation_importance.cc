@@ -1,0 +1,72 @@
+#include "eval/permutation_importance.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "eval/model_eval.h"
+
+namespace sato::eval {
+
+namespace {
+
+// Shuffles one feature group across all columns of the dataset (Topic is
+// shuffled across tables, since it is a table-level feature).
+void ShuffleGroup(Dataset* data, features::FeatureGroup group,
+                  util::Rng* rng) {
+  if (group == features::FeatureGroup::kTopic) {
+    std::vector<size_t> order(data->tables.size());
+    std::iota(order.begin(), order.end(), 0);
+    rng->Shuffle(&order);
+    std::vector<std::vector<double>> topics(data->tables.size());
+    for (size_t i = 0; i < order.size(); ++i) {
+      topics[i] = data->tables[order[i]].topic;
+    }
+    for (size_t i = 0; i < order.size(); ++i) {
+      data->tables[i].topic = std::move(topics[i]);
+    }
+    return;
+  }
+  // Collect pointers to every column's group vector and permute contents.
+  std::vector<std::vector<double>*> slots;
+  for (auto& table : data->tables) {
+    for (auto& f : table.features) slots.push_back(&f.group(group));
+  }
+  std::vector<size_t> order(slots.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng->Shuffle(&order);
+  std::vector<std::vector<double>> shuffled(slots.size());
+  for (size_t i = 0; i < slots.size(); ++i) shuffled[i] = *slots[order[i]];
+  for (size_t i = 0; i < slots.size(); ++i) *slots[i] = std::move(shuffled[i]);
+}
+
+}  // namespace
+
+std::vector<GroupImportance> PermutationImportance::Compute(
+    const std::vector<features::FeatureGroup>& groups, int trials,
+    util::Rng* rng) const {
+  EvaluationResult baseline = EvaluateModel(model_, *test_);
+  std::vector<GroupImportance> results;
+  results.reserve(groups.size());
+  for (features::FeatureGroup group : groups) {
+    GroupImportance gi;
+    gi.group = group;
+    double macro_drop = 0.0, weighted_drop = 0.0;
+    for (int trial = 0; trial < trials; ++trial) {
+      Dataset shuffled = *test_;
+      ShuffleGroup(&shuffled, group, rng);
+      EvaluationResult r = EvaluateModel(model_, shuffled);
+      macro_drop += baseline.macro_f1 - r.macro_f1;
+      weighted_drop += baseline.weighted_f1 - r.weighted_f1;
+    }
+    double inv_trials = trials > 0 ? 1.0 / static_cast<double>(trials) : 0.0;
+    // Normalise by the baseline (importance as % of achievable F1).
+    gi.macro_importance = baseline.macro_f1 > 0.0
+        ? 100.0 * macro_drop * inv_trials / baseline.macro_f1 : 0.0;
+    gi.weighted_importance = baseline.weighted_f1 > 0.0
+        ? 100.0 * weighted_drop * inv_trials / baseline.weighted_f1 : 0.0;
+    results.push_back(gi);
+  }
+  return results;
+}
+
+}  // namespace sato::eval

@@ -1,0 +1,41 @@
+#ifndef SATO_EVAL_PERMUTATION_IMPORTANCE_H_
+#define SATO_EVAL_PERMUTATION_IMPORTANCE_H_
+
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/sato_model.h"
+#include "features/pipeline.h"
+#include "util/rng.h"
+
+namespace sato::eval {
+
+/// Importance of one feature group (a bar of Fig 9): the normalised drop in
+/// F1 when the group's features are shuffled across the dataset.
+struct GroupImportance {
+  features::FeatureGroup group;
+  double macro_importance = 0.0;     ///< % drop in macro average F1
+  double weighted_importance = 0.0;  ///< % drop in support-weighted F1
+};
+
+/// Permutation feature importance (§5.4): for each feature group, shuffle
+/// that group's vectors across columns (across tables for the Topic group,
+/// which is a table-level feature), re-evaluate, and average the normalised
+/// F1 drop over `trials` random shuffles.
+class PermutationImportance {
+ public:
+  PermutationImportance(SatoModel* model, const Dataset& test)
+      : model_(model), test_(&test) {}
+
+  std::vector<GroupImportance> Compute(
+      const std::vector<features::FeatureGroup>& groups, int trials,
+      util::Rng* rng) const;
+
+ private:
+  SatoModel* model_;      // not owned
+  const Dataset* test_;   // not owned
+};
+
+}  // namespace sato::eval
+
+#endif  // SATO_EVAL_PERMUTATION_IMPORTANCE_H_

@@ -1,0 +1,184 @@
+#include "eval/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+namespace sato::eval {
+
+namespace {
+
+// Squared Euclidean distance matrix.
+nn::Matrix PairwiseSquaredDistances(const nn::Matrix& x) {
+  size_t n = x.rows();
+  nn::Matrix d(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double sum = 0.0;
+      const double* a = x.Row(i);
+      const double* b = x.Row(j);
+      for (size_t k = 0; k < x.cols(); ++k) {
+        double diff = a[k] - b[k];
+        sum += diff * diff;
+      }
+      d(i, j) = sum;
+      d(j, i) = sum;
+    }
+  }
+  return d;
+}
+
+// Binary-searches the Gaussian bandwidth for row i to hit the target
+// perplexity; writes conditional probabilities p_{j|i} into `row`.
+void RowAffinities(const nn::Matrix& d2, size_t i, double perplexity,
+                   std::vector<double>* row) {
+  size_t n = d2.rows();
+  double target_entropy = std::log(perplexity);
+  double beta = 1.0, beta_min = -std::numeric_limits<double>::infinity(),
+         beta_max = std::numeric_limits<double>::infinity();
+  for (int iter = 0; iter < 50; ++iter) {
+    double sum = 0.0, weighted = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) {
+        (*row)[j] = 0.0;
+        continue;
+      }
+      double p = std::exp(-d2(i, j) * beta);
+      (*row)[j] = p;
+      sum += p;
+      weighted += d2(i, j) * p;
+    }
+    if (sum <= 0.0) sum = 1e-12;
+    double entropy = std::log(sum) + beta * weighted / sum;
+    double diff = entropy - target_entropy;
+    if (std::abs(diff) < 1e-5) break;
+    if (diff > 0.0) {
+      beta_min = beta;
+      beta = std::isinf(beta_max) ? beta * 2.0 : 0.5 * (beta + beta_max);
+    } else {
+      beta_max = beta;
+      beta = std::isinf(beta_min) ? beta / 2.0 : 0.5 * (beta + beta_min);
+    }
+  }
+  double sum = 0.0;
+  for (size_t j = 0; j < n; ++j) sum += (*row)[j];
+  if (sum <= 0.0) sum = 1e-12;
+  for (size_t j = 0; j < n; ++j) (*row)[j] /= sum;
+}
+
+}  // namespace
+
+nn::Matrix TSNE::FitTransform(const nn::Matrix& points, util::Rng* rng) const {
+  size_t n = points.rows();
+  if (n < 4) throw std::invalid_argument("TSNE: need at least 4 points");
+  nn::Matrix d2 = PairwiseSquaredDistances(points);
+
+  // Symmetrised affinities P.
+  nn::Matrix p(n, n);
+  std::vector<double> row(n);
+  double perplexity = std::min(options_.perplexity,
+                               static_cast<double>(n - 1) / 3.0);
+  for (size_t i = 0; i < n; ++i) {
+    RowAffinities(d2, i, perplexity, &row);
+    for (size_t j = 0; j < n; ++j) p(i, j) = row[j];
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double v = (p(i, j) + p(j, i)) / (2.0 * static_cast<double>(n));
+      v = std::max(v, 1e-12);
+      p(i, j) = v;
+      p(j, i) = v;
+    }
+    p(i, i) = 1e-12;
+  }
+
+  // Gradient descent on the 2-D embedding.
+  nn::Matrix y = nn::Matrix::Gaussian(n, 2, 1e-2, rng);
+  nn::Matrix velocity(n, 2);
+  for (int iter = 0; iter < options_.iterations; ++iter) {
+    double exaggeration =
+        iter < options_.exaggeration_iters ? options_.early_exaggeration : 1.0;
+    // Student-t affinities Q (unnormalised numerators first).
+    nn::Matrix num(n, n);
+    double q_sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        double dy0 = y(i, 0) - y(j, 0);
+        double dy1 = y(i, 1) - y(j, 1);
+        double v = 1.0 / (1.0 + dy0 * dy0 + dy1 * dy1);
+        num(i, j) = v;
+        num(j, i) = v;
+        q_sum += 2.0 * v;
+      }
+    }
+    q_sum = std::max(q_sum, 1e-12);
+    nn::Matrix grad(n, 2);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        double q = std::max(num(i, j) / q_sum, 1e-12);
+        double mult = (exaggeration * p(i, j) - q) * num(i, j);
+        grad(i, 0) += 4.0 * mult * (y(i, 0) - y(j, 0));
+        grad(i, 1) += 4.0 * mult * (y(i, 1) - y(j, 1));
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t k = 0; k < 2; ++k) {
+        velocity(i, k) = options_.momentum * velocity(i, k) -
+                         options_.learning_rate * grad(i, k);
+        y(i, k) += velocity(i, k);
+      }
+    }
+    // Centre the embedding.
+    nn::Matrix mean = y.ColumnMeans();
+    for (size_t i = 0; i < n; ++i) {
+      y(i, 0) -= mean(0, 0);
+      y(i, 1) -= mean(0, 1);
+    }
+  }
+  return y;
+}
+
+double SilhouetteScore(const nn::Matrix& points,
+                       const std::vector<int>& labels) {
+  size_t n = points.rows();
+  if (labels.size() != n) {
+    throw std::invalid_argument("SilhouetteScore: label mismatch");
+  }
+  std::map<int, size_t> cluster_sizes;
+  for (int l : labels) ++cluster_sizes[l];
+  if (cluster_sizes.size() < 2) return 0.0;
+
+  nn::Matrix d2 = PairwiseSquaredDistances(points);
+  double total = 0.0;
+  size_t counted = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (cluster_sizes[labels[i]] < 2) continue;
+    // Mean intra-cluster distance a(i) and smallest mean inter-cluster
+    // distance b(i).
+    std::map<int, double> sums;
+    std::map<int, size_t> counts;
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      sums[labels[j]] += std::sqrt(d2(i, j));
+      ++counts[labels[j]];
+    }
+    double a = sums[labels[i]] /
+               static_cast<double>(cluster_sizes[labels[i]] - 1);
+    double b = std::numeric_limits<double>::infinity();
+    for (const auto& [label, sum] : sums) {
+      if (label == labels[i]) continue;
+      b = std::min(b, sum / static_cast<double>(counts[label]));
+    }
+    double denom = std::max(a, b);
+    if (denom > 0.0 && std::isfinite(b)) {
+      total += (b - a) / denom;
+      ++counted;
+    }
+  }
+  return counted > 0 ? total / static_cast<double>(counted) : 0.0;
+}
+
+}  // namespace sato::eval

@@ -1,0 +1,41 @@
+#ifndef SATO_EVAL_TSNE_H_
+#define SATO_EVAL_TSNE_H_
+
+#include <vector>
+
+#include "nn/matrix.h"
+#include "util/rng.h"
+
+namespace sato::eval {
+
+/// Exact t-SNE (van der Maaten & Hinton 2008) for the small embedding sets
+/// of the Fig 10 analysis. O(n^2) per iteration; suitable for n <= ~2000.
+class TSNE {
+ public:
+  struct Options {
+    double perplexity = 20.0;
+    int iterations = 400;
+    double learning_rate = 100.0;
+    double momentum = 0.8;
+    double early_exaggeration = 4.0;  ///< applied for the first 80 iterations
+    int exaggeration_iters = 80;
+  };
+
+  explicit TSNE(Options options) : options_(options) {}
+
+  /// Projects [n x d] points to [n x 2].
+  nn::Matrix FitTransform(const nn::Matrix& points, util::Rng* rng) const;
+
+ private:
+  Options options_;
+};
+
+/// Mean silhouette score of a labeled 2-D (or n-D) point set: quantifies
+/// the cluster separation the paper shows visually in Fig 10. In [-1, 1];
+/// higher = better-separated clusters.
+double SilhouetteScore(const nn::Matrix& points,
+                       const std::vector<int>& labels);
+
+}  // namespace sato::eval
+
+#endif  // SATO_EVAL_TSNE_H_

@@ -1,0 +1,64 @@
+#include "features/char_features.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cmath>
+
+namespace sato::features {
+
+namespace {
+// 26 letters (case-folded) + 10 digits + 17 punctuation/special characters.
+constexpr std::string_view kAlphabet =
+    "abcdefghijklmnopqrstuvwxyz0123456789 .,-:/()$%&'\"+#@_";
+
+// Maps a character to its alphabet slot or -1.
+int Slot(char c) {
+  unsigned char u = static_cast<unsigned char>(c);
+  char folded = static_cast<char>(std::tolower(u));
+  auto pos = kAlphabet.find(folded);
+  return pos == std::string_view::npos ? -1 : static_cast<int>(pos);
+}
+}  // namespace
+
+std::string_view CharFeatureExtractor::Alphabet() { return kAlphabet; }
+
+size_t CharFeatureExtractor::dim() const {
+  return kAlphabet.size() * kStatsPerChar;
+}
+
+std::vector<double> CharFeatureExtractor::Extract(const Column& column) const {
+  const size_t a = kAlphabet.size();
+  std::vector<double> sum(a, 0.0), sum_sq(a, 0.0), mx(a, 0.0), present(a, 0.0);
+  size_t n = 0;
+  std::vector<double> counts(a);
+  for (const std::string& value : column.values) {
+    if (value.empty()) continue;
+    ++n;
+    std::fill(counts.begin(), counts.end(), 0.0);
+    for (char c : value) {
+      int s = Slot(c);
+      if (s >= 0) counts[static_cast<size_t>(s)] += 1.0;
+    }
+    for (size_t i = 0; i < a; ++i) {
+      sum[i] += counts[i];
+      sum_sq[i] += counts[i] * counts[i];
+      mx[i] = std::max(mx[i], counts[i]);
+      if (counts[i] > 0.0) present[i] += 1.0;
+    }
+  }
+  std::vector<double> out(dim(), 0.0);
+  if (n == 0) return out;
+  double inv_n = 1.0 / static_cast<double>(n);
+  for (size_t i = 0; i < a; ++i) {
+    double mean = sum[i] * inv_n;
+    double var = std::max(0.0, sum_sq[i] * inv_n - mean * mean);
+    out[i * kStatsPerChar + 0] = mean;
+    out[i * kStatsPerChar + 1] = std::sqrt(var);
+    out[i * kStatsPerChar + 2] = mx[i];
+    out[i * kStatsPerChar + 3] = present[i] * inv_n;
+  }
+  return out;
+}
+
+}  // namespace sato::features

@@ -1,0 +1,36 @@
+#ifndef SATO_FEATURES_CHAR_FEATURES_H_
+#define SATO_FEATURES_CHAR_FEATURES_H_
+
+#include <string_view>
+#include <vector>
+
+#include "table/table.h"
+
+namespace sato::features {
+
+/// Character-distribution features (the Sherlock "Char" group).
+///
+/// For every character in a fixed alphabet (case-folded letters, digits and
+/// common punctuation) we aggregate the per-value occurrence counts across
+/// the column into four statistics: mean, standard deviation, maximum and
+/// the fraction of values containing the character. This is a scaled-down
+/// but structurally faithful version of Sherlock's 960-dim char group
+/// (which uses ~10 aggregates over the full printable range).
+class CharFeatureExtractor {
+ public:
+  /// The alphabet: 26 case-folded letters + 10 digits + punctuation.
+  static std::string_view Alphabet();
+
+  /// Number of aggregate statistics per alphabet character.
+  static constexpr size_t kStatsPerChar = 4;
+
+  /// Output dimensionality.
+  size_t dim() const;
+
+  /// Extracts the feature vector for one column.
+  std::vector<double> Extract(const Column& column) const;
+};
+
+}  // namespace sato::features
+
+#endif  // SATO_FEATURES_CHAR_FEATURES_H_

@@ -1,0 +1,37 @@
+#include "features/para_features.h"
+
+#include <cmath>
+
+namespace sato::features {
+
+std::vector<double> ParagraphFeatureExtractor::Extract(
+    const Column& column) const {
+  const size_t d = embeddings_->dim();
+  std::vector<std::string> tokens;
+  for (const std::string& value : column.values) {
+    auto t = embedding::TokenizeCell(value);
+    tokens.insert(tokens.end(), t.begin(), t.end());
+  }
+  std::vector<double> out(dim(), 0.0);
+  if (tokens.empty()) return out;
+  std::vector<double> weights = tfidf_->Weights(tokens);
+  double total_weight = 0.0;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    std::vector<double> v = embeddings_->Lookup(tokens[i]);
+    for (size_t j = 0; j < d; ++j) out[j] += weights[i] * v[j];
+    total_weight += weights[i];
+  }
+  if (total_weight > 0.0) {
+    for (size_t j = 0; j < d; ++j) out[j] /= total_weight;
+  }
+  double norm = 0.0;
+  for (size_t j = 0; j < d; ++j) norm += out[j] * out[j];
+  norm = std::sqrt(norm);
+  if (norm > 0.0) {
+    for (size_t j = 0; j < d; ++j) out[j] /= norm;
+  }
+  out[d] = norm;
+  return out;
+}
+
+}  // namespace sato::features

@@ -1,0 +1,35 @@
+#ifndef SATO_FEATURES_PARA_FEATURES_H_
+#define SATO_FEATURES_PARA_FEATURES_H_
+
+#include <vector>
+
+#include "embedding/tfidf.h"
+#include "embedding/word_embeddings.h"
+#include "table/table.h"
+
+namespace sato::features {
+
+/// Paragraph-vector features (the Sherlock "Para" group): the whole column
+/// is treated as one document and embedded as the TF-IDF-weighted average
+/// of its token vectors (a standard stand-in for par2vec; substitution
+/// documented in DESIGN.md §1). One extra scalar carries the document norm
+/// before normalisation.
+class ParagraphFeatureExtractor {
+ public:
+  ParagraphFeatureExtractor(const embedding::WordEmbeddings* embeddings,
+                            const embedding::TfIdf* tfidf)
+      : embeddings_(embeddings), tfidf_(tfidf) {}
+
+  /// embedding_dim + 1.
+  size_t dim() const { return embeddings_->dim() + 1; }
+
+  std::vector<double> Extract(const Column& column) const;
+
+ private:
+  const embedding::WordEmbeddings* embeddings_;  // not owned
+  const embedding::TfIdf* tfidf_;                // not owned
+};
+
+}  // namespace sato::features
+
+#endif  // SATO_FEATURES_PARA_FEATURES_H_

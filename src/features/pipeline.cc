@@ -1,0 +1,140 @@
+#include "features/pipeline.h"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace sato::features {
+
+std::string FeatureGroupName(FeatureGroup group) {
+  switch (group) {
+    case FeatureGroup::kChar: return "char";
+    case FeatureGroup::kWord: return "word";
+    case FeatureGroup::kPara: return "par";
+    case FeatureGroup::kStat: return "rest";
+    case FeatureGroup::kTopic: return "topic";
+  }
+  return "?";
+}
+
+const std::vector<double>& ColumnFeatures::group(FeatureGroup g) const {
+  switch (g) {
+    case FeatureGroup::kChar: return char_features;
+    case FeatureGroup::kWord: return word_features;
+    case FeatureGroup::kPara: return para_features;
+    case FeatureGroup::kStat: return stat_features;
+    case FeatureGroup::kTopic: break;
+  }
+  throw std::invalid_argument("ColumnFeatures::group: topic not stored here");
+}
+
+std::vector<double>& ColumnFeatures::group(FeatureGroup g) {
+  return const_cast<std::vector<double>&>(
+      static_cast<const ColumnFeatures*>(this)->group(g));
+}
+
+ColumnFeatures FeaturePipeline::Extract(const Column& column) const {
+  ColumnFeatures f;
+  f.char_features = char_.Extract(column);
+  f.word_features = word_.Extract(column);
+  f.para_features = para_.Extract(column);
+  f.stat_features = stat_.Extract(column);
+  return f;
+}
+
+void FeatureScaler::FitGroup(
+    const std::vector<const std::vector<double>*>& cols,
+    std::vector<double>* mean, std::vector<double>* std) {
+  if (cols.empty()) return;
+  size_t d = cols[0]->size();
+  mean->assign(d, 0.0);
+  std->assign(d, 0.0);
+  double inv_n = 1.0 / static_cast<double>(cols.size());
+  for (const auto* v : cols) {
+    for (size_t i = 0; i < d; ++i) (*mean)[i] += (*v)[i];
+  }
+  for (size_t i = 0; i < d; ++i) (*mean)[i] *= inv_n;
+  for (const auto* v : cols) {
+    for (size_t i = 0; i < d; ++i) {
+      double delta = (*v)[i] - (*mean)[i];
+      (*std)[i] += delta * delta;
+    }
+  }
+  for (size_t i = 0; i < d; ++i) {
+    (*std)[i] = std::sqrt((*std)[i] * inv_n);
+    if ((*std)[i] < 1e-9) (*std)[i] = 1.0;  // constant feature: centre only
+  }
+}
+
+void FeatureScaler::Fit(const std::vector<ColumnFeatures>& features) {
+  if (features.empty()) throw std::invalid_argument("FeatureScaler::Fit: empty");
+  for (int g = 0; g < 4; ++g) {
+    std::vector<const std::vector<double>*> cols;
+    cols.reserve(features.size());
+    for (const auto& f : features) {
+      cols.push_back(&f.group(static_cast<FeatureGroup>(g)));
+    }
+    FitGroup(cols, &mean_[g], &std_[g]);
+  }
+  fitted_ = true;
+}
+
+void FeatureScaler::Apply(const std::vector<double>& mean,
+                          const std::vector<double>& std,
+                          std::vector<double>* v) {
+  if (v->size() != mean.size()) {
+    throw std::invalid_argument("FeatureScaler: dimension mismatch");
+  }
+  for (size_t i = 0; i < v->size(); ++i) {
+    (*v)[i] = ((*v)[i] - mean[i]) / std[i];
+  }
+}
+
+void FeatureScaler::Transform(ColumnFeatures* features) const {
+  if (!fitted_) throw std::logic_error("FeatureScaler::Transform before Fit");
+  for (int g = 0; g < 4; ++g) {
+    Apply(mean_[g], std_[g], &features->group(static_cast<FeatureGroup>(g)));
+  }
+}
+
+namespace {
+
+void WriteVector(const std::vector<double>& v, std::ostream* out) {
+  uint64_t n = v.size();
+  out->write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out->write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(n * sizeof(double)));
+}
+
+std::vector<double> ReadVector(std::istream* in) {
+  uint64_t n = 0;
+  in->read(reinterpret_cast<char*>(&n), sizeof(n));
+  std::vector<double> v(n);
+  in->read(reinterpret_cast<char*>(v.data()),
+           static_cast<std::streamsize>(n * sizeof(double)));
+  if (!*in) throw std::runtime_error("FeatureScaler::Load: truncated stream");
+  return v;
+}
+
+}  // namespace
+
+void FeatureScaler::Save(std::ostream* out) const {
+  if (!fitted_) throw std::logic_error("FeatureScaler::Save before Fit");
+  for (int g = 0; g < 4; ++g) {
+    WriteVector(mean_[g], out);
+    WriteVector(std_[g], out);
+  }
+}
+
+FeatureScaler FeatureScaler::Load(std::istream* in) {
+  FeatureScaler scaler;
+  for (int g = 0; g < 4; ++g) {
+    scaler.mean_[g] = ReadVector(in);
+    scaler.std_[g] = ReadVector(in);
+  }
+  scaler.fitted_ = true;
+  return scaler;
+}
+
+}  // namespace sato::features

@@ -1,0 +1,93 @@
+#ifndef SATO_FEATURES_PIPELINE_H_
+#define SATO_FEATURES_PIPELINE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "embedding/tfidf.h"
+#include "embedding/word_embeddings.h"
+#include "features/char_features.h"
+#include "features/para_features.h"
+#include "features/stat_features.h"
+#include "features/word_features.h"
+#include "table/table.h"
+
+namespace sato::features {
+
+/// Feature groups in the order the models consume them. `kTopic` is
+/// produced by the topic module, not by this pipeline, but lives in the
+/// same enum so permutation-importance code (Fig 9) can treat all groups
+/// uniformly.
+enum class FeatureGroup { kChar = 0, kWord = 1, kPara = 2, kStat = 3, kTopic = 4 };
+
+/// Printable name of a feature group ("char", "word", "par", "rest",
+/// "topic" -- the labels of Fig 9).
+std::string FeatureGroupName(FeatureGroup group);
+
+/// Per-column features, kept per group so subnetwork routing and group
+/// shuffling stay trivial.
+struct ColumnFeatures {
+  std::vector<double> char_features;
+  std::vector<double> word_features;
+  std::vector<double> para_features;
+  std::vector<double> stat_features;
+
+  const std::vector<double>& group(FeatureGroup g) const;
+  std::vector<double>& group(FeatureGroup g);
+};
+
+/// Runs the four Sherlock-style extractors over columns.
+class FeaturePipeline {
+ public:
+  FeaturePipeline(const embedding::WordEmbeddings* embeddings,
+                  const embedding::TfIdf* tfidf)
+      : word_(embeddings), para_(embeddings, tfidf) {}
+
+  ColumnFeatures Extract(const Column& column) const;
+
+  size_t char_dim() const { return char_.dim(); }
+  size_t word_dim() const { return word_.dim(); }
+  size_t para_dim() const { return para_.dim(); }
+  size_t stat_dim() const { return stat_.dim(); }
+
+  /// Total feature dimensionality across the four groups.
+  size_t total_dim() const {
+    return char_dim() + word_dim() + para_dim() + stat_dim();
+  }
+
+ private:
+  CharFeatureExtractor char_;
+  WordFeatureExtractor word_;
+  ParagraphFeatureExtractor para_;
+  StatFeatureExtractor stat_;
+};
+
+/// Per-feature standardisation fitted on training columns: x -> (x-mu)/sd.
+/// Applied group-wise; features with zero variance pass through centred.
+class FeatureScaler {
+ public:
+  /// Fits means and stds over a training set of features.
+  void Fit(const std::vector<ColumnFeatures>& features);
+
+  /// Standardises in place.
+  void Transform(ColumnFeatures* features) const;
+
+  bool fitted() const { return fitted_; }
+
+  void Save(std::ostream* out) const;
+  static FeatureScaler Load(std::istream* in);
+
+ private:
+  static void FitGroup(const std::vector<const std::vector<double>*>& cols,
+                       std::vector<double>* mean, std::vector<double>* std);
+  static void Apply(const std::vector<double>& mean,
+                    const std::vector<double>& std, std::vector<double>* v);
+
+  std::vector<double> mean_[4], std_[4];
+  bool fitted_ = false;
+};
+
+}  // namespace sato::features
+
+#endif  // SATO_FEATURES_PIPELINE_H_

@@ -1,0 +1,135 @@
+#include "features/stat_features.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/math_util.h"
+#include "util/string_util.h"
+
+namespace sato::features {
+
+const std::vector<std::string>& StatFeatureExtractor::FeatureNames() {
+  static const std::vector<std::string> names = {
+      "log_num_values",      "frac_empty",          "frac_numeric",
+      "mean_length",         "std_length",          "min_length",
+      "max_length",          "median_length",       "frac_unique",
+      "numeric_mean_log",    "numeric_std_log",     "numeric_min_log",
+      "numeric_max_log",     "numeric_median_log",  "numeric_skewness",
+      "numeric_kurtosis",    "frac_with_digit",     "frac_with_alpha",
+      "frac_all_caps",       "frac_capitalized",    "mean_word_count",
+      "max_word_count",      "frac_with_punct",     "frac_with_space",
+      "value_entropy_norm",  "mean_digit_fraction", "mean_alpha_fraction",
+  };
+  return names;
+}
+
+namespace {
+
+// Symmetric log compression for potentially huge numerics.
+double SignedLog(double v) {
+  return v >= 0.0 ? std::log1p(v) : -std::log1p(-v);
+}
+
+}  // namespace
+
+std::vector<double> StatFeatureExtractor::Extract(const Column& column) const {
+  std::vector<double> out(kDim, 0.0);
+  const auto& values = column.values;
+  size_t total = values.size();
+  out[0] = std::log1p(static_cast<double>(total));
+  if (total == 0) return out;
+
+  size_t empty = 0;
+  std::vector<double> lengths, numerics, word_counts;
+  std::unordered_map<std::string, size_t> value_counts;
+  double with_digit = 0, with_alpha = 0, all_caps = 0, capitalized = 0;
+  double with_punct = 0, with_space = 0;
+  double digit_frac_sum = 0, alpha_frac_sum = 0;
+  size_t non_empty = 0;
+
+  for (const std::string& v : values) {
+    if (v.empty()) {
+      ++empty;
+      continue;
+    }
+    ++non_empty;
+    ++value_counts[v];
+    lengths.push_back(static_cast<double>(v.size()));
+    auto numeric = util::ParseNumeric(v);
+    if (numeric.has_value()) numerics.push_back(*numeric);
+    word_counts.push_back(
+        static_cast<double>(util::SplitWhitespace(v).size()));
+
+    bool has_digit = false, has_alpha = false, has_punct = false,
+         has_space = false, has_lower = false;
+    size_t digits = 0, alphas = 0;
+    for (char c : v) {
+      unsigned char u = static_cast<unsigned char>(c);
+      if (std::isdigit(u)) { has_digit = true; ++digits; }
+      else if (std::isalpha(u)) {
+        has_alpha = true;
+        ++alphas;
+        if (std::islower(u)) has_lower = true;
+      } else if (std::isspace(u)) has_space = true;
+      else has_punct = true;
+    }
+    if (has_digit) ++with_digit;
+    if (has_alpha) ++with_alpha;
+    if (has_alpha && !has_lower) ++all_caps;
+    if (std::isupper(static_cast<unsigned char>(v[0]))) ++capitalized;
+    if (has_punct) ++with_punct;
+    if (has_space) ++with_space;
+    digit_frac_sum += static_cast<double>(digits) / static_cast<double>(v.size());
+    alpha_frac_sum += static_cast<double>(alphas) / static_cast<double>(v.size());
+  }
+
+  double inv_total = 1.0 / static_cast<double>(total);
+  out[1] = static_cast<double>(empty) * inv_total;
+  if (non_empty == 0) return out;
+  double inv_ne = 1.0 / static_cast<double>(non_empty);
+
+  out[2] = static_cast<double>(numerics.size()) * inv_ne;
+  out[3] = util::Mean(lengths);
+  out[4] = util::StdDev(lengths);
+  out[5] = lengths.empty() ? 0.0 : *std::min_element(lengths.begin(), lengths.end());
+  out[6] = lengths.empty() ? 0.0 : *std::max_element(lengths.begin(), lengths.end());
+  out[7] = util::Median(lengths);
+  out[8] = static_cast<double>(value_counts.size()) * inv_ne;
+
+  if (!numerics.empty()) {
+    out[9] = SignedLog(util::Mean(numerics));
+    out[10] = std::log1p(util::StdDev(numerics));
+    out[11] = SignedLog(*std::min_element(numerics.begin(), numerics.end()));
+    out[12] = SignedLog(*std::max_element(numerics.begin(), numerics.end()));
+    out[13] = SignedLog(util::Median(numerics));
+    out[14] = util::Skewness(numerics);
+    out[15] = util::Kurtosis(numerics);
+  }
+
+  out[16] = with_digit * inv_ne;
+  out[17] = with_alpha * inv_ne;
+  out[18] = all_caps * inv_ne;
+  out[19] = capitalized * inv_ne;
+  out[20] = util::Mean(word_counts);
+  out[21] = word_counts.empty()
+                ? 0.0
+                : *std::max_element(word_counts.begin(), word_counts.end());
+  out[22] = with_punct * inv_ne;
+  out[23] = with_space * inv_ne;
+
+  // Normalised entropy of the empirical value distribution.
+  std::vector<double> counts;
+  counts.reserve(value_counts.size());
+  for (const auto& [v, c] : value_counts) counts.push_back(static_cast<double>(c));
+  double h = util::Entropy(counts);
+  double h_max = counts.size() > 1 ? std::log(static_cast<double>(counts.size())) : 1.0;
+  out[24] = h / h_max;
+
+  out[25] = digit_frac_sum * inv_ne;
+  out[26] = alpha_frac_sum * inv_ne;
+  return out;
+}
+
+}  // namespace sato::features

@@ -1,0 +1,29 @@
+#ifndef SATO_FEATURES_STAT_FEATURES_H_
+#define SATO_FEATURES_STAT_FEATURES_H_
+
+#include <vector>
+
+#include "table/table.h"
+
+namespace sato::features {
+
+/// Global column statistics (the Sherlock "Stat" group). Exactly 27
+/// features, matching the paper's count (§3.1: "the Stat feature set, which
+/// consists of only 27 features"); this group is concatenated to the primary
+/// network input directly, without a compression subnetwork.
+class StatFeatureExtractor {
+ public:
+  static constexpr size_t kDim = 27;
+
+  size_t dim() const { return kDim; }
+
+  std::vector<double> Extract(const Column& column) const;
+
+  /// Names of the 27 statistics, aligned with Extract's output order
+  /// (useful for debugging and ablation reports).
+  static const std::vector<std::string>& FeatureNames();
+};
+
+}  // namespace sato::features
+
+#endif  // SATO_FEATURES_STAT_FEATURES_H_

@@ -1,0 +1,42 @@
+#include "features/word_features.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sato::features {
+
+std::vector<double> WordFeatureExtractor::Extract(const Column& column) const {
+  const size_t d = embeddings_->dim();
+  std::vector<double> mean(d, 0.0), sum_sq(d, 0.0);
+  double in_vocab = 0.0, total_tokens = 0.0;
+  size_t n = 0;
+  for (const std::string& value : column.values) {
+    if (value.empty()) continue;
+    auto tokens = embedding::TokenizeCell(value);
+    if (tokens.empty()) continue;
+    ++n;
+    std::vector<double> v = embeddings_->Average(tokens);
+    for (size_t i = 0; i < d; ++i) {
+      mean[i] += v[i];
+      sum_sq[i] += v[i] * v[i];
+    }
+    for (const auto& t : tokens) {
+      total_tokens += 1.0;
+      if (embeddings_->Contains(t)) in_vocab += 1.0;
+    }
+  }
+  std::vector<double> out(dim(), 0.0);
+  if (n == 0) return out;
+  double inv_n = 1.0 / static_cast<double>(n);
+  for (size_t i = 0; i < d; ++i) {
+    double m = mean[i] * inv_n;
+    double var = std::max(0.0, sum_sq[i] * inv_n - m * m);
+    out[i] = m;
+    out[d + i] = std::sqrt(var);
+  }
+  out[2 * d] = total_tokens > 0.0 ? in_vocab / total_tokens : 0.0;
+  out[2 * d + 1] = total_tokens * inv_n;
+  return out;
+}
+
+}  // namespace sato::features

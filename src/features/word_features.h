@@ -1,0 +1,32 @@
+#ifndef SATO_FEATURES_WORD_FEATURES_H_
+#define SATO_FEATURES_WORD_FEATURES_H_
+
+#include <vector>
+
+#include "embedding/word_embeddings.h"
+#include "table/table.h"
+
+namespace sato::features {
+
+/// Word-embedding features (the Sherlock "Word" group): each cell value is
+/// tokenised and embedded (mean of token vectors); the per-value embeddings
+/// are aggregated across the column into a per-dimension mean and standard
+/// deviation, plus two coverage scalars (in-vocabulary token fraction and
+/// mean token count).
+class WordFeatureExtractor {
+ public:
+  explicit WordFeatureExtractor(const embedding::WordEmbeddings* embeddings)
+      : embeddings_(embeddings) {}
+
+  /// 2 * embedding_dim + 2.
+  size_t dim() const { return 2 * embeddings_->dim() + 2; }
+
+  std::vector<double> Extract(const Column& column) const;
+
+ private:
+  const embedding::WordEmbeddings* embeddings_;  // not owned
+};
+
+}  // namespace sato::features
+
+#endif  // SATO_FEATURES_WORD_FEATURES_H_

@@ -1,0 +1,56 @@
+#include "nn/activations.h"
+
+#include <cmath>
+
+namespace sato::nn {
+
+Matrix ReLU::Forward(const Matrix& input, bool /*train*/) {
+  Matrix out = input;
+  mask_ = Matrix(input.rows(), input.cols());
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (out.data()[i] > 0.0) {
+      mask_.data()[i] = 1.0;
+    } else {
+      out.data()[i] = 0.0;
+    }
+  }
+  return out;
+}
+
+Matrix ReLU::Backward(const Matrix& grad_output) {
+  Matrix grad = grad_output;
+  grad.HadamardInPlace(mask_);
+  return grad;
+}
+
+namespace {
+constexpr double kGeluC = 0.7978845608028654;  // sqrt(2/pi)
+constexpr double kGeluA = 0.044715;
+
+double GeluValue(double x) {
+  return 0.5 * x * (1.0 + std::tanh(kGeluC * (x + kGeluA * x * x * x)));
+}
+
+double GeluDerivative(double x) {
+  double t = std::tanh(kGeluC * (x + kGeluA * x * x * x));
+  double dt = (1.0 - t * t) * kGeluC * (1.0 + 3.0 * kGeluA * x * x);
+  return 0.5 * (1.0 + t) + 0.5 * x * dt;
+}
+}  // namespace
+
+Matrix GELU::Forward(const Matrix& input, bool /*train*/) {
+  input_cache_ = input;
+  Matrix out = input;
+  for (size_t i = 0; i < out.size(); ++i) out.data()[i] = GeluValue(out.data()[i]);
+  return out;
+}
+
+Matrix GELU::Backward(const Matrix& grad_output) {
+  Matrix grad = grad_output;
+  for (size_t i = 0; i < grad.size(); ++i) {
+    grad.data()[i] *= GeluDerivative(input_cache_.data()[i]);
+  }
+  return grad;
+}
+
+}  // namespace sato::nn

@@ -1,0 +1,35 @@
+#ifndef SATO_NN_ACTIVATIONS_H_
+#define SATO_NN_ACTIVATIONS_H_
+
+#include <string>
+
+#include "nn/layer.h"
+
+namespace sato::nn {
+
+/// Rectified linear unit.
+class ReLU : public Layer {
+ public:
+  Matrix Forward(const Matrix& input, bool train) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  Matrix mask_;  // 1 where input > 0
+};
+
+/// Gaussian error linear unit (tanh approximation); used by the
+/// Transformer-based extension model (§6).
+class GELU : public Layer {
+ public:
+  Matrix Forward(const Matrix& input, bool train) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::string name() const override { return "GELU"; }
+
+ private:
+  Matrix input_cache_;
+};
+
+}  // namespace sato::nn
+
+#endif  // SATO_NN_ACTIVATIONS_H_

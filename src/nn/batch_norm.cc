@@ -1,0 +1,113 @@
+#include "nn/batch_norm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sato::nn {
+
+BatchNorm1d::BatchNorm1d(size_t features, double momentum, double eps)
+    : momentum_(momentum), eps_(eps),
+      gamma_("gamma", Matrix(1, features, 1.0)),
+      beta_("beta", Matrix(1, features, 0.0)),
+      running_mean_(1, features, 0.0),
+      running_var_(1, features, 1.0) {}
+
+Matrix BatchNorm1d::Forward(const Matrix& input, bool train) {
+  last_train_ = train;
+  size_t n = input.rows(), f = input.cols();
+  if (f != gamma_.value.cols()) {
+    throw std::invalid_argument("BatchNorm1d: feature mismatch");
+  }
+  Matrix mean(1, f), var(1, f);
+  if (train && n > 1) {
+    mean = input.ColumnMeans();
+    for (size_t r = 0; r < n; ++r) {
+      const double* row = input.Row(r);
+      for (size_t c = 0; c < f; ++c) {
+        double d = row[c] - mean(0, c);
+        var(0, c) += d * d;
+      }
+    }
+    var *= 1.0 / static_cast<double>(n);
+    // Update running statistics (unbiased variance, PyTorch convention).
+    double unbias = n > 1 ? static_cast<double>(n) / static_cast<double>(n - 1) : 1.0;
+    for (size_t c = 0; c < f; ++c) {
+      running_mean_(0, c) =
+          (1.0 - momentum_) * running_mean_(0, c) + momentum_ * mean(0, c);
+      running_var_(0, c) =
+          (1.0 - momentum_) * running_var_(0, c) + momentum_ * var(0, c) * unbias;
+    }
+  } else {
+    mean = running_mean_;
+    var = running_var_;
+  }
+
+  inv_std_ = Matrix(1, f);
+  for (size_t c = 0; c < f; ++c) inv_std_(0, c) = 1.0 / std::sqrt(var(0, c) + eps_);
+
+  x_hat_ = Matrix(n, f);
+  Matrix out(n, f);
+  for (size_t r = 0; r < n; ++r) {
+    const double* in = input.Row(r);
+    double* xh = x_hat_.Row(r);
+    double* o = out.Row(r);
+    for (size_t c = 0; c < f; ++c) {
+      xh[c] = (in[c] - mean(0, c)) * inv_std_(0, c);
+      o[c] = gamma_.value(0, c) * xh[c] + beta_.value(0, c);
+    }
+  }
+  return out;
+}
+
+Matrix BatchNorm1d::Backward(const Matrix& grad_output) {
+  size_t n = grad_output.rows(), f = grad_output.cols();
+  Matrix grad_input(n, f);
+
+  // Parameter grads.
+  for (size_t r = 0; r < n; ++r) {
+    const double* go = grad_output.Row(r);
+    const double* xh = x_hat_.Row(r);
+    for (size_t c = 0; c < f; ++c) {
+      gamma_.grad(0, c) += go[c] * xh[c];
+      beta_.grad(0, c) += go[c];
+    }
+  }
+
+  if (!last_train_ || n <= 1) {
+    // Eval-mode backward (running stats treated as constants).
+    for (size_t r = 0; r < n; ++r) {
+      const double* go = grad_output.Row(r);
+      double* gi = grad_input.Row(r);
+      for (size_t c = 0; c < f; ++c) {
+        gi[c] = go[c] * gamma_.value(0, c) * inv_std_(0, c);
+      }
+    }
+    return grad_input;
+  }
+
+  // Train-mode backward through the batch statistics:
+  // dx = (gamma * inv_std / n) * (n*dy - sum(dy) - x_hat * sum(dy*x_hat))
+  Matrix sum_dy(1, f), sum_dy_xhat(1, f);
+  for (size_t r = 0; r < n; ++r) {
+    const double* go = grad_output.Row(r);
+    const double* xh = x_hat_.Row(r);
+    for (size_t c = 0; c < f; ++c) {
+      sum_dy(0, c) += go[c];
+      sum_dy_xhat(0, c) += go[c] * xh[c];
+    }
+  }
+  double inv_n = 1.0 / static_cast<double>(n);
+  for (size_t r = 0; r < n; ++r) {
+    const double* go = grad_output.Row(r);
+    const double* xh = x_hat_.Row(r);
+    double* gi = grad_input.Row(r);
+    for (size_t c = 0; c < f; ++c) {
+      gi[c] = gamma_.value(0, c) * inv_std_(0, c) * inv_n *
+              (static_cast<double>(n) * go[c] - sum_dy(0, c) -
+               xh[c] * sum_dy_xhat(0, c));
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace sato::nn

@@ -1,0 +1,43 @@
+#ifndef SATO_NN_BATCH_NORM_H_
+#define SATO_NN_BATCH_NORM_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace sato::nn {
+
+/// 1-D batch normalisation over the batch dimension with learnable scale
+/// (gamma) and shift (beta), tracking running statistics for eval mode --
+/// the BatchNorm used by the paper's primary network (§3.1).
+class BatchNorm1d : public Layer {
+ public:
+  explicit BatchNorm1d(size_t features, double momentum = 0.1,
+                       double eps = 1e-5);
+
+  Matrix Forward(const Matrix& input, bool train) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::vector<Parameter*> Parameters() override { return {&gamma_, &beta_}; }
+  std::string name() const override { return "BatchNorm1d"; }
+
+  const Matrix& running_mean() const { return running_mean_; }
+  const Matrix& running_var() const { return running_var_; }
+  Matrix* mutable_running_mean() { return &running_mean_; }
+  Matrix* mutable_running_var() { return &running_var_; }
+
+ private:
+  double momentum_, eps_;
+  Parameter gamma_;
+  Parameter beta_;
+  Matrix running_mean_, running_var_;
+
+  // Caches for backward.
+  Matrix x_hat_;
+  Matrix inv_std_;  // 1 x features
+  bool last_train_ = false;
+};
+
+}  // namespace sato::nn
+
+#endif  // SATO_NN_BATCH_NORM_H_

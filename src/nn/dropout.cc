@@ -1,0 +1,37 @@
+#include "nn/dropout.h"
+
+#include <stdexcept>
+
+namespace sato::nn {
+
+Dropout::Dropout(double rate, util::Rng* rng) : rate_(rate), rng_(rng) {
+  if (rate < 0.0 || rate >= 1.0) {
+    throw std::invalid_argument("Dropout rate must be in [0, 1)");
+  }
+}
+
+Matrix Dropout::Forward(const Matrix& input, bool train) {
+  last_train_ = train;
+  if (!train || rate_ == 0.0) return input;
+  double keep = 1.0 - rate_;
+  mask_ = Matrix(input.rows(), input.cols());
+  Matrix out = input;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (rng_->Uniform() < keep) {
+      mask_.data()[i] = 1.0 / keep;
+      out.data()[i] *= 1.0 / keep;
+    } else {
+      out.data()[i] = 0.0;
+    }
+  }
+  return out;
+}
+
+Matrix Dropout::Backward(const Matrix& grad_output) {
+  if (!last_train_ || rate_ == 0.0) return grad_output;
+  Matrix grad = grad_output;
+  grad.HadamardInPlace(mask_);
+  return grad;
+}
+
+}  // namespace sato::nn

@@ -1,0 +1,32 @@
+#ifndef SATO_NN_DROPOUT_H_
+#define SATO_NN_DROPOUT_H_
+
+#include <string>
+
+#include "nn/layer.h"
+
+namespace sato::nn {
+
+/// Inverted dropout: at train time each activation is zeroed with
+/// probability `rate` and survivors are scaled by 1/(1-rate); identity at
+/// eval time.
+class Dropout : public Layer {
+ public:
+  Dropout(double rate, util::Rng* rng);
+
+  Matrix Forward(const Matrix& input, bool train) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::string name() const override { return "Dropout"; }
+
+  double rate() const { return rate_; }
+
+ private:
+  double rate_;
+  util::Rng* rng_;  // not owned
+  Matrix mask_;
+  bool last_train_ = false;
+};
+
+}  // namespace sato::nn
+
+#endif  // SATO_NN_DROPOUT_H_

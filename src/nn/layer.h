@@ -1,0 +1,51 @@
+#ifndef SATO_NN_LAYER_H_
+#define SATO_NN_LAYER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace sato::nn {
+
+/// A trainable tensor together with its accumulated gradient.
+struct Parameter {
+  std::string name;
+  Matrix value;
+  Matrix grad;
+
+  Parameter(std::string n, Matrix v)
+      : name(std::move(n)), value(std::move(v)),
+        grad(value.rows(), value.cols()) {}
+
+  void ZeroGrad() { grad.Fill(0.0); }
+};
+
+/// Base class for all layers. Layers own their parameters and cache
+/// whatever they need from Forward to compute Backward.
+///
+/// Contract: Backward must be called with the gradient of the loss w.r.t.
+/// the layer's most recent Forward output, and returns the gradient w.r.t.
+/// that Forward call's input, accumulating parameter gradients on the way.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Forward pass over a [batch, in_features] matrix. `train` toggles
+  /// training-only behaviour (dropout masks, batch-norm batch statistics).
+  virtual Matrix Forward(const Matrix& input, bool train) = 0;
+
+  /// Backward pass; see class contract.
+  virtual Matrix Backward(const Matrix& grad_output) = 0;
+
+  /// Trainable parameters (possibly empty).
+  virtual std::vector<Parameter*> Parameters() { return {}; }
+
+  /// Human-readable layer name for debugging and serialization.
+  virtual std::string name() const = 0;
+};
+
+}  // namespace sato::nn
+
+#endif  // SATO_NN_LAYER_H_

@@ -1,0 +1,68 @@
+#include "nn/layer_norm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sato::nn {
+
+LayerNorm::LayerNorm(size_t features, double eps)
+    : eps_(eps),
+      gamma_("ln_gamma", Matrix(1, features, 1.0)),
+      beta_("ln_beta", Matrix(1, features, 0.0)) {}
+
+Matrix LayerNorm::Forward(const Matrix& input, bool /*train*/) {
+  size_t n = input.rows(), f = input.cols();
+  if (f != gamma_.value.cols()) {
+    throw std::invalid_argument("LayerNorm: feature mismatch");
+  }
+  x_hat_ = Matrix(n, f);
+  inv_std_.assign(n, 0.0);
+  Matrix out(n, f);
+  for (size_t r = 0; r < n; ++r) {
+    const double* x = input.Row(r);
+    double mean = 0.0;
+    for (size_t c = 0; c < f; ++c) mean += x[c];
+    mean /= static_cast<double>(f);
+    double var = 0.0;
+    for (size_t c = 0; c < f; ++c) {
+      double d = x[c] - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(f);
+    double inv_std = 1.0 / std::sqrt(var + eps_);
+    inv_std_[r] = inv_std;
+    double* xh = x_hat_.Row(r);
+    double* o = out.Row(r);
+    for (size_t c = 0; c < f; ++c) {
+      xh[c] = (x[c] - mean) * inv_std;
+      o[c] = gamma_.value(0, c) * xh[c] + beta_.value(0, c);
+    }
+  }
+  return out;
+}
+
+Matrix LayerNorm::Backward(const Matrix& grad_output) {
+  size_t n = grad_output.rows(), f = grad_output.cols();
+  Matrix grad_input(n, f);
+  double inv_f = 1.0 / static_cast<double>(f);
+  for (size_t r = 0; r < n; ++r) {
+    const double* go = grad_output.Row(r);
+    const double* xh = x_hat_.Row(r);
+    double sum_g = 0.0, sum_gx = 0.0;
+    for (size_t c = 0; c < f; ++c) {
+      double g = go[c] * gamma_.value(0, c);
+      sum_g += g;
+      sum_gx += g * xh[c];
+      gamma_.grad(0, c) += go[c] * xh[c];
+      beta_.grad(0, c) += go[c];
+    }
+    double* gi = grad_input.Row(r);
+    for (size_t c = 0; c < f; ++c) {
+      double g = go[c] * gamma_.value(0, c);
+      gi[c] = inv_std_[r] * (g - inv_f * sum_g - xh[c] * inv_f * sum_gx);
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace sato::nn

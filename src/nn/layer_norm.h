@@ -1,0 +1,32 @@
+#ifndef SATO_NN_LAYER_NORM_H_
+#define SATO_NN_LAYER_NORM_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace sato::nn {
+
+/// Row-wise layer normalisation with learnable scale and shift, as used by
+/// Transformer blocks (the §6 "featurization-free" extension model).
+class LayerNorm : public Layer {
+ public:
+  explicit LayerNorm(size_t features, double eps = 1e-5);
+
+  Matrix Forward(const Matrix& input, bool train) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::vector<Parameter*> Parameters() override { return {&gamma_, &beta_}; }
+  std::string name() const override { return "LayerNorm"; }
+
+ private:
+  double eps_;
+  Parameter gamma_;
+  Parameter beta_;
+  Matrix x_hat_;
+  std::vector<double> inv_std_;  // per row
+};
+
+}  // namespace sato::nn
+
+#endif  // SATO_NN_LAYER_NORM_H_

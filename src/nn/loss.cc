@@ -1,0 +1,66 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sato::nn {
+
+Matrix SoftmaxRows(const Matrix& logits) {
+  Matrix out = logits;
+  for (size_t r = 0; r < out.rows(); ++r) {
+    double* row = out.Row(r);
+    double mx = *std::max_element(row, row + out.cols());
+    double sum = 0.0;
+    for (size_t c = 0; c < out.cols(); ++c) {
+      row[c] = std::exp(row[c] - mx);
+      sum += row[c];
+    }
+    for (size_t c = 0; c < out.cols(); ++c) row[c] /= sum;
+  }
+  return out;
+}
+
+Matrix LogSoftmaxRows(const Matrix& logits) {
+  Matrix out = logits;
+  for (size_t r = 0; r < out.rows(); ++r) {
+    double* row = out.Row(r);
+    double mx = *std::max_element(row, row + out.cols());
+    double sum = 0.0;
+    for (size_t c = 0; c < out.cols(); ++c) sum += std::exp(row[c] - mx);
+    double lse = mx + std::log(sum);
+    for (size_t c = 0; c < out.cols(); ++c) row[c] -= lse;
+  }
+  return out;
+}
+
+double SoftmaxCrossEntropy::Forward(const Matrix& logits,
+                                    const std::vector<int>& targets) {
+  if (logits.rows() != targets.size()) {
+    throw std::invalid_argument("SoftmaxCrossEntropy: batch mismatch");
+  }
+  probs_ = SoftmaxRows(logits);
+  targets_ = targets;
+  double loss = 0.0;
+  for (size_t r = 0; r < logits.rows(); ++r) {
+    int t = targets[r];
+    if (t < 0 || static_cast<size_t>(t) >= logits.cols()) {
+      throw std::invalid_argument("SoftmaxCrossEntropy: target out of range");
+    }
+    loss -= std::log(std::max(probs_(r, static_cast<size_t>(t)), 1e-12));
+  }
+  return loss / static_cast<double>(logits.rows());
+}
+
+Matrix SoftmaxCrossEntropy::Backward() const {
+  Matrix grad = probs_;
+  double inv_n = 1.0 / static_cast<double>(grad.rows());
+  for (size_t r = 0; r < grad.rows(); ++r) {
+    grad(r, static_cast<size_t>(targets_[r])) -= 1.0;
+    double* row = grad.Row(r);
+    for (size_t c = 0; c < grad.cols(); ++c) row[c] *= inv_n;
+  }
+  return grad;
+}
+
+}  // namespace sato::nn

@@ -1,0 +1,39 @@
+#ifndef SATO_NN_LOSS_H_
+#define SATO_NN_LOSS_H_
+
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace sato::nn {
+
+/// Combined softmax + cross-entropy over integer class targets.
+/// The split into Forward (loss and probabilities) and Backward (gradient
+/// w.r.t. logits) matches the usual fused implementation: the backward pass
+/// is simply (softmax - onehot)/batch.
+class SoftmaxCrossEntropy {
+ public:
+  /// Computes mean cross-entropy loss over the batch. `logits` is
+  /// [batch, classes]; `targets` holds a class index per row.
+  /// Populates probs() with the row-wise softmax.
+  double Forward(const Matrix& logits, const std::vector<int>& targets);
+
+  /// Gradient of the mean loss w.r.t. the logits.
+  Matrix Backward() const;
+
+  const Matrix& probs() const { return probs_; }
+
+ private:
+  Matrix probs_;
+  std::vector<int> targets_;
+};
+
+/// Row-wise softmax of a logits matrix (stable).
+Matrix SoftmaxRows(const Matrix& logits);
+
+/// Row-wise log-softmax of a logits matrix (stable).
+Matrix LogSoftmaxRows(const Matrix& logits);
+
+}  // namespace sato::nn
+
+#endif  // SATO_NN_LOSS_H_

@@ -1,0 +1,104 @@
+#ifndef SATO_NN_MATRIX_H_
+#define SATO_NN_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace sato::nn {
+
+/// Dense row-major matrix of doubles. This is the only tensor type the
+/// library needs: batches are matrices of shape [batch, features] and all
+/// layers map matrices to matrices.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix Zeros(size_t rows, size_t cols) { return Matrix(rows, cols); }
+
+  /// Gaussian init with the given standard deviation.
+  static Matrix Gaussian(size_t rows, size_t cols, double stddev,
+                         util::Rng* rng);
+
+  /// Kaiming-He init for a [fan_in, fan_out] weight (suits ReLU networks).
+  static Matrix KaimingHe(size_t fan_in, size_t fan_out, util::Rng* rng);
+
+  /// Builds a 1 x n row matrix from a vector.
+  static Matrix FromRow(const std::vector<double>& row);
+
+  /// Builds a matrix from row vectors (all must share a length).
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  double* Row(size_t r) { return data_.data() + r * cols_; }
+  const double* Row(size_t r) const { return data_.data() + r * cols_; }
+
+  /// Copies row r into a vector.
+  std::vector<double> RowVector(size_t r) const;
+
+  /// Sets row r from a vector of length cols().
+  void SetRow(size_t r, const std::vector<double>& v);
+
+  void Fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+  // -- element-wise in-place ops ------------------------------------------
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double s);
+
+  /// Hadamard (element-wise) product in place.
+  void HadamardInPlace(const Matrix& other);
+
+  /// Adds a 1 x cols row vector to every row.
+  void AddRowVectorInPlace(const Matrix& row);
+
+  /// Sum over rows -> 1 x cols.
+  Matrix ColumnSums() const;
+
+  /// Mean over rows -> 1 x cols.
+  Matrix ColumnMeans() const;
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+  /// Debug string with shape and a few leading values.
+  std::string DebugString() const;
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  size_t rows_, cols_;
+  std::vector<double> data_;
+};
+
+/// C = A * B. Shapes: [m,k] x [k,n] -> [m,n].
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// C = A * B^T. Shapes: [m,k] x [n,k] -> [m,n].
+Matrix MatMulTransposeB(const Matrix& a, const Matrix& b);
+
+/// C = A^T * B. Shapes: [k,m] x [k,n] -> [m,n].
+Matrix MatMulTransposeA(const Matrix& a, const Matrix& b);
+
+/// Horizontal concatenation [A | B] of matrices with equal row counts.
+Matrix ConcatColumns(const Matrix& a, const Matrix& b);
+
+}  // namespace sato::nn
+
+#endif  // SATO_NN_MATRIX_H_

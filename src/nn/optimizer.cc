@@ -1,0 +1,60 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace sato::nn {
+
+AdamOptimizer::AdamOptimizer(std::vector<Parameter*> params, Options options)
+    : params_(std::move(params)), options_(options) {
+  state_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    state_.push_back(State{Matrix(p->value.rows(), p->value.cols()),
+                           Matrix(p->value.rows(), p->value.cols())});
+  }
+}
+
+void AdamOptimizer::Step() {
+  ++step_;
+  double bc1 = 1.0 - std::pow(options_.beta1, static_cast<double>(step_));
+  double bc2 = 1.0 - std::pow(options_.beta2, static_cast<double>(step_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    State& s = state_[i];
+    for (size_t j = 0; j < p->value.size(); ++j) {
+      double g = p->grad.data()[j];
+      if (options_.weight_decay != 0.0) {
+        g += options_.weight_decay * p->value.data()[j];
+      }
+      double& m = s.m.data()[j];
+      double& v = s.v.data()[j];
+      m = options_.beta1 * m + (1.0 - options_.beta1) * g;
+      v = options_.beta2 * v + (1.0 - options_.beta2) * g * g;
+      double m_hat = m / bc1;
+      double v_hat = v / bc2;
+      p->value.data()[j] -=
+          options_.learning_rate * m_hat / (std::sqrt(v_hat) + options_.eps);
+    }
+  }
+}
+
+void AdamOptimizer::ZeroGrad() {
+  for (Parameter* p : params_) p->ZeroGrad();
+}
+
+SgdOptimizer::SgdOptimizer(std::vector<Parameter*> params,
+                           double learning_rate)
+    : params_(std::move(params)), learning_rate_(learning_rate) {}
+
+void SgdOptimizer::Step() {
+  for (Parameter* p : params_) {
+    for (size_t j = 0; j < p->value.size(); ++j) {
+      p->value.data()[j] -= learning_rate_ * p->grad.data()[j];
+    }
+  }
+}
+
+void SgdOptimizer::ZeroGrad() {
+  for (Parameter* p : params_) p->ZeroGrad();
+}
+
+}  // namespace sato::nn

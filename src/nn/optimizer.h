@@ -1,0 +1,62 @@
+#ifndef SATO_NN_OPTIMIZER_H_
+#define SATO_NN_OPTIMIZER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace sato::nn {
+
+/// Adam optimiser with L2 weight decay folded into the gradient (the
+/// semantics of PyTorch's `torch.optim.Adam(weight_decay=...)`, which is
+/// what the paper's training recipe uses: lr 1e-4, weight decay 1e-4, §4.3).
+class AdamOptimizer {
+ public:
+  struct Options {
+    double learning_rate = 1e-4;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double eps = 1e-8;
+    double weight_decay = 0.0;
+  };
+
+  explicit AdamOptimizer(std::vector<Parameter*> params, Options options);
+
+  /// Applies one update from the accumulated gradients.
+  void Step();
+
+  /// Clears all parameter gradients.
+  void ZeroGrad();
+
+  /// Changes the learning rate mid-training (CRF fine-tune uses a second
+  /// rate, §4.3).
+  void set_learning_rate(double lr) { options_.learning_rate = lr; }
+  double learning_rate() const { return options_.learning_rate; }
+
+ private:
+  struct State {
+    Matrix m, v;
+  };
+
+  std::vector<Parameter*> params_;
+  Options options_;
+  std::vector<State> state_;
+  long step_ = 0;
+};
+
+/// Plain SGD, useful as a baseline and in tests.
+class SgdOptimizer {
+ public:
+  SgdOptimizer(std::vector<Parameter*> params, double learning_rate);
+  void Step();
+  void ZeroGrad();
+
+ private:
+  std::vector<Parameter*> params_;
+  double learning_rate_;
+};
+
+}  // namespace sato::nn
+
+#endif  // SATO_NN_OPTIMIZER_H_

@@ -1,0 +1,38 @@
+#include "nn/sequential.h"
+
+namespace sato::nn {
+
+Matrix Sequential::Forward(const Matrix& input, bool train) {
+  Matrix x = input;
+  for (auto& layer : layers_) x = layer->Forward(x, train);
+  return x;
+}
+
+Matrix Sequential::ForwardWithPenultimate(const Matrix& input, bool train,
+                                          Matrix* penultimate) {
+  Matrix x = input;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    if (i + 1 == layers_.size() && penultimate != nullptr) *penultimate = x;
+    x = layers_[i]->Forward(x, train);
+  }
+  return x;
+}
+
+Matrix Sequential::Backward(const Matrix& grad_output) {
+  Matrix g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->Backward(g);
+  }
+  return g;
+}
+
+std::vector<Parameter*> Sequential::Parameters() {
+  std::vector<Parameter*> params;
+  for (auto& layer : layers_) {
+    auto p = layer->Parameters();
+    params.insert(params.end(), p.begin(), p.end());
+  }
+  return params;
+}
+
+}  // namespace sato::nn

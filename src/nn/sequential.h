@@ -1,0 +1,53 @@
+#ifndef SATO_NN_SEQUENTIAL_H_
+#define SATO_NN_SEQUENTIAL_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace sato::nn {
+
+/// Ordered container of layers; forwards through all of them and backwards
+/// in reverse. Also usable as a sub-network building block (the paper's
+/// per-feature-group "subnetworks").
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer; returns a borrowed pointer for convenience.
+  template <typename L, typename... Args>
+  L* Emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L* raw = layer.get();
+    layers_.push_back(std::move(layer));
+    return raw;
+  }
+
+  void Append(std::unique_ptr<Layer> layer) {
+    layers_.push_back(std::move(layer));
+  }
+
+  Matrix Forward(const Matrix& input, bool train) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::vector<Parameter*> Parameters() override;
+  std::string name() const override { return "Sequential"; }
+
+  size_t size() const { return layers_.size(); }
+  Layer* layer(size_t i) { return layers_[i].get(); }
+
+  /// Forward that also reports the input to the final layer -- the
+  /// "column embedding" used by the Fig 10 analysis (activations feeding
+  /// the output layer).
+  Matrix ForwardWithPenultimate(const Matrix& input, bool train,
+                                Matrix* penultimate);
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace sato::nn
+
+#endif  // SATO_NN_SEQUENTIAL_H_

@@ -1,0 +1,64 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace sato::nn {
+
+namespace {
+constexpr uint64_t kMagic = 0x5341544f4d4f444cull;  // "SATOMODL"
+
+void WriteU64(std::ostream* out, uint64_t v) {
+  out->write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+uint64_t ReadU64(std::istream* in) {
+  uint64_t v = 0;
+  in->read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!*in) throw std::runtime_error("nn::LoadParameters: truncated stream");
+  return v;
+}
+}  // namespace
+
+void SaveMatrix(const Matrix& m, std::ostream* out) {
+  WriteU64(out, m.rows());
+  WriteU64(out, m.cols());
+  out->write(reinterpret_cast<const char*>(m.data()),
+             static_cast<std::streamsize>(m.size() * sizeof(double)));
+}
+
+Matrix LoadMatrix(std::istream* in) {
+  uint64_t rows = ReadU64(in);
+  uint64_t cols = ReadU64(in);
+  Matrix m(rows, cols);
+  in->read(reinterpret_cast<char*>(m.data()),
+           static_cast<std::streamsize>(m.size() * sizeof(double)));
+  if (!*in) throw std::runtime_error("nn::LoadMatrix: truncated stream");
+  return m;
+}
+
+void SaveParameters(const std::vector<Parameter*>& params, std::ostream* out) {
+  WriteU64(out, kMagic);
+  WriteU64(out, params.size());
+  for (const Parameter* p : params) SaveMatrix(p->value, out);
+}
+
+void LoadParameters(const std::vector<Parameter*>& params, std::istream* in) {
+  if (ReadU64(in) != kMagic) {
+    throw std::runtime_error("nn::LoadParameters: bad magic");
+  }
+  if (ReadU64(in) != params.size()) {
+    throw std::runtime_error("nn::LoadParameters: parameter count mismatch");
+  }
+  for (Parameter* p : params) {
+    Matrix m = LoadMatrix(in);
+    if (m.rows() != p->value.rows() || m.cols() != p->value.cols()) {
+      throw std::runtime_error("nn::LoadParameters: shape mismatch for " + p->name);
+    }
+    p->value = std::move(m);
+  }
+}
+
+}  // namespace sato::nn

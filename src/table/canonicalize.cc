@@ -1,0 +1,81 @@
+#include "table/canonicalize.h"
+
+#include <cctype>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace sato {
+
+namespace {
+
+// Removes any "(...)" spans, tolerating unbalanced trailing parentheses.
+std::string StripParentheses(std::string_view s) {
+  std::string out;
+  int depth = 0;
+  for (char c : s) {
+    if (c == '(') {
+      ++depth;
+    } else if (c == ')') {
+      if (depth > 0) --depth;
+    } else if (depth == 0) {
+      out += c;
+    }
+  }
+  return out;
+}
+
+bool IsWordSeparator(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == '/' || c == '.' || c == ':';
+}
+
+// Splits on separators and camelCase boundaries ("teamName" -> team, name).
+std::vector<std::string> SplitWords(const std::string& s) {
+  std::vector<std::string> words;
+  std::string current;
+  auto flush = [&] {
+    if (!current.empty()) {
+      words.push_back(current);
+      current.clear();
+    }
+  };
+  char prev = '\0';
+  for (char c : s) {
+    if (IsWordSeparator(c)) {
+      flush();
+    } else {
+      // Split both lower->upper ("teamName") and digit->upper ("42Team")
+      // boundaries; the latter keeps canonicalization idempotent when a
+      // previous pass concatenated a digit-final word with a capitalised
+      // one.
+      bool camel_boundary =
+          std::isupper(static_cast<unsigned char>(c)) &&
+          (std::islower(static_cast<unsigned char>(prev)) ||
+           std::isdigit(static_cast<unsigned char>(prev)));
+      if (camel_boundary) flush();
+      current += c;
+    }
+    prev = c;
+  }
+  flush();
+  return words;
+}
+
+}  // namespace
+
+std::string CanonicalizeHeader(std::string_view header) {
+  std::string stripped = StripParentheses(header);
+  std::vector<std::string> words = SplitWords(stripped);
+  std::string out;
+  for (size_t i = 0; i < words.size(); ++i) {
+    if (i == 0) {
+      out += util::ToLower(words[i]);
+    } else {
+      out += util::Capitalize(words[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace sato

@@ -1,0 +1,23 @@
+#ifndef SATO_TABLE_CANONICALIZE_H_
+#define SATO_TABLE_CANONICALIZE_H_
+
+#include <string>
+#include <string_view>
+
+namespace sato {
+
+/// Converts a raw column header to the paper's "canonical form" (§4.1):
+///
+///  1. trim content in parentheses ("year (first occurrence)" -> "year "),
+///  2. split into words (whitespace, '_', '-', '/' and camelCase boundaries),
+///  3. lower-case every word,
+///  4. capitalise every word except the first,
+///  5. concatenate.
+///
+/// Examples from the paper: "YEAR", "Year" and "year (first occurrence)" all
+/// canonicalise to "year"; "birth place (country)" -> "birthPlace".
+std::string CanonicalizeHeader(std::string_view header);
+
+}  // namespace sato
+
+#endif  // SATO_TABLE_CANONICALIZE_H_

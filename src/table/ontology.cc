@@ -1,0 +1,71 @@
+#include "table/ontology.h"
+
+#include <array>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace sato {
+
+namespace {
+
+const std::unordered_map<std::string, CoarseType>& Mapping() {
+  static const auto* map = [] {
+    auto* m = new std::unordered_map<std::string, CoarseType>();
+    auto add = [&](CoarseType coarse, std::initializer_list<const char*> names) {
+      for (const char* name : names) (*m)[name] = coarse;
+    };
+    add(CoarseType::kPerson,
+        {"name", "person", "artist", "jockey", "director", "creator"});
+    add(CoarseType::kPlace,
+        {"city", "birthPlace", "location", "address", "country", "state",
+         "county", "region", "continent", "nationality", "origin"});
+    add(CoarseType::kOrganisation,
+        {"team", "teamName", "club", "company", "organisation", "affiliation",
+         "affiliate", "publisher", "manufacturer", "brand", "owner",
+         "operator"});
+    add(CoarseType::kArtifact, {"product", "component", "album", "collection"});
+    add(CoarseType::kCategorical,
+        {"type", "category", "class", "classification", "status", "result",
+         "format", "genre", "industry", "service", "education", "religion",
+         "language", "currency", "gender", "sex", "position", "requirement"});
+    add(CoarseType::kNature, {"species", "family"});
+    add(CoarseType::kIdentifier, {"code", "symbol", "isbn", "command"});
+    add(CoarseType::kQuantity,
+        {"age", "weight", "elevation", "depth", "area", "capacity", "sales",
+         "plays", "duration", "fileSize", "credit", "range", "rank",
+         "ranking", "order", "grades"});
+    add(CoarseType::kTemporal, {"year", "day", "birthDate"});
+    add(CoarseType::kText, {"description", "notes"});
+    return m;
+  }();
+  return *map;
+}
+
+}  // namespace
+
+CoarseType CoarseTypeOf(TypeId type) {
+  const auto& map = Mapping();
+  auto it = map.find(TypeName(type));
+  if (it == map.end()) {
+    throw std::logic_error("ontology: unmapped type " + TypeName(type));
+  }
+  return it->second;
+}
+
+const std::string& CoarseTypeName(CoarseType coarse) {
+  static const std::array<std::string, kNumCoarseTypes> names = {
+      "person",     "place",    "organisation", "artifact", "categorical",
+      "nature",     "identifier", "quantity",   "temporal", "text"};
+  return names[static_cast<size_t>(coarse)];
+}
+
+std::vector<int> MapToCoarse(const std::vector<int>& fine_labels) {
+  std::vector<int> out;
+  out.reserve(fine_labels.size());
+  for (int label : fine_labels) {
+    out.push_back(static_cast<int>(CoarseTypeOf(label)));
+  }
+  return out;
+}
+
+}  // namespace sato

@@ -1,0 +1,47 @@
+#ifndef SATO_TABLE_ONTOLOGY_H_
+#define SATO_TABLE_ONTOLOGY_H_
+
+#include <string>
+#include <vector>
+
+#include "table/semantic_type.h"
+
+namespace sato {
+
+/// A coarse type ontology over the 78 semantic types -- the hierarchy the
+/// paper's §6 sketches ("country and city are types of location, club and
+/// company are types of organisation") and defers to future work.
+///
+/// Every fine-grained type has exactly one parent category. The grouping
+/// enables hierarchical evaluation: scoring predictions at the parent
+/// level, and measuring how many errors stay *within* a semantic family
+/// (a `birthPlace`/`city` confusion is a much smaller mistake than
+/// `birthPlace`/`isbn`).
+enum class CoarseType {
+  kPerson = 0,      ///< name, artist, jockey, ...
+  kPlace,           ///< city, birthPlace, country, nationality, ...
+  kOrganisation,    ///< company, club, teamName, publisher, ...
+  kArtifact,        ///< product, component, album, collection
+  kCategorical,     ///< type, category, status, genre, language, ...
+  kNature,          ///< species, family
+  kIdentifier,      ///< code, symbol, isbn, command
+  kQuantity,        ///< age, weight, sales, ranking, fileSize, ...
+  kTemporal,        ///< year, day, birthDate
+  kText,            ///< description, notes
+};
+
+inline constexpr int kNumCoarseTypes = 10;
+
+/// Parent category of a fine-grained type.
+CoarseType CoarseTypeOf(TypeId type);
+
+/// Printable category name ("person", "place", ...).
+const std::string& CoarseTypeName(CoarseType coarse);
+
+/// Maps fine-grained label sequences to parent-category labels (ints in
+/// [0, kNumCoarseTypes)), ready for eval::Evaluate.
+std::vector<int> MapToCoarse(const std::vector<int>& fine_labels);
+
+}  // namespace sato
+
+#endif  // SATO_TABLE_ONTOLOGY_H_

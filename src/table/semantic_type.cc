@@ -1,0 +1,76 @@
+#include "table/semantic_type.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace sato {
+
+namespace {
+
+// The 78 types in the descending-frequency order of Figure 5.
+const char* const kTypeNames[kNumSemanticTypes] = {
+    "name",         "description",    "team",       "type",
+    "age",          "location",       "year",       "city",
+    "rank",         "status",         "state",      "category",
+    "weight",       "code",           "club",       "artist",
+    "result",       "position",       "country",    "notes",
+    "class",        "company",        "album",      "symbol",
+    "address",      "duration",       "format",     "county",
+    "day",          "gender",         "industry",   "language",
+    "sex",          "product",        "jockey",     "region",
+    "area",         "service",        "teamName",   "order",
+    "isbn",         "fileSize",       "grades",     "publisher",
+    "plays",        "origin",         "elevation",  "affiliation",
+    "component",    "owner",          "genre",      "manufacturer",
+    "brand",        "family",         "credit",     "depth",
+    "classification", "collection",   "species",    "command",
+    "nationality",  "currency",       "range",      "affiliate",
+    "birthDate",    "ranking",        "capacity",   "birthPlace",
+    "person",       "creator",        "operator",   "religion",
+    "education",    "requirement",    "director",   "sales",
+    "continent",    "organisation",
+};
+
+const std::unordered_map<std::string, TypeId>& NameIndex() {
+  static const auto* index = [] {
+    auto* m = new std::unordered_map<std::string, TypeId>();
+    for (int i = 0; i < kNumSemanticTypes; ++i) (*m)[kTypeNames[i]] = i;
+    return m;
+  }();
+  return *index;
+}
+
+}  // namespace
+
+SemanticTypeRegistry::SemanticTypeRegistry() {
+  names_.reserve(kNumSemanticTypes);
+  for (const char* name : kTypeNames) names_.emplace_back(name);
+}
+
+const SemanticTypeRegistry& SemanticTypeRegistry::Instance() {
+  static const SemanticTypeRegistry registry;
+  return registry;
+}
+
+std::optional<TypeId> SemanticTypeRegistry::Id(
+    std::string_view canonical_name) const {
+  const auto& index = NameIndex();
+  auto it = index.find(std::string(canonical_name));
+  if (it == index.end()) return std::nullopt;
+  return it->second;
+}
+
+TypeId TypeIdOrDie(std::string_view canonical_name) {
+  auto id = SemanticTypeRegistry::Instance().Id(canonical_name);
+  if (!id.has_value()) {
+    throw std::invalid_argument("unknown semantic type: " +
+                                std::string(canonical_name));
+  }
+  return *id;
+}
+
+const std::string& TypeName(TypeId id) {
+  return SemanticTypeRegistry::Instance().Name(id);
+}
+
+}  // namespace sato

@@ -1,0 +1,58 @@
+#ifndef SATO_TABLE_SEMANTIC_TYPE_H_
+#define SATO_TABLE_SEMANTIC_TYPE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sato {
+
+/// Index of a semantic type in the registry (0 .. kNumSemanticTypes-1).
+using TypeId = int;
+
+/// Number of semantic types considered by Sato / Sherlock (paper §2, §4.1).
+inline constexpr int kNumSemanticTypes = 78;
+
+/// The registry of the 78 semantic types used throughout the paper, in the
+/// descending-frequency order of Figure 5 (so TypeId 0 = `name` is the most
+/// frequent and TypeId 77 = `organisation` the rarest). Keeping the paper's
+/// ordering lets benches print long-tail analyses in the same order the
+/// figures use.
+class SemanticTypeRegistry {
+ public:
+  /// Returns the singleton registry.
+  static const SemanticTypeRegistry& Instance();
+
+  /// Number of types (always kNumSemanticTypes).
+  int size() const { return static_cast<int>(names_.size()); }
+
+  /// Canonical name for a type id. Precondition: 0 <= id < size().
+  const std::string& Name(TypeId id) const { return names_[static_cast<size_t>(id)]; }
+
+  /// Looks up a canonical name; nullopt if unknown.
+  std::optional<TypeId> Id(std::string_view canonical_name) const;
+
+  /// All names in registry (frequency) order.
+  const std::vector<std::string>& names() const { return names_; }
+
+  SemanticTypeRegistry(const SemanticTypeRegistry&) = delete;
+  SemanticTypeRegistry& operator=(const SemanticTypeRegistry&) = delete;
+
+ private:
+  SemanticTypeRegistry();
+
+  std::vector<std::string> names_;
+};
+
+/// Convenience: type id for a canonical name; throws on unknown names.
+/// Prefer SemanticTypeRegistry::Id when the name may be absent.
+TypeId TypeIdOrDie(std::string_view canonical_name);
+
+/// Convenience: canonical name for a type id.
+const std::string& TypeName(TypeId id);
+
+}  // namespace sato
+
+#endif  // SATO_TABLE_SEMANTIC_TYPE_H_

@@ -1,0 +1,80 @@
+#include "table/table.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "table/canonicalize.h"
+#include "util/csv.h"
+
+namespace sato {
+
+size_t Table::num_rows() const {
+  size_t rows = 0;
+  for (const Column& c : columns_) rows = std::max(rows, c.values.size());
+  return rows;
+}
+
+bool Table::FullyLabeled() const {
+  return std::all_of(columns_.begin(), columns_.end(),
+                     [](const Column& c) { return c.type.has_value(); });
+}
+
+std::vector<std::string> Table::AllValues() const {
+  std::vector<std::string> out;
+  for (const Column& c : columns_) {
+    out.insert(out.end(), c.values.begin(), c.values.end());
+  }
+  return out;
+}
+
+std::vector<TypeId> Table::TypeSequence() const {
+  std::vector<TypeId> out;
+  out.reserve(columns_.size());
+  for (const Column& c : columns_) {
+    if (!c.type.has_value()) {
+      throw std::logic_error("Table::TypeSequence: unlabeled column in table " + id_);
+    }
+    out.push_back(*c.type);
+  }
+  return out;
+}
+
+std::string Table::ToCsv() const {
+  std::string out;
+  std::vector<std::string> headers;
+  headers.reserve(columns_.size());
+  for (const Column& c : columns_) headers.push_back(c.header);
+  out += util::CsvFormatRow(headers);
+  size_t rows = num_rows();
+  std::vector<std::string> row(columns_.size());
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      row[c] = r < columns_[c].values.size() ? columns_[c].values[r] : "";
+    }
+    out += util::CsvFormatRow(row);
+  }
+  return out;
+}
+
+Table Table::FromCsv(const std::string& csv_text, std::string id) {
+  auto records = util::CsvParse(csv_text);
+  Table table(std::move(id));
+  if (records.empty()) return table;
+  const auto& headers = records[0];
+  const auto& registry = SemanticTypeRegistry::Instance();
+  for (const std::string& header : headers) {
+    Column column;
+    column.header = header;
+    column.type = registry.Id(CanonicalizeHeader(header));
+    table.AddColumn(std::move(column));
+  }
+  for (size_t r = 1; r < records.size(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      table.column(c).values.push_back(c < records[r].size() ? records[r][c] : "");
+    }
+  }
+  return table;
+}
+
+}  // namespace sato

@@ -1,0 +1,79 @@
+#ifndef SATO_TABLE_TABLE_H_
+#define SATO_TABLE_TABLE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "table/semantic_type.h"
+
+namespace sato {
+
+/// One table column: the raw header (which Sato never shows the model --
+/// headers serve only as ground-truth labels, §2), the ground-truth semantic
+/// type derived from the canonicalised header, and the cell values.
+struct Column {
+  /// Raw header as it appeared in the source table; may be empty.
+  std::string header;
+
+  /// Ground-truth semantic type (from the canonicalised header), or nullopt
+  /// when the header does not match any of the 78 registry types.
+  std::optional<TypeId> type;
+
+  /// Cell values, top to bottom. Empty strings model missing cells.
+  std::vector<std::string> values;
+};
+
+/// A relational table: an ordered sequence of columns (column order matters
+/// -- the CRF models adjacency). Rows are implicit: values[i] of each column
+/// belong to row i.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::string id) : id_(std::move(id)) {}
+
+  const std::string& id() const { return id_; }
+  void set_id(std::string id) { id_ = std::move(id); }
+
+  /// Number of columns.
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Number of rows (maximum column length; columns may be ragged after
+  /// dirty-data injection).
+  size_t num_rows() const;
+
+  const Column& column(size_t i) const { return columns_[i]; }
+  Column& column(size_t i) { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Appends a column.
+  void AddColumn(Column column) { columns_.push_back(std::move(column)); }
+
+  /// True when every column has a known ground-truth type.
+  bool FullyLabeled() const;
+
+  /// All cell values of the table in column-major order -- the "table
+  /// values" that define the global context / LDA document (§3.2).
+  std::vector<std::string> AllValues() const;
+
+  /// Ground-truth type sequence; throws if any column is unlabeled.
+  std::vector<TypeId> TypeSequence() const;
+
+  /// Serialises to CSV: first record holds headers, following records rows.
+  std::string ToCsv() const;
+
+  /// Parses a table from CSV text produced by ToCsv (or any CSV with a
+  /// header row). Ground-truth types are recovered by canonicalising each
+  /// header and matching the registry.
+  static Table FromCsv(const std::string& csv_text, std::string id = "");
+
+ private:
+  std::string id_;
+  std::vector<Column> columns_;
+};
+
+}  // namespace sato
+
+#endif  // SATO_TABLE_TABLE_H_

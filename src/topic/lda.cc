@@ -1,0 +1,219 @@
+#include "topic/lda.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace sato::topic {
+
+namespace {
+
+using embedding::TokenId;
+using embedding::Vocabulary;
+
+// Encodes a tokenised document as in-vocabulary token ids, truncated.
+std::vector<TokenId> Encode(const Vocabulary& vocab,
+                            const std::vector<std::string>& doc,
+                            size_t max_tokens) {
+  std::vector<TokenId> ids;
+  ids.reserve(std::min(doc.size(), max_tokens));
+  for (const auto& token : doc) {
+    if (ids.size() >= max_tokens) break;
+    auto id = vocab.Id(token);
+    if (id.has_value()) ids.push_back(*id);
+  }
+  return ids;
+}
+
+}  // namespace
+
+LdaModel LdaModel::Train(const std::vector<std::vector<std::string>>& documents,
+                         const LdaOptions& options, util::Rng* rng) {
+  LdaModel model;
+  model.options_ = options;
+
+  Vocabulary& vocab = model.vocab_;
+  for (const auto& doc : documents) vocab.CountAll(doc);
+  vocab.Finalize(options.min_count);
+  const size_t v = vocab.size();
+  const int k = options.num_topics;
+  if (v == 0) throw std::invalid_argument("LdaModel::Train: empty vocabulary");
+
+  std::vector<std::vector<TokenId>> docs;
+  docs.reserve(documents.size());
+  for (const auto& doc : documents) {
+    docs.push_back(Encode(vocab, doc, options.max_doc_tokens));
+  }
+
+  // Collapsed Gibbs state.
+  std::vector<std::vector<int>> z(docs.size());          // token topics
+  std::vector<std::vector<int>> n_dk(docs.size());       // doc-topic counts
+  std::vector<int> n_kw(static_cast<size_t>(k) * v, 0);  // topic-word counts
+  std::vector<int> n_k(static_cast<size_t>(k), 0);       // topic totals
+
+  for (size_t d = 0; d < docs.size(); ++d) {
+    z[d].resize(docs[d].size());
+    n_dk[d].assign(static_cast<size_t>(k), 0);
+    for (size_t i = 0; i < docs[d].size(); ++i) {
+      int topic = static_cast<int>(rng->UniformInt(0, k - 1));
+      z[d][i] = topic;
+      ++n_dk[d][static_cast<size_t>(topic)];
+      ++n_kw[static_cast<size_t>(topic) * v + static_cast<size_t>(docs[d][i])];
+      ++n_k[static_cast<size_t>(topic)];
+    }
+  }
+
+  const double alpha = options.alpha;
+  const double beta = options.beta;
+  const double v_beta = static_cast<double>(v) * beta;
+  std::vector<double> p(static_cast<size_t>(k));
+
+  for (int iter = 0; iter < options.train_iterations; ++iter) {
+    for (size_t d = 0; d < docs.size(); ++d) {
+      for (size_t i = 0; i < docs[d].size(); ++i) {
+        TokenId w = docs[d][i];
+        int old_topic = z[d][i];
+        --n_dk[d][static_cast<size_t>(old_topic)];
+        --n_kw[static_cast<size_t>(old_topic) * v + static_cast<size_t>(w)];
+        --n_k[static_cast<size_t>(old_topic)];
+
+        for (int t = 0; t < k; ++t) {
+          p[static_cast<size_t>(t)] =
+              (static_cast<double>(n_dk[d][static_cast<size_t>(t)]) + alpha) *
+              (static_cast<double>(
+                   n_kw[static_cast<size_t>(t) * v + static_cast<size_t>(w)]) +
+               beta) /
+              (static_cast<double>(n_k[static_cast<size_t>(t)]) + v_beta);
+        }
+        int new_topic = static_cast<int>(rng->Categorical(p));
+        z[d][i] = new_topic;
+        ++n_dk[d][static_cast<size_t>(new_topic)];
+        ++n_kw[static_cast<size_t>(new_topic) * v + static_cast<size_t>(w)];
+        ++n_k[static_cast<size_t>(new_topic)];
+      }
+    }
+  }
+
+  // Estimate phi from the final counts.
+  model.phi_.assign(static_cast<size_t>(k), std::vector<double>(v, 0.0));
+  for (int t = 0; t < k; ++t) {
+    double denom = static_cast<double>(n_k[static_cast<size_t>(t)]) + v_beta;
+    for (size_t w = 0; w < v; ++w) {
+      model.phi_[static_cast<size_t>(t)][w] =
+          (static_cast<double>(n_kw[static_cast<size_t>(t) * v + w]) + beta) /
+          denom;
+    }
+  }
+  return model;
+}
+
+std::vector<double> LdaModel::InferTopics(
+    const std::vector<std::string>& document, util::Rng* rng) const {
+  const int k = options_.num_topics;
+  std::vector<double> theta(static_cast<size_t>(k),
+                            1.0 / static_cast<double>(k));
+  std::vector<TokenId> ids = Encode(vocab_, document, options_.max_doc_tokens);
+  if (ids.empty()) return theta;
+
+  std::vector<int> z(ids.size());
+  std::vector<int> n_dk(static_cast<size_t>(k), 0);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    int t = static_cast<int>(rng->UniformInt(0, k - 1));
+    z[i] = t;
+    ++n_dk[static_cast<size_t>(t)];
+  }
+  std::vector<double> p(static_cast<size_t>(k));
+  const double alpha = options_.alpha;
+  for (int iter = 0; iter < options_.infer_iterations; ++iter) {
+    for (size_t i = 0; i < ids.size(); ++i) {
+      int old_topic = z[i];
+      --n_dk[static_cast<size_t>(old_topic)];
+      size_t w = static_cast<size_t>(ids[i]);
+      for (int t = 0; t < k; ++t) {
+        p[static_cast<size_t>(t)] =
+            (static_cast<double>(n_dk[static_cast<size_t>(t)]) + alpha) *
+            phi_[static_cast<size_t>(t)][w];
+      }
+      int new_topic = static_cast<int>(rng->Categorical(p));
+      z[i] = new_topic;
+      ++n_dk[static_cast<size_t>(new_topic)];
+    }
+  }
+  double denom = static_cast<double>(ids.size()) +
+                 static_cast<double>(k) * alpha;
+  for (int t = 0; t < k; ++t) {
+    theta[static_cast<size_t>(t)] =
+        (static_cast<double>(n_dk[static_cast<size_t>(t)]) + alpha) / denom;
+  }
+  return theta;
+}
+
+std::vector<std::pair<std::string, double>> LdaModel::TopWords(
+    int topic, size_t k) const {
+  const auto& row = phi_[static_cast<size_t>(topic)];
+  std::vector<std::pair<std::string, double>> scored;
+  scored.reserve(row.size());
+  for (size_t w = 0; w < row.size(); ++w) {
+    scored.emplace_back(vocab_.Token(static_cast<TokenId>(w)), row[w]);
+  }
+  std::partial_sort(scored.begin(), scored.begin() + std::min(k, scored.size()),
+                    scored.end(), [](const auto& a, const auto& b) {
+                      return a.second > b.second;
+                    });
+  scored.resize(std::min(k, scored.size()));
+  return scored;
+}
+
+void LdaModel::Save(std::ostream* out) const {
+  uint64_t k = static_cast<uint64_t>(options_.num_topics);
+  uint64_t v = vocab_.size();
+  out->write(reinterpret_cast<const char*>(&k), sizeof(k));
+  out->write(reinterpret_cast<const char*>(&v), sizeof(v));
+  out->write(reinterpret_cast<const char*>(&options_), sizeof(options_));
+  for (size_t i = 0; i < v; ++i) {
+    const std::string& t = vocab_.Token(static_cast<TokenId>(i));
+    uint64_t len = t.size();
+    out->write(reinterpret_cast<const char*>(&len), sizeof(len));
+    out->write(t.data(), static_cast<std::streamsize>(len));
+    int64_t freq = vocab_.Frequency(static_cast<TokenId>(i));
+    out->write(reinterpret_cast<const char*>(&freq), sizeof(freq));
+  }
+  for (const auto& row : phi_) {
+    out->write(reinterpret_cast<const char*>(row.data()),
+               static_cast<std::streamsize>(row.size() * sizeof(double)));
+  }
+}
+
+LdaModel LdaModel::Load(std::istream* in) {
+  LdaModel model;
+  uint64_t k = 0, v = 0;
+  in->read(reinterpret_cast<char*>(&k), sizeof(k));
+  in->read(reinterpret_cast<char*>(&v), sizeof(v));
+  in->read(reinterpret_cast<char*>(&model.options_), sizeof(model.options_));
+  if (!*in) throw std::runtime_error("LdaModel::Load: truncated stream");
+  for (uint64_t i = 0; i < v; ++i) {
+    uint64_t len = 0;
+    in->read(reinterpret_cast<char*>(&len), sizeof(len));
+    std::string t(len, '\0');
+    in->read(t.data(), static_cast<std::streamsize>(len));
+    int64_t freq = 0;
+    in->read(reinterpret_cast<char*>(&freq), sizeof(freq));
+    if (!*in) throw std::runtime_error("LdaModel::Load: truncated stream");
+    for (int64_t c = 0; c < freq; ++c) model.vocab_.Count(t);
+  }
+  model.vocab_.Finalize(1);
+  if (model.vocab_.size() != v) {
+    throw std::runtime_error("LdaModel::Load: vocabulary mismatch");
+  }
+  model.phi_.assign(k, std::vector<double>(v, 0.0));
+  for (auto& row : model.phi_) {
+    in->read(reinterpret_cast<char*>(row.data()),
+             static_cast<std::streamsize>(row.size() * sizeof(double)));
+  }
+  if (!*in) throw std::runtime_error("LdaModel::Load: truncated stream");
+  return model;
+}
+
+}  // namespace sato::topic

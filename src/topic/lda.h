@@ -1,0 +1,67 @@
+#ifndef SATO_TOPIC_LDA_H_
+#define SATO_TOPIC_LDA_H_
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "embedding/vocabulary.h"
+#include "util/rng.h"
+
+namespace sato::topic {
+
+/// Latent Dirichlet Allocation configuration. The paper pre-trains a
+/// 400-topic gensim LDA on 10K tables (§4.2); topic count here is
+/// configurable and scaled with corpus size.
+struct LdaOptions {
+  int num_topics = 64;
+  double alpha = 0.1;          ///< document-topic prior
+  double beta = 0.01;          ///< topic-word prior
+  int train_iterations = 120;  ///< collapsed Gibbs sweeps
+  int infer_iterations = 24;   ///< fold-in sweeps for unseen documents
+  int64_t min_count = 2;       ///< vocabulary cutoff
+  size_t max_doc_tokens = 512; ///< truncate very large documents
+};
+
+/// LDA trained with collapsed Gibbs sampling; inference for unseen
+/// documents uses fold-in Gibbs against the frozen topic-word distribution.
+/// This is Sato's "table intent estimator" (§3.2): tables are documents,
+/// the inferred topic mixture is the table topic vector.
+class LdaModel {
+ public:
+  /// Trains a model on tokenised documents.
+  static LdaModel Train(const std::vector<std::vector<std::string>>& documents,
+                        const LdaOptions& options, util::Rng* rng);
+
+  /// Infers the topic mixture theta (length num_topics, sums to 1) for an
+  /// unseen document. Documents with no in-vocabulary token get the uniform
+  /// mixture.
+  std::vector<double> InferTopics(const std::vector<std::string>& document,
+                                  util::Rng* rng) const;
+
+  int num_topics() const { return options_.num_topics; }
+  const embedding::Vocabulary& vocab() const { return vocab_; }
+  const LdaOptions& options() const { return options_; }
+
+  /// Top-k words of a topic by phi (topic-word probability).
+  std::vector<std::pair<std::string, double>> TopWords(int topic,
+                                                       size_t k) const;
+
+  /// Per-topic word distribution phi[k][w]; rows sum to 1.
+  const std::vector<std::vector<double>>& phi() const { return phi_; }
+
+  void Save(std::ostream* out) const;
+  static LdaModel Load(std::istream* in);
+
+ private:
+  LdaModel() = default;
+
+  LdaOptions options_;
+  embedding::Vocabulary vocab_;
+  std::vector<std::vector<double>> phi_;  // K x V
+};
+
+}  // namespace sato::topic
+
+#endif  // SATO_TOPIC_LDA_H_

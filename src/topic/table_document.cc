@@ -1,0 +1,26 @@
+#include "topic/table_document.h"
+
+#include "embedding/vocabulary.h"
+
+namespace sato::topic {
+
+std::vector<std::string> TableToDocument(const Table& table) {
+  std::vector<std::string> doc;
+  for (const Column& column : table.columns()) {
+    for (const std::string& value : column.values) {
+      auto tokens = embedding::TokenizeCell(value);
+      doc.insert(doc.end(), tokens.begin(), tokens.end());
+    }
+  }
+  return doc;
+}
+
+std::vector<std::vector<std::string>> TablesToDocuments(
+    const std::vector<Table>& tables) {
+  std::vector<std::vector<std::string>> docs;
+  docs.reserve(tables.size());
+  for (const Table& t : tables) docs.push_back(TableToDocument(t));
+  return docs;
+}
+
+}  // namespace sato::topic

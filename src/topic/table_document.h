@@ -1,0 +1,24 @@
+#ifndef SATO_TOPIC_TABLE_DOCUMENT_H_
+#define SATO_TOPIC_TABLE_DOCUMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "table/table.h"
+
+namespace sato::topic {
+
+/// Converts a table into the token "document" the LDA models consume:
+/// every cell value of the table (headers excluded -- the paper never shows
+/// headers to the model), tokenised and concatenated in column order
+/// (§4.2: "concatenate all values in the table sequentially to form a
+/// 'document' for each table").
+std::vector<std::string> TableToDocument(const Table& table);
+
+/// Documents for a whole corpus.
+std::vector<std::vector<std::string>> TablesToDocuments(
+    const std::vector<Table>& tables);
+
+}  // namespace sato::topic
+
+#endif  // SATO_TOPIC_TABLE_DOCUMENT_H_

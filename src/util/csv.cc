@@ -1,0 +1,82 @@
+#include "util/csv.h"
+
+#include <istream>
+#include <sstream>
+
+namespace sato::util {
+
+std::string CsvEscape(const std::string& field) {
+  bool needs_quotes = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvFormatRow(const std::vector<std::string>& fields) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += ',';
+    out += CsvEscape(fields[i]);
+  }
+  out += '\n';
+  return out;
+}
+
+bool CsvReadRecord(std::istream& in, std::vector<std::string>* fields) {
+  fields->clear();
+  std::string field;
+  bool in_quotes = false;
+  bool saw_any = false;
+  int c;
+  while ((c = in.get()) != EOF) {
+    saw_any = true;
+    char ch = static_cast<char>(c);
+    if (in_quotes) {
+      if (ch == '"') {
+        if (in.peek() == '"') {
+          in.get();
+          field += '"';
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += ch;
+      }
+    } else {
+      if (ch == '"') {
+        in_quotes = true;
+      } else if (ch == ',') {
+        fields->push_back(std::move(field));
+        field.clear();
+      } else if (ch == '\r') {
+        // Swallow; handled with the following '\n' (or alone as EOL).
+        if (in.peek() == '\n') in.get();
+        fields->push_back(std::move(field));
+        return true;
+      } else if (ch == '\n') {
+        fields->push_back(std::move(field));
+        return true;
+      } else {
+        field += ch;
+      }
+    }
+  }
+  if (!saw_any) return false;
+  fields->push_back(std::move(field));
+  return true;
+}
+
+std::vector<std::vector<std::string>> CsvParse(const std::string& text) {
+  std::istringstream in(text);
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> fields;
+  while (CsvReadRecord(in, &fields)) rows.push_back(fields);
+  return rows;
+}
+
+}  // namespace sato::util

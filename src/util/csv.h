@@ -1,0 +1,28 @@
+#ifndef SATO_UTIL_CSV_H_
+#define SATO_UTIL_CSV_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sato::util {
+
+/// Minimal RFC-4180 CSV support: quoted fields, embedded commas/quotes/
+/// newlines. Used for corpus serialization and bench output export.
+
+/// Escapes one field for CSV output (quotes only when necessary).
+std::string CsvEscape(const std::string& field);
+
+/// Formats one row.
+std::string CsvFormatRow(const std::vector<std::string>& fields);
+
+/// Parses one logical CSV record from the stream (may span physical lines
+/// when fields contain quoted newlines). Returns false at end of input.
+bool CsvReadRecord(std::istream& in, std::vector<std::string>* fields);
+
+/// Parses an entire CSV document from a string.
+std::vector<std::vector<std::string>> CsvParse(const std::string& text);
+
+}  // namespace sato::util
+
+#endif  // SATO_UTIL_CSV_H_

@@ -1,0 +1,47 @@
+#ifndef SATO_UTIL_LOGGING_H_
+#define SATO_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace sato::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Writes one formatted line to stderr if `level` passes the global filter.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+/// Stream-style log statement collector; emits on destruction.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogMessage(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace sato::util
+
+#define SATO_LOG_DEBUG ::sato::util::internal::LogStream(::sato::util::LogLevel::kDebug)
+#define SATO_LOG_INFO ::sato::util::internal::LogStream(::sato::util::LogLevel::kInfo)
+#define SATO_LOG_WARNING ::sato::util::internal::LogStream(::sato::util::LogLevel::kWarning)
+#define SATO_LOG_ERROR ::sato::util::internal::LogStream(::sato::util::LogLevel::kError)
+
+#endif  // SATO_UTIL_LOGGING_H_

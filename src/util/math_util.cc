@@ -1,0 +1,135 @@
+#include "util/math_util.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace sato::util {
+
+double LogSumExp(const double* xs, size_t n) {
+  if (n == 0) return -std::numeric_limits<double>::infinity();
+  double mx = xs[0];
+  for (size_t i = 1; i < n; ++i) mx = std::max(mx, xs[i]);
+  if (!std::isfinite(mx)) return mx;  // all -inf (or contains +inf/nan)
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) sum += std::exp(xs[i] - mx);
+  return mx + std::log(sum);
+}
+
+double LogSumExp(const std::vector<double>& xs) {
+  return LogSumExp(xs.data(), xs.size());
+}
+
+void SoftmaxInPlace(std::vector<double>* xs) {
+  if (xs->empty()) return;
+  double mx = *std::max_element(xs->begin(), xs->end());
+  double sum = 0.0;
+  for (double& x : *xs) {
+    x = std::exp(x - mx);
+    sum += x;
+  }
+  for (double& x : *xs) x /= sum;
+}
+
+std::vector<double> Softmax(const std::vector<double>& xs) {
+  std::vector<double> out = xs;
+  SoftmaxInPlace(&out);
+  return out;
+}
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+namespace {
+
+double CentralMoment(const std::vector<double>& xs, int k) {
+  if (xs.empty()) return 0.0;
+  double m = Mean(xs);
+  double sum = 0.0;
+  for (double x : xs) sum += std::pow(x - m, k);
+  return sum / static_cast<double>(xs.size());
+}
+
+}  // namespace
+
+double StdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  return std::sqrt(CentralMoment(xs, 2));
+}
+
+double SampleStdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double m2 = CentralMoment(xs, 2);
+  double n = static_cast<double>(xs.size());
+  return std::sqrt(m2 * n / (n - 1.0));
+}
+
+double ConfidenceInterval95(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  return 1.96 * SampleStdDev(xs) / std::sqrt(static_cast<double>(xs.size()));
+}
+
+double Skewness(const std::vector<double>& xs) {
+  double sd = StdDev(xs);
+  if (sd == 0.0) return 0.0;
+  return CentralMoment(xs, 3) / (sd * sd * sd);
+}
+
+double Kurtosis(const std::vector<double>& xs) {
+  double var = CentralMoment(xs, 2);
+  if (var == 0.0) return 0.0;
+  return CentralMoment(xs, 4) / (var * var) - 3.0;
+}
+
+double Median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + mid, xs.end());
+  double hi = xs[mid];
+  if (xs.size() % 2 == 1) return hi;
+  double lo = *std::max_element(xs.begin(), xs.begin() + mid);
+  return 0.5 * (lo + hi);
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("Dot: size mismatch");
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double Norm2(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (double x : xs) sum += x * x;
+  return std::sqrt(sum);
+}
+
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  double na = Norm2(a), nb = Norm2(b);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return Dot(a, b) / (na * nb);
+}
+
+double Entropy(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("Entropy: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (double w : weights) {
+    if (w <= 0.0) continue;
+    double p = w / total;
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+}  // namespace sato::util

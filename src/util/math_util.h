@@ -1,0 +1,61 @@
+#ifndef SATO_UTIL_MATH_UTIL_H_
+#define SATO_UTIL_MATH_UTIL_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace sato::util {
+
+/// Numerically stable log(sum(exp(x_i))) over a vector.
+/// Returns -inf for an empty input.
+double LogSumExp(const std::vector<double>& xs);
+
+/// Stable log-sum-exp over a raw range.
+double LogSumExp(const double* xs, size_t n);
+
+/// In-place softmax with max-subtraction for stability.
+void SoftmaxInPlace(std::vector<double>* xs);
+
+/// Returns softmax(xs) without modifying the input.
+std::vector<double> Softmax(const std::vector<double>& xs);
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& xs);
+
+/// Population standard deviation; 0 for fewer than two elements.
+double StdDev(const std::vector<double>& xs);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than two elements.
+double SampleStdDev(const std::vector<double>& xs);
+
+/// Half-width of the 95% confidence interval of the mean, using the normal
+/// approximation (1.96 * s / sqrt(n)). Matches the "± denotes 95% CI"
+/// convention in the paper's Tables 1 and 2.
+double ConfidenceInterval95(const std::vector<double>& xs);
+
+/// Skewness (Fisher-Pearson, population); 0 when undefined.
+double Skewness(const std::vector<double>& xs);
+
+/// Excess kurtosis (population); 0 when undefined.
+double Kurtosis(const std::vector<double>& xs);
+
+/// Median of a copy of the input; 0 for empty input.
+double Median(std::vector<double> xs);
+
+/// Dot product of two equal-length vectors.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// L2 norm.
+double Norm2(const std::vector<double>& xs);
+
+/// Cosine similarity; 0 if either vector is all-zero.
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// Shannon entropy (nats) of a non-negative weight vector, normalising
+/// internally. Returns 0 for degenerate input.
+double Entropy(const std::vector<double>& weights);
+
+}  // namespace sato::util
+
+#endif  // SATO_UTIL_MATH_UTIL_H_

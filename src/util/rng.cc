@@ -1,0 +1,53 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace sato::util {
+
+size_t Rng::Zipf(size_t n, double s) {
+  if (n == 0) throw std::invalid_argument("Rng::Zipf: empty range");
+  // Direct inversion over the (small) support; n is at most a few hundred
+  // for semantic-type sampling, so the O(n) normalisation is fine.
+  double norm = 0.0;
+  for (size_t i = 1; i <= n; ++i) norm += 1.0 / std::pow(static_cast<double>(i), s);
+  double u = Uniform() * norm;
+  double acc = 0.0;
+  for (size_t i = 1; i <= n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i), s);
+    if (u <= acc) return i - 1;
+  }
+  return n - 1;
+}
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("Rng::Categorical: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("Rng::Categorical: all weights zero");
+  double u = Uniform() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u <= acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  if (k > n) throw std::invalid_argument("SampleWithoutReplacement: k > n");
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  // Partial Fisher-Yates: only the first k positions need to be shuffled.
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + Index(n - i);
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace sato::util

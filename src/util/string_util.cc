@@ -1,0 +1,126 @@
+#include "util/string_util.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace sato::util {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string ToUpper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string Trim(std::string_view s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::vector<std::string> Split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitWhitespace(std::string_view s) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    size_t start = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::optional<double> ParseNumeric(std::string_view s) {
+  std::string t = Trim(s);
+  if (t.empty()) return std::nullopt;
+  // Strip thousands separators, but only when they look like separators
+  // (between digits), to avoid treating CSV-like content as numeric.
+  std::string cleaned;
+  cleaned.reserve(t.size());
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i] == ',') {
+      bool digit_before = i > 0 && std::isdigit(static_cast<unsigned char>(t[i - 1]));
+      bool digit_after =
+          i + 1 < t.size() && std::isdigit(static_cast<unsigned char>(t[i + 1]));
+      if (digit_before && digit_after) continue;
+      return std::nullopt;
+    }
+    cleaned += t[i];
+  }
+  // Optional currency/percent decoration, common in web tables.
+  if (!cleaned.empty() && (cleaned.front() == '$')) cleaned.erase(0, 1);
+  if (!cleaned.empty() && cleaned.back() == '%') cleaned.pop_back();
+  if (cleaned.empty()) return std::nullopt;
+  char* end = nullptr;
+  double v = std::strtod(cleaned.c_str(), &end);
+  if (end == nullptr || *end != '\0') return std::nullopt;
+  return v;
+}
+
+bool IsNumeric(std::string_view s) { return ParseNumeric(s).has_value(); }
+
+std::string ReplaceAll(std::string s, std::string_view from,
+                       std::string_view to) {
+  if (from.empty()) return s;
+  size_t pos = 0;
+  while ((pos = s.find(from, pos)) != std::string::npos) {
+    s.replace(pos, from.size(), to);
+    pos += to.size();
+  }
+  return s;
+}
+
+std::string Capitalize(std::string_view s) {
+  std::string out = ToLower(s);
+  if (!out.empty()) {
+    out[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(out[0])));
+  }
+  return out;
+}
+
+uint64_t Fnv1aHash(std::string_view s) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace sato::util

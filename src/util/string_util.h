@@ -1,0 +1,52 @@
+#ifndef SATO_UTIL_STRING_UTIL_H_
+#define SATO_UTIL_STRING_UTIL_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sato::util {
+
+/// ASCII lower-casing (the corpus is ASCII by construction).
+std::string ToLower(std::string_view s);
+
+/// ASCII upper-casing.
+std::string ToUpper(std::string_view s);
+
+/// Removes leading and trailing whitespace.
+std::string Trim(std::string_view s);
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Splits on any run of whitespace; drops empty tokens.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins strings with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Parses a decimal number, tolerating thousands separators (',') that are
+/// common in web-table numerics like "1,777,972". Returns nullopt when the
+/// string is not numeric.
+std::optional<double> ParseNumeric(std::string_view s);
+
+/// True if the whole string parses as a number (after ParseNumeric rules).
+bool IsNumeric(std::string_view s);
+
+/// Replaces all occurrences of `from` with `to`.
+std::string ReplaceAll(std::string s, std::string_view from,
+                       std::string_view to);
+
+/// Capitalises the first letter, lower-cases the rest ("warSAW" -> "Warsaw").
+std::string Capitalize(std::string_view s);
+
+/// Stable 64-bit FNV-1a hash, used for feature hashing and OOV embeddings.
+uint64_t Fnv1aHash(std::string_view s);
+
+}  // namespace sato::util
+
+#endif  // SATO_UTIL_STRING_UTIL_H_

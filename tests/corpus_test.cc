@@ -1,0 +1,373 @@
+// Tests for the synthetic WebTables-style corpus: intent catalogue
+// completeness, per-type value generation properties, header noise, corpus
+// shape (long tail, singleton fraction, co-occurrence structure).
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "corpus/generator.h"
+#include "corpus/intents.h"
+#include "corpus/lexicons.h"
+#include "corpus/value_factory.h"
+#include "table/canonicalize.h"
+#include "util/string_util.h"
+
+namespace sato::corpus {
+namespace {
+
+const IntentSpec& AnyIntent() { return BuiltinIntents().front(); }
+
+// ------------------------------------------------------------- intents ----
+
+TEST(IntentsTest, CatalogueCoversAll78Types) {
+  auto missing = UnreachableTypes(BuiltinIntents());
+  EXPECT_TRUE(missing.empty()) << "first missing: "
+      << (missing.empty() ? "" : TypeName(missing[0]));
+}
+
+TEST(IntentsTest, EveryIntentHasCoreAndTheme) {
+  for (const auto& intent : BuiltinIntents()) {
+    EXPECT_GE(intent.core.size(), 2u) << intent.name;
+    EXPECT_FALSE(intent.theme_words.empty()) << intent.name;
+    EXPECT_GT(intent.weight, 0.0) << intent.name;
+  }
+}
+
+TEST(IntentsTest, OptionalProbabilitiesAreValid) {
+  for (const auto& intent : BuiltinIntents()) {
+    for (const auto& [type, prob] : intent.optional) {
+      EXPECT_GT(prob, 0.0) << intent.name;
+      EXPECT_LE(prob, 1.0) << intent.name;
+    }
+  }
+}
+
+TEST(IntentsTest, BiographyAndCitiesShareAmbiguousLexicon) {
+  // The Fig 1 scenario requires birthPlace (biography) and city
+  // (cities_geo) to exist in different intents.
+  bool has_birth_place = false, has_city = false;
+  for (const auto& intent : BuiltinIntents()) {
+    for (TypeId t : intent.core) {
+      if (TypeName(t) == "birthPlace") has_birth_place = true;
+      if (TypeName(t) == "city") has_city = true;
+    }
+  }
+  EXPECT_TRUE(has_birth_place);
+  EXPECT_TRUE(has_city);
+}
+
+// -------------------------------------------------------- value factory ----
+
+// Property sweep: every type generates non-empty, reasonably short values
+// for every style.
+class ValueFactoryAllTypesTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ValueFactoryAllTypesTest, GeneratesPlausibleValues) {
+  ValueFactory factory;
+  util::Rng rng(static_cast<uint64_t>(GetParam()) + 1);
+  for (int style = 0; style < ValueFactory::kNumStyles; ++style) {
+    for (int i = 0; i < 20; ++i) {
+      std::string v = factory.Generate(GetParam(), style, AnyIntent(), &rng);
+      EXPECT_FALSE(v.empty()) << TypeName(GetParam());
+      EXPECT_LE(v.size(), 120u) << TypeName(GetParam()) << ": " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, ValueFactoryAllTypesTest,
+                         ::testing::Range(0, kNumSemanticTypes));
+
+TEST(ValueFactoryTest, CityAndBirthPlaceShareLexicon) {
+  // The paper's headline ambiguity: identical value distributions.
+  ValueFactory factory;
+  util::Rng rng(5);
+  std::set<std::string> cities, birth_places;
+  for (int i = 0; i < 400; ++i) {
+    cities.insert(factory.Generate(TypeIdOrDie("city"), 0, AnyIntent(), &rng));
+    birth_places.insert(
+        factory.Generate(TypeIdOrDie("birthPlace"), 0, AnyIntent(), &rng));
+  }
+  // Both should be subsets of the city lexicon; heavy overlap expected.
+  std::vector<std::string> intersection;
+  std::set_intersection(cities.begin(), cities.end(), birth_places.begin(),
+                        birth_places.end(), std::back_inserter(intersection));
+  EXPECT_GT(intersection.size(), cities.size() / 2);
+}
+
+TEST(ValueFactoryTest, PersonNameGroupSharesLexicon) {
+  ValueFactory factory;
+  util::Rng rng(6);
+  // name / jockey / director draw from the same name pools (style 0:
+  // "First Last").
+  for (const char* type : {"name", "jockey", "director", "creator"}) {
+    std::string v = factory.Generate(TypeIdOrDie(type), 0, AnyIntent(), &rng);
+    auto words = util::SplitWhitespace(v);
+    ASSERT_EQ(words.size(), 2u) << v;
+  }
+}
+
+TEST(ValueFactoryTest, StyleControlsFormat) {
+  ValueFactory factory;
+  util::Rng rng(7);
+  // Gender style 0 is M/F; style 1 is Male/Female.
+  for (int i = 0; i < 20; ++i) {
+    std::string s0 = factory.Generate(TypeIdOrDie("gender"), 0, AnyIntent(), &rng);
+    EXPECT_TRUE(s0 == "M" || s0 == "F") << s0;
+    std::string s1 = factory.Generate(TypeIdOrDie("gender"), 1, AnyIntent(), &rng);
+    EXPECT_TRUE(s1 == "Male" || s1 == "Female") << s1;
+  }
+}
+
+TEST(ValueFactoryTest, NumericTypesParseAsNumbers) {
+  ValueFactory factory;
+  util::Rng rng(8);
+  for (const char* type : {"age", "year", "ranking", "order", "plays"}) {
+    for (int i = 0; i < 30; ++i) {
+      std::string v = factory.Generate(TypeIdOrDie(type), 0, AnyIntent(), &rng);
+      EXPECT_TRUE(util::IsNumeric(v)) << type << ": " << v;
+    }
+  }
+}
+
+TEST(ValueFactoryTest, AgeRangeIsHuman) {
+  ValueFactory factory;
+  util::Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    double age = *util::ParseNumeric(
+        factory.Generate(TypeIdOrDie("age"), 0, AnyIntent(), &rng));
+    EXPECT_GE(age, 16.0);
+    EXPECT_LE(age, 79.0);
+  }
+}
+
+TEST(ValueFactoryTest, IsbnHasExpectedShape) {
+  ValueFactory factory;
+  util::Rng rng(10);
+  for (int i = 0; i < 20; ++i) {
+    std::string v = factory.Generate(TypeIdOrDie("isbn"), 0, AnyIntent(), &rng);
+    EXPECT_TRUE(util::StartsWith(v, "978-")) << v;
+    EXPECT_EQ(std::count(v.begin(), v.end(), '-'), 4) << v;
+  }
+}
+
+TEST(ValueFactoryTest, ThemePhraseUsesThemeVocabulary) {
+  ValueFactory factory;
+  util::Rng rng(11);
+  const auto& intents = BuiltinIntents();
+  const IntentSpec* biography = nullptr;
+  for (const auto& intent : intents) {
+    if (intent.name == "biography") biography = &intent;
+  }
+  ASSERT_NE(biography, nullptr);
+  int theme_hits = 0;
+  std::set<std::string> theme(biography->theme_words.begin(),
+                              biography->theme_words.end());
+  for (int i = 0; i < 50; ++i) {
+    std::string phrase = factory.ThemePhrase(*biography, 4, 8, &rng);
+    for (const auto& w : util::SplitWhitespace(phrase)) {
+      if (theme.count(w)) {
+        ++theme_hits;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(theme_hits, 30);  // most phrases carry theme signal
+}
+
+TEST(ValueFactoryTest, DeterministicGivenSeed) {
+  ValueFactory factory;
+  util::Rng a(42), b(42);
+  for (TypeId t = 0; t < kNumSemanticTypes; ++t) {
+    EXPECT_EQ(factory.Generate(t, 1, AnyIntent(), &a),
+              factory.Generate(t, 1, AnyIntent(), &b));
+  }
+}
+
+// ------------------------------------------------------------- headers ----
+
+class NoisyHeaderTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NoisyHeaderTest, AlwaysCanonicalizesBackToType) {
+  util::Rng rng(static_cast<uint64_t>(GetParam()) * 31 + 1);
+  for (int i = 0; i < 30; ++i) {
+    std::string header = NoisyHeaderForType(GetParam(), &rng);
+    EXPECT_EQ(CanonicalizeHeader(header), TypeName(GetParam()))
+        << "header: " << header;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, NoisyHeaderTest,
+                         ::testing::Range(0, kNumSemanticTypes));
+
+// ----------------------------------------------------------- generator ----
+
+CorpusOptions SmallOptions() {
+  CorpusOptions opts;
+  opts.num_tables = 600;
+  opts.seed = 3;
+  return opts;
+}
+
+TEST(GeneratorTest, ProducesRequestedTableCount) {
+  CorpusGenerator gen(SmallOptions());
+  auto tables = gen.Generate();
+  EXPECT_EQ(tables.size(), 600u);
+}
+
+TEST(GeneratorTest, AllTablesFullyLabeled) {
+  CorpusGenerator gen(SmallOptions());
+  for (const auto& t : gen.Generate()) {
+    EXPECT_TRUE(t.FullyLabeled()) << t.id();
+    EXPECT_GE(t.num_columns(), 1u);
+  }
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  CorpusGenerator gen(SmallOptions());
+  auto a = gen.Generate();
+  auto b = gen.Generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ToCsv(), b[i].ToCsv());
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  CorpusGenerator gen(SmallOptions());
+  auto a = gen.GenerateWith(50, 1);
+  auto b = gen.GenerateWith(50, 2);
+  int identical = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].ToCsv() == b[i].ToCsv()) ++identical;
+  }
+  EXPECT_LT(identical, 5);
+}
+
+TEST(GeneratorTest, SingletonFractionNearConfigured) {
+  CorpusGenerator gen(SmallOptions());
+  auto tables = gen.Generate();
+  size_t singles = tables.size() - FilterMultiColumn(tables).size();
+  double frac = static_cast<double>(singles) / static_cast<double>(tables.size());
+  EXPECT_NEAR(frac, 0.5, 0.08);
+}
+
+TEST(GeneratorTest, RowCountsWithinBounds) {
+  auto opts = SmallOptions();
+  opts.missing_cell_prob = 0.0;
+  CorpusGenerator gen(opts);
+  for (const auto& t : gen.Generate()) {
+    EXPECT_GE(t.num_rows(), opts.min_rows);
+    EXPECT_LE(t.num_rows(), opts.max_rows);
+  }
+}
+
+TEST(GeneratorTest, MissingCellsApproximatelyAtConfiguredRate) {
+  auto opts = SmallOptions();
+  opts.missing_cell_prob = 0.1;
+  CorpusGenerator gen(opts);
+  size_t total = 0, empty = 0;
+  for (const auto& t : gen.Generate()) {
+    for (const auto& c : t.columns()) {
+      for (const auto& v : c.values) {
+        ++total;
+        if (v.empty()) ++empty;
+      }
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(empty) / static_cast<double>(total), 0.1, 0.02);
+}
+
+TEST(GeneratorTest, TypeDistributionIsLongTailed) {
+  auto opts = SmallOptions();
+  opts.num_tables = 2000;
+  CorpusGenerator gen(opts);
+  std::vector<size_t> counts(kNumSemanticTypes, 0);
+  for (const auto& t : gen.Generate()) {
+    for (const auto& c : t.columns()) ++counts[static_cast<size_t>(*c.type)];
+  }
+  std::vector<size_t> sorted = counts;
+  std::sort(sorted.rbegin(), sorted.rend());
+  // Head should dominate the tail by an order of magnitude (Fig 5 shape).
+  size_t head = sorted[0] + sorted[1] + sorted[2];
+  size_t tail = sorted[75] + sorted[76] + sorted[77];
+  EXPECT_GT(head, 10 * std::max<size_t>(tail, 1));
+  // Every type should appear somewhere.
+  for (TypeId t = 0; t < kNumSemanticTypes; ++t) {
+    EXPECT_GT(counts[static_cast<size_t>(t)], 0u) << TypeName(t);
+  }
+}
+
+TEST(GeneratorTest, CooccurrencePairsReflectIntents) {
+  auto opts = SmallOptions();
+  opts.num_tables = 1500;
+  CorpusGenerator gen(opts);
+  auto tables = FilterMultiColumn(gen.Generate());
+  std::map<std::pair<TypeId, TypeId>, int> pair_counts;
+  for (const auto& t : tables) {
+    auto seq = t.TypeSequence();
+    for (size_t i = 0; i < seq.size(); ++i) {
+      for (size_t j = i + 1; j < seq.size(); ++j) {
+        TypeId lo = std::min(seq[i], seq[j]);
+        TypeId hi = std::max(seq[i], seq[j]);
+        ++pair_counts[std::make_pair(lo, hi)];
+      }
+    }
+  }
+  // city+country (cities_geo core) must co-occur far more often than
+  // city+jockey (never in the same intent).
+  auto key = [](const char* a, const char* b) {
+    TypeId x = TypeIdOrDie(a), y = TypeIdOrDie(b);
+    return std::make_pair(std::min(x, y), std::max(x, y));
+  };
+  int city_country = pair_counts[key("city", "country")];
+  int city_jockey = pair_counts[key("city", "jockey")];
+  EXPECT_GT(city_country, 10 * std::max(city_jockey, 1));
+}
+
+TEST(GeneratorTest, HeadersRecoverGroundTruthThroughCanonicalization) {
+  CorpusGenerator gen(SmallOptions());
+  for (const auto& t : gen.GenerateWith(100, 17)) {
+    // Round-trip through CSV: labels must survive via header matching.
+    Table back = Table::FromCsv(t.ToCsv());
+    ASSERT_EQ(back.num_columns(), t.num_columns());
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      ASSERT_TRUE(back.column(c).type.has_value()) << t.column(c).header;
+      EXPECT_EQ(*back.column(c).type, *t.column(c).type);
+    }
+  }
+}
+
+TEST(GeneratorTest, FilterMultiColumnDropsOnlySingletons) {
+  CorpusGenerator gen(SmallOptions());
+  auto tables = gen.Generate();
+  auto multi = FilterMultiColumn(tables);
+  for (const auto& t : multi) EXPECT_GE(t.num_columns(), 2u);
+  size_t singles = 0;
+  for (const auto& t : tables) singles += t.num_columns() == 1 ? 1 : 0;
+  EXPECT_EQ(multi.size() + singles, tables.size());
+}
+
+// ------------------------------------------------------------ lexicons ----
+
+TEST(LexiconsTest, PoolsAreNonEmptyAndDistinct) {
+  EXPECT_GE(Lexicons::Cities().size(), 50u);
+  EXPECT_GE(Lexicons::Countries().size(), 40u);
+  EXPECT_GE(Lexicons::FirstNames().size(), 50u);
+  EXPECT_GE(Lexicons::LastNames().size(), 50u);
+  EXPECT_EQ(Lexicons::Continents().size(), 7u);
+}
+
+TEST(LexiconsTest, Fig1CitiesPresent) {
+  // The exact values in the paper's Fig 1 example.
+  std::set<std::string_view> cities(Lexicons::Cities().begin(),
+                                    Lexicons::Cities().end());
+  for (const char* c : {"Florence", "Warsaw", "London", "Braunschweig"}) {
+    EXPECT_TRUE(cities.count(c)) << c;
+  }
+}
+
+}  // namespace
+}  // namespace sato::corpus

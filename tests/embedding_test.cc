@@ -1,0 +1,254 @@
+// Unit tests for sato::embedding: vocabulary, tokenisation, TF-IDF, SGNS
+// training, and the word-embedding table.
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "embedding/sgns.h"
+#include "embedding/tfidf.h"
+#include "embedding/vocabulary.h"
+#include "embedding/word_embeddings.h"
+#include "util/math_util.h"
+
+namespace sato::embedding {
+namespace {
+
+// ----------------------------------------------------------- vocabulary ----
+
+TEST(VocabularyTest, AssignsIdsByDescendingFrequency) {
+  Vocabulary v;
+  for (int i = 0; i < 5; ++i) v.Count("common");
+  for (int i = 0; i < 2; ++i) v.Count("rare");
+  v.Count("once");
+  v.Finalize(1);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(*v.Id("common"), 0);
+  EXPECT_EQ(*v.Id("rare"), 1);
+  EXPECT_EQ(*v.Id("once"), 2);
+  EXPECT_EQ(v.Frequency(0), 5);
+}
+
+TEST(VocabularyTest, MinCountFiltersRareTokens) {
+  Vocabulary v;
+  v.Count("a");
+  v.Count("a");
+  v.Count("b");
+  v.Finalize(2);
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_TRUE(v.Id("a").has_value());
+  EXPECT_FALSE(v.Id("b").has_value());
+}
+
+TEST(VocabularyTest, TiesBrokenLexicographically) {
+  Vocabulary v;
+  v.Count("zebra");
+  v.Count("apple");
+  v.Finalize(1);
+  EXPECT_EQ(*v.Id("apple"), 0);
+  EXPECT_EQ(*v.Id("zebra"), 1);
+}
+
+TEST(VocabularyTest, TotalCountSumsInVocabOnly) {
+  Vocabulary v;
+  v.Count("a");
+  v.Count("a");
+  v.Count("b");
+  v.Finalize(2);
+  EXPECT_EQ(v.TotalCount(), 2);
+}
+
+TEST(VocabularyTest, FinalizeIsIdempotent) {
+  Vocabulary v;
+  v.Count("x");
+  v.Finalize(1);
+  size_t size = v.size();
+  v.Finalize(1);
+  EXPECT_EQ(v.size(), size);
+}
+
+// ----------------------------------------------------------- tokenizer ----
+
+TEST(TokenizeCellTest, LowercasesAndSplits) {
+  EXPECT_EQ(TokenizeCell("New York"), (std::vector<std::string>{"new", "york"}));
+  EXPECT_EQ(TokenizeCell("Panthera leo"),
+            (std::vector<std::string>{"panthera", "leo"}));
+}
+
+TEST(TokenizeCellTest, SplitsOnPunctuation) {
+  EXPECT_EQ(TokenizeCell("a-b,c/d"),
+            (std::vector<std::string>{"a", "b", "c", "d"}));
+}
+
+TEST(TokenizeCellTest, NumbersBecomeMagnitudeBuckets) {
+  EXPECT_EQ(TokenizeCell("42"), (std::vector<std::string>{"<num_2>"}));
+  EXPECT_EQ(TokenizeCell("1234"), (std::vector<std::string>{"<num_4>"}));
+  EXPECT_EQ(TokenizeCell("1,777,972"),
+            (std::vector<std::string>{"<num_1>", "<num_3>", "<num_3>"}));
+}
+
+TEST(TokenizeCellTest, MixedAlphanumericKeptVerbatim) {
+  EXPECT_EQ(TokenizeCell("B737"), (std::vector<std::string>{"b737"}));
+}
+
+TEST(TokenizeCellTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(TokenizeCell("").empty());
+  EXPECT_TRUE(TokenizeCell("--- !!").empty());
+}
+
+// --------------------------------------------------------------- tfidf ----
+
+TEST(TfIdfTest, RarerTokensGetHigherIdf) {
+  TfIdf tfidf;
+  tfidf.Fit({{"the", "cat"}, {"the", "dog"}, {"the", "bird"}});
+  EXPECT_GT(tfidf.Idf("cat"), tfidf.Idf("the"));
+  EXPECT_GT(tfidf.Idf("unseen"), tfidf.Idf("cat"));
+}
+
+TEST(TfIdfTest, WeightsScaleWithTermFrequency) {
+  TfIdf tfidf;
+  tfidf.Fit({{"a", "b"}, {"a", "c"}});
+  auto w = tfidf.Weights({"b", "b", "a"});
+  EXPECT_GT(w[0], w[2]);       // b is rarer and twice as frequent here
+  EXPECT_DOUBLE_EQ(w[0], w[1]);
+}
+
+TEST(TfIdfTest, EmptyDocumentYieldsEmptyWeights) {
+  TfIdf tfidf;
+  tfidf.Fit({{"a"}});
+  EXPECT_TRUE(tfidf.Weights({}).empty());
+}
+
+TEST(TfIdfTest, SaveLoadRoundTrip) {
+  TfIdf tfidf;
+  tfidf.Fit({{"the", "cat"}, {"the", "dog"}, {"bird"}});
+  std::stringstream ss;
+  tfidf.Save(&ss);
+  TfIdf back = TfIdf::Load(&ss);
+  EXPECT_EQ(back.num_documents(), tfidf.num_documents());
+  for (const char* t : {"the", "cat", "dog", "bird", "unseen"}) {
+    EXPECT_DOUBLE_EQ(back.Idf(t), tfidf.Idf(t)) << t;
+  }
+}
+
+TEST(TfIdfTest, LoadRejectsTruncated) {
+  std::stringstream ss("xx");
+  EXPECT_THROW(TfIdf::Load(&ss), std::runtime_error);
+}
+
+// ---------------------------------------------------------------- sgns ----
+
+// Builds a corpus with two disjoint token "communities"; tokens that
+// co-occur should end up closer than tokens that never do.
+TEST(SgnsTest, CooccurringTokensAreCloser) {
+  std::vector<std::vector<std::string>> sentences;
+  for (int i = 0; i < 300; ++i) {
+    sentences.push_back({"red", "green", "blue", "yellow"});
+    sentences.push_back({"cat", "dog", "bird", "fish"});
+  }
+  SgnsTrainer::Options opts;
+  opts.dim = 12;
+  opts.epochs = 6;
+  opts.min_count = 1;
+  opts.subsample = 0.0;
+  SgnsTrainer trainer(opts);
+  util::Rng rng(21);
+  WordEmbeddings emb = trainer.Train(sentences, &rng);
+
+  double within = util::CosineSimilarity(emb.Lookup("red"), emb.Lookup("blue"));
+  double across = util::CosineSimilarity(emb.Lookup("red"), emb.Lookup("dog"));
+  EXPECT_GT(within, across);
+}
+
+TEST(SgnsTest, RespectsMinCount) {
+  std::vector<std::vector<std::string>> sentences = {
+      {"a", "b", "a", "b"}, {"a", "b", "rare"}};
+  SgnsTrainer::Options opts;
+  opts.dim = 4;
+  opts.min_count = 2;
+  SgnsTrainer trainer(opts);
+  util::Rng rng(22);
+  WordEmbeddings emb = trainer.Train(sentences, &rng);
+  EXPECT_TRUE(emb.Contains("a"));
+  EXPECT_FALSE(emb.Contains("rare"));
+}
+
+TEST(SgnsTest, DeterministicForFixedSeed) {
+  std::vector<std::vector<std::string>> sentences(
+      50, {"x", "y", "z", "w"});
+  SgnsTrainer::Options opts;
+  opts.dim = 8;
+  opts.min_count = 1;
+  SgnsTrainer trainer(opts);
+  util::Rng rng1(33), rng2(33);
+  WordEmbeddings a = trainer.Train(sentences, &rng1);
+  WordEmbeddings b = trainer.Train(sentences, &rng2);
+  EXPECT_EQ(a.vectors(), b.vectors());
+}
+
+// ----------------------------------------------------- word embeddings ----
+
+WordEmbeddings TinyEmbeddings() {
+  Vocabulary v;
+  v.Count("alpha");
+  v.Count("alpha");
+  v.Count("beta");
+  v.Finalize(1);
+  nn::Matrix vectors = nn::Matrix::FromRows({{1.0, 0.0}, {0.0, 1.0}});
+  return WordEmbeddings(std::move(v), std::move(vectors));
+}
+
+TEST(WordEmbeddingsTest, LookupInVocab) {
+  WordEmbeddings emb = TinyEmbeddings();
+  EXPECT_EQ(emb.Lookup("alpha"), (std::vector<double>{1.0, 0.0}));
+  EXPECT_EQ(emb.Lookup("beta"), (std::vector<double>{0.0, 1.0}));
+}
+
+TEST(WordEmbeddingsTest, OovIsDeterministicAndDistinct) {
+  WordEmbeddings emb = TinyEmbeddings();
+  auto v1 = emb.Lookup("gamma");
+  auto v2 = emb.Lookup("gamma");
+  auto v3 = emb.Lookup("delta");
+  EXPECT_EQ(v1, v2);
+  EXPECT_NE(v1, v3);
+  EXPECT_FALSE(emb.Contains("gamma"));
+}
+
+TEST(WordEmbeddingsTest, AverageOfTokens) {
+  WordEmbeddings emb = TinyEmbeddings();
+  auto avg = emb.Average({"alpha", "beta"});
+  EXPECT_DOUBLE_EQ(avg[0], 0.5);
+  EXPECT_DOUBLE_EQ(avg[1], 0.5);
+  auto empty = emb.Average({});
+  EXPECT_EQ(empty, (std::vector<double>{0.0, 0.0}));
+}
+
+TEST(WordEmbeddingsTest, NearestExcludesSelf) {
+  WordEmbeddings emb = TinyEmbeddings();
+  auto nearest = emb.Nearest("alpha", 2);
+  ASSERT_EQ(nearest.size(), 1u);  // only "beta" remains
+  EXPECT_EQ(nearest[0].first, "beta");
+}
+
+TEST(WordEmbeddingsTest, SaveLoadRoundTrip) {
+  WordEmbeddings emb = TinyEmbeddings();
+  std::stringstream ss;
+  emb.Save(&ss);
+  WordEmbeddings back = WordEmbeddings::Load(&ss);
+  EXPECT_EQ(back.vocab_size(), emb.vocab_size());
+  EXPECT_EQ(back.dim(), emb.dim());
+  EXPECT_EQ(back.Lookup("alpha"), emb.Lookup("alpha"));
+  EXPECT_EQ(back.Lookup("beta"), emb.Lookup("beta"));
+}
+
+TEST(WordEmbeddingsTest, MismatchedShapesRejected) {
+  Vocabulary v;
+  v.Count("only");
+  v.Finalize(1);
+  nn::Matrix two_rows(2, 3);
+  EXPECT_THROW(WordEmbeddings(std::move(v), std::move(two_rows)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sato::embedding

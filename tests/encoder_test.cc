@@ -1,0 +1,262 @@
+// Tests for the §6 extension model: LayerNorm, multi-head self-attention
+// (numerical gradient checks), Transformer block, and the token encoder's
+// ability to learn.
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "corpus/generator.h"
+#include "encoder/attention.h"
+#include "encoder/encoder_trainer.h"
+#include "encoder/token_encoder.h"
+#include "eval/metrics.h"
+#include "nn/layer_norm.h"
+#include "nn/loss.h"
+
+namespace sato::encoder {
+namespace {
+
+constexpr double kEps = 1e-5;
+
+double NumericalGradient(const std::function<double()>& f, double* x) {
+  double orig = *x;
+  *x = orig + kEps;
+  double plus = f();
+  *x = orig - kEps;
+  double minus = f();
+  *x = orig;
+  return (plus - minus) / (2.0 * kEps);
+}
+
+// ----------------------------------------------------------- layernorm ----
+
+TEST(LayerNormTest, NormalizesRows) {
+  nn::LayerNorm ln(4);
+  nn::Matrix x = nn::Matrix::FromRows({{1, 2, 3, 4}, {10, 10, 10, 10}});
+  nn::Matrix y = ln.Forward(x, true);
+  // Row 0: zero mean, unit variance.
+  double mean = 0.0;
+  for (size_t c = 0; c < 4; ++c) mean += y(0, c);
+  EXPECT_NEAR(mean, 0.0, 1e-9);
+  // Constant row maps to ~zero (epsilon-regularised).
+  for (size_t c = 0; c < 4; ++c) EXPECT_NEAR(y(1, c), 0.0, 1e-3);
+}
+
+TEST(LayerNormTest, GradientCheck) {
+  util::Rng rng(1);
+  nn::LayerNorm ln(5);
+  nn::Matrix x = nn::Matrix::Gaussian(3, 5, 1.5, &rng);
+  nn::Matrix w = nn::Matrix::Gaussian(3, 5, 1.0, &rng);
+  auto loss = [&] {
+    nn::LayerNorm fresh(5);
+    nn::Matrix y = fresh.Forward(x, true);
+    double s = 0.0;
+    for (size_t i = 0; i < y.size(); ++i) s += y.data()[i] * w.data()[i];
+    return s;
+  };
+  ln.Forward(x, true);
+  nn::Matrix grad = ln.Backward(w);
+  for (size_t i = 0; i < x.size(); ++i) {
+    double numeric = NumericalGradient(loss, &x.data()[i]);
+    EXPECT_NEAR(grad.data()[i], numeric, 1e-5);
+  }
+}
+
+TEST(LayerNormTest, ParameterGradients) {
+  util::Rng rng(2);
+  nn::LayerNorm ln(3);
+  nn::Matrix x = nn::Matrix::Gaussian(4, 3, 1.0, &rng);
+  ln.Forward(x, true);
+  for (auto* p : ln.Parameters()) p->ZeroGrad();
+  ln.Backward(nn::Matrix(4, 3, 1.0));
+  // beta gradient = column sums of upstream grad = 4 each.
+  auto params = ln.Parameters();
+  nn::Parameter* beta = params[1];
+  for (size_t c = 0; c < 3; ++c) EXPECT_NEAR(beta->grad(0, c), 4.0, 1e-12);
+}
+
+// ----------------------------------------------------------- attention ----
+
+TEST(AttentionTest, OutputShapeMatchesInput) {
+  util::Rng rng(3);
+  MultiHeadSelfAttention attn(8, 2, &rng);
+  nn::Matrix x = nn::Matrix::Gaussian(5, 8, 1.0, &rng);
+  nn::Matrix y = attn.Forward(x, true);
+  EXPECT_EQ(y.rows(), 5u);
+  EXPECT_EQ(y.cols(), 8u);
+}
+
+TEST(AttentionTest, RejectsIndivisibleHeads) {
+  util::Rng rng(4);
+  EXPECT_THROW(MultiHeadSelfAttention(7, 2, &rng), std::invalid_argument);
+}
+
+TEST(AttentionTest, InputGradientCheck) {
+  util::Rng rng(5);
+  MultiHeadSelfAttention attn(6, 2, &rng);
+  nn::Matrix x = nn::Matrix::Gaussian(4, 6, 0.8, &rng);
+  nn::Matrix w = nn::Matrix::Gaussian(4, 6, 1.0, &rng);
+  auto loss = [&] {
+    nn::Matrix y = attn.Forward(x, true);
+    double s = 0.0;
+    for (size_t i = 0; i < y.size(); ++i) s += y.data()[i] * w.data()[i];
+    return s;
+  };
+  attn.Forward(x, true);
+  for (auto* p : attn.Parameters()) p->ZeroGrad();
+  nn::Matrix grad = attn.Backward(w);
+  for (size_t i = 0; i < x.size(); ++i) {
+    double numeric = NumericalGradient(loss, &x.data()[i]);
+    EXPECT_NEAR(grad.data()[i], numeric, 2e-5) << "input[" << i << "]";
+  }
+}
+
+TEST(AttentionTest, ParameterGradientCheck) {
+  util::Rng rng(6);
+  MultiHeadSelfAttention attn(4, 2, &rng);
+  nn::Matrix x = nn::Matrix::Gaussian(3, 4, 0.8, &rng);
+  nn::Matrix w = nn::Matrix::Gaussian(3, 4, 1.0, &rng);
+  auto loss = [&] {
+    nn::Matrix y = attn.Forward(x, true);
+    double s = 0.0;
+    for (size_t i = 0; i < y.size(); ++i) s += y.data()[i] * w.data()[i];
+    return s;
+  };
+  attn.Forward(x, true);
+  for (auto* p : attn.Parameters()) p->ZeroGrad();
+  attn.Backward(w);
+  for (auto* p : attn.Parameters()) {
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      double numeric = NumericalGradient(loss, &p->value.data()[i]);
+      EXPECT_NEAR(p->grad.data()[i], numeric, 2e-5)
+          << p->name << "[" << i << "]";
+    }
+  }
+}
+
+// --------------------------------------------------- transformer block ----
+
+TEST(TransformerBlockTest, GradientCheckThroughBlock) {
+  util::Rng rng(7);
+  EncoderConfig config;
+  config.d_model = 6;
+  config.num_heads = 2;
+  config.ffn_hidden = 8;
+  TransformerBlock block(config, &rng);
+  nn::Matrix x = nn::Matrix::Gaussian(3, 6, 0.5, &rng);
+  nn::Matrix w = nn::Matrix::Gaussian(3, 6, 1.0, &rng);
+  auto loss = [&] {
+    nn::Matrix y = block.Forward(x, true);
+    double s = 0.0;
+    for (size_t i = 0; i < y.size(); ++i) s += y.data()[i] * w.data()[i];
+    return s;
+  };
+  block.Forward(x, true);
+  for (auto* p : block.Parameters()) p->ZeroGrad();
+  nn::Matrix grad = block.Backward(w);
+  for (size_t i = 0; i < x.size(); ++i) {
+    double numeric = NumericalGradient(loss, &x.data()[i]);
+    EXPECT_NEAR(grad.data()[i], numeric, 5e-5);
+  }
+}
+
+// -------------------------------------------------------- token encoder ----
+
+Column MakeColumn(std::vector<std::string> values) {
+  Column c;
+  c.values = std::move(values);
+  return c;
+}
+
+TEST(TokenEncoderTest, EncodeUsesVocabAndClsToken) {
+  EncoderConfig config;
+  config.min_count = 1;
+  Column c = MakeColumn({"alpha beta", "alpha"});
+  auto vocab = TokenEncoderModel::BuildVocabulary({&c}, config);
+  util::Rng rng(8);
+  TokenEncoderModel model(config, std::move(vocab), &rng);
+  auto ids = model.Encode(c);
+  ASSERT_GE(ids.size(), 2u);
+  EXPECT_EQ(ids[0], 0);  // <cls>
+  for (size_t i = 1; i < ids.size(); ++i) EXPECT_GT(ids[i], 0);
+}
+
+TEST(TokenEncoderTest, EncodeTruncatesToMaxTokens) {
+  EncoderConfig config;
+  config.min_count = 1;
+  config.max_tokens = 5;
+  std::vector<std::string> many(50, "token");
+  Column c = MakeColumn(many);
+  auto vocab = TokenEncoderModel::BuildVocabulary({&c}, config);
+  util::Rng rng(9);
+  TokenEncoderModel model(config, std::move(vocab), &rng);
+  EXPECT_LE(model.Encode(c).size(), config.max_tokens + 1);
+}
+
+TEST(TokenEncoderTest, ForwardProducesLogitsOver78Types) {
+  EncoderConfig config;
+  config.min_count = 1;
+  Column c = MakeColumn({"warsaw", "london"});
+  auto vocab = TokenEncoderModel::BuildVocabulary({&c}, config);
+  util::Rng rng(10);
+  TokenEncoderModel model(config, std::move(vocab), &rng);
+  nn::Matrix logits = model.Forward(model.Encode(c), false);
+  EXPECT_EQ(logits.rows(), 1u);
+  EXPECT_EQ(logits.cols(), static_cast<size_t>(kNumSemanticTypes));
+}
+
+TEST(TokenEncoderTest, CanLearnTwoDistinguishableTypes) {
+  // Two token-disjoint classes; a working encoder must separate them.
+  std::vector<Column> columns;
+  std::vector<const Column*> ptrs;
+  std::vector<int> labels;
+  util::Rng data_rng(11);
+  for (int i = 0; i < 60; ++i) {
+    bool city = i % 2 == 0;
+    columns.push_back(MakeColumn(
+        city ? std::vector<std::string>{"warsaw", "london", "paris"}
+             : std::vector<std::string>{"42", "17", "93"}));
+    labels.push_back(city ? TypeIdOrDie("city") : TypeIdOrDie("age"));
+  }
+  for (const auto& c : columns) ptrs.push_back(&c);
+
+  EncoderConfig config;
+  config.min_count = 1;
+  config.epochs = 12;
+  config.d_model = 16;
+  config.ffn_hidden = 24;
+  util::Rng rng(12);
+  auto vocab = TokenEncoderModel::BuildVocabulary(ptrs, config);
+  TokenEncoderModel model(config, std::move(vocab), &rng);
+  EncoderTrainer trainer(config);
+  double loss = trainer.Train(&model, ptrs, labels, &rng);
+  EXPECT_LT(loss, 1.0);
+
+  int correct = 0;
+  for (size_t i = 0; i < ptrs.size(); ++i) {
+    if (PredictColumn(&model, *ptrs[i]) == labels[i]) ++correct;
+  }
+  EXPECT_GT(correct, 55);
+}
+
+TEST(TokenEncoderTest, PredictScoresSumToOne) {
+  EncoderConfig config;
+  config.min_count = 1;
+  Column c = MakeColumn({"alpha"});
+  auto vocab = TokenEncoderModel::BuildVocabulary({&c}, config);
+  util::Rng rng(13);
+  TokenEncoderModel model(config, std::move(vocab), &rng);
+  auto scores = PredictScores(&model, c);
+  ASSERT_EQ(scores.size(), static_cast<size_t>(kNumSemanticTypes));
+  double sum = 0.0;
+  for (double s : scores) {
+    EXPECT_GE(s, 0.0);
+    sum += s;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace sato::encoder

@@ -1,0 +1,195 @@
+// Tests for sato::eval: metrics against hand-computed values, k-fold
+// properties, t-SNE and silhouette behaviour, permutation importance.
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "eval/cross_validation.h"
+#include "eval/metrics.h"
+#include "eval/tsne.h"
+#include "nn/matrix.h"
+#include "util/rng.h"
+
+namespace sato::eval {
+namespace {
+
+// -------------------------------------------------------------- metrics ----
+
+TEST(MetricsTest, PerfectPrediction) {
+  auto r = Evaluate({0, 1, 2, 1}, {0, 1, 2, 1}, 3);
+  EXPECT_DOUBLE_EQ(r.macro_f1, 1.0);
+  EXPECT_DOUBLE_EQ(r.weighted_f1, 1.0);
+  EXPECT_DOUBLE_EQ(r.accuracy, 1.0);
+}
+
+TEST(MetricsTest, HandComputedMixedCase) {
+  // gold:  0 0 1 1 1 2
+  // pred:  0 1 1 1 0 2
+  // class0: tp=1 fp=1 fn=1 -> P=R=F1=0.5, support 2
+  // class1: tp=2 fp=1 fn=1 -> P=2/3 R=2/3 F1=2/3, support 3
+  // class2: tp=1 -> F1=1, support 1
+  auto r = Evaluate({0, 0, 1, 1, 1, 2}, {0, 1, 1, 1, 0, 2}, 3);
+  EXPECT_NEAR(r.per_type[0].f1, 0.5, 1e-12);
+  EXPECT_NEAR(r.per_type[1].f1, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(r.per_type[2].f1, 1.0, 1e-12);
+  EXPECT_EQ(r.per_type[1].support, 3u);
+  EXPECT_NEAR(r.macro_f1, (0.5 + 2.0 / 3.0 + 1.0) / 3.0, 1e-12);
+  EXPECT_NEAR(r.weighted_f1, (0.5 * 2 + (2.0 / 3.0) * 3 + 1.0 * 1) / 6.0,
+              1e-12);
+  EXPECT_NEAR(r.accuracy, 4.0 / 6.0, 1e-12);
+}
+
+TEST(MetricsTest, MacroIgnoresAbsentClasses) {
+  // Class 2 never appears in gold: it must not dilute the macro average,
+  // matching the "treating all types [present] equally" convention.
+  auto r = Evaluate({0, 1}, {0, 1}, 3);
+  EXPECT_DOUBLE_EQ(r.macro_f1, 1.0);
+  EXPECT_EQ(r.per_type[2].support, 0u);
+}
+
+TEST(MetricsTest, FalsePositiveOnAbsentClassHurtsPrecisionOnly) {
+  auto r = Evaluate({0, 0}, {0, 2}, 3);
+  EXPECT_DOUBLE_EQ(r.per_type[2].precision, 0.0);
+  EXPECT_EQ(r.per_type[2].support, 0u);
+  // class 0: tp=1 fn=1 -> recall 0.5, precision 1.
+  EXPECT_DOUBLE_EQ(r.per_type[0].recall, 0.5);
+  EXPECT_DOUBLE_EQ(r.per_type[0].precision, 1.0);
+}
+
+TEST(MetricsTest, MacroMoreSensitiveToRareTypesThanWeighted) {
+  // 10 samples of class 0 (all right), 1 sample of class 1 (wrong).
+  std::vector<int> gold(11, 0), pred(11, 0);
+  gold[10] = 1;
+  auto r = Evaluate(gold, pred, 2);
+  EXPECT_LT(r.macro_f1, r.weighted_f1);  // the paper's §4.4 point
+}
+
+TEST(MetricsTest, InputValidation) {
+  EXPECT_THROW(Evaluate({0}, {0, 1}, 2), std::invalid_argument);
+  EXPECT_THROW(Evaluate({5}, {0}, 2), std::invalid_argument);
+  EXPECT_THROW(Evaluate({0}, {-1}, 2), std::invalid_argument);
+}
+
+TEST(MetricsTest, EmptyInputIsAllZero) {
+  auto r = Evaluate({}, {}, 3);
+  EXPECT_DOUBLE_EQ(r.macro_f1, 0.0);
+  EXPECT_DOUBLE_EQ(r.weighted_f1, 0.0);
+  EXPECT_DOUBLE_EQ(r.accuracy, 0.0);
+}
+
+// ---------------------------------------------------------------- kfold ----
+
+TEST(KFoldTest, PartitionsAllIndices) {
+  util::Rng rng(1);
+  auto folds = KFold(103, 5, &rng);
+  ASSERT_EQ(folds.size(), 5u);
+  std::set<size_t> all_test;
+  for (const auto& fold : folds) {
+    EXPECT_EQ(fold.train.size() + fold.test.size(), 103u);
+    for (size_t i : fold.test) {
+      EXPECT_TRUE(all_test.insert(i).second) << "duplicate test index " << i;
+    }
+    // Train and test are disjoint.
+    std::set<size_t> train(fold.train.begin(), fold.train.end());
+    for (size_t i : fold.test) EXPECT_FALSE(train.count(i));
+  }
+  EXPECT_EQ(all_test.size(), 103u);
+}
+
+TEST(KFoldTest, FoldSizesBalanced) {
+  util::Rng rng(2);
+  auto folds = KFold(100, 5, &rng);
+  for (const auto& fold : folds) {
+    EXPECT_EQ(fold.test.size(), 20u);
+    EXPECT_EQ(fold.train.size(), 80u);
+  }
+}
+
+TEST(KFoldTest, ShufflesAssignment) {
+  util::Rng rng(3);
+  auto folds = KFold(50, 5, &rng);
+  // First fold's test set should not be {0..9} (shuffled).
+  std::set<size_t> first(folds[0].test.begin(), folds[0].test.end());
+  std::set<size_t> unshuffled;
+  for (size_t i = 0; i < 10; ++i) unshuffled.insert(i);
+  EXPECT_NE(first, unshuffled);
+}
+
+TEST(KFoldTest, RejectsBadK) {
+  util::Rng rng(4);
+  EXPECT_THROW(KFold(10, 1, &rng), std::invalid_argument);
+  EXPECT_THROW(KFold(3, 5, &rng), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- tsne ----
+
+// Builds two well-separated Gaussian blobs in 10-D.
+nn::Matrix TwoBlobs(size_t per_blob, util::Rng* rng) {
+  nn::Matrix points(2 * per_blob, 10);
+  for (size_t i = 0; i < per_blob; ++i) {
+    for (size_t d = 0; d < 10; ++d) {
+      points(i, d) = rng->Normal(0.0, 0.3);
+      points(per_blob + i, d) = rng->Normal(6.0, 0.3);
+    }
+  }
+  return points;
+}
+
+TEST(TsneTest, OutputShapeAndFiniteness) {
+  util::Rng rng(5);
+  nn::Matrix points = TwoBlobs(20, &rng);
+  TSNE tsne(TSNE::Options{});
+  nn::Matrix y = tsne.FitTransform(points, &rng);
+  EXPECT_EQ(y.rows(), 40u);
+  EXPECT_EQ(y.cols(), 2u);
+  for (size_t i = 0; i < y.size(); ++i) EXPECT_TRUE(std::isfinite(y.data()[i]));
+}
+
+TEST(TsneTest, SeparatesWellSeparatedBlobs) {
+  util::Rng rng(6);
+  nn::Matrix points = TwoBlobs(25, &rng);
+  std::vector<int> labels(50, 0);
+  for (size_t i = 25; i < 50; ++i) labels[i] = 1;
+  TSNE tsne(TSNE::Options{});
+  nn::Matrix y = tsne.FitTransform(points, &rng);
+  double s = SilhouetteScore(y, labels);
+  EXPECT_GT(s, 0.5);
+}
+
+TEST(TsneTest, RejectsTinyInput) {
+  util::Rng rng(7);
+  nn::Matrix points(2, 3);
+  TSNE tsne(TSNE::Options{});
+  EXPECT_THROW(tsne.FitTransform(points, &rng), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ silhouette ----
+
+TEST(SilhouetteTest, PerfectSeparationNearOne) {
+  nn::Matrix points = nn::Matrix::FromRows(
+      {{0.0, 0.0}, {0.1, 0.0}, {10.0, 10.0}, {10.1, 10.0}});
+  double s = SilhouetteScore(points, {0, 0, 1, 1});
+  EXPECT_GT(s, 0.9);
+}
+
+TEST(SilhouetteTest, InterleavedClustersNearZeroOrNegative) {
+  nn::Matrix points = nn::Matrix::FromRows(
+      {{0.0, 0.0}, {1.0, 0.0}, {0.5, 0.0}, {1.5, 0.0}});
+  double s = SilhouetteScore(points, {0, 0, 1, 1});
+  EXPECT_LT(s, 0.3);
+}
+
+TEST(SilhouetteTest, SingleClusterIsZero) {
+  nn::Matrix points = nn::Matrix::FromRows({{0.0}, {1.0}});
+  EXPECT_DOUBLE_EQ(SilhouetteScore(points, {0, 0}), 0.0);
+}
+
+TEST(SilhouetteTest, LabelMismatchThrows) {
+  nn::Matrix points(3, 2);
+  EXPECT_THROW(SilhouetteScore(points, {0, 1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sato::eval

@@ -1,0 +1,318 @@
+// Tests for the Sherlock-style feature extractors (Char/Word/Para/Stat),
+// the pipeline, and the train-set feature scaler.
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "embedding/tfidf.h"
+#include "embedding/vocabulary.h"
+#include "embedding/word_embeddings.h"
+#include "features/char_features.h"
+#include "features/para_features.h"
+#include "features/pipeline.h"
+#include "features/stat_features.h"
+#include "features/word_features.h"
+
+namespace sato::features {
+namespace {
+
+Column MakeColumn(std::vector<std::string> values) {
+  Column c;
+  c.header = "test";
+  c.values = std::move(values);
+  return c;
+}
+
+embedding::WordEmbeddings TinyEmbeddings() {
+  embedding::Vocabulary v;
+  v.Count("warsaw");
+  v.Count("warsaw");
+  v.Count("london");
+  v.Finalize(1);
+  nn::Matrix vectors = nn::Matrix::FromRows({{1.0, 0.0}, {0.0, 1.0}});
+  return embedding::WordEmbeddings(std::move(v), std::move(vectors));
+}
+
+// ---------------------------------------------------------------- char ----
+
+TEST(CharFeaturesTest, DimensionMatchesAlphabet) {
+  CharFeatureExtractor ex;
+  EXPECT_EQ(ex.dim(),
+            CharFeatureExtractor::Alphabet().size() *
+                CharFeatureExtractor::kStatsPerChar);
+}
+
+TEST(CharFeaturesTest, CountsAreCaseInsensitive) {
+  CharFeatureExtractor ex;
+  auto a = ex.Extract(MakeColumn({"AAA"}));
+  auto b = ex.Extract(MakeColumn({"aaa"}));
+  EXPECT_EQ(a, b);
+}
+
+TEST(CharFeaturesTest, MeanCountForKnownInput) {
+  CharFeatureExtractor ex;
+  // 'a' appears 2x in first value, 0x in second.
+  auto f = ex.Extract(MakeColumn({"aa", "bb"}));
+  size_t a_slot = CharFeatureExtractor::Alphabet().find('a');
+  size_t base = a_slot * CharFeatureExtractor::kStatsPerChar;
+  EXPECT_DOUBLE_EQ(f[base + 0], 1.0);   // mean
+  EXPECT_DOUBLE_EQ(f[base + 1], 1.0);   // std
+  EXPECT_DOUBLE_EQ(f[base + 2], 2.0);   // max
+  EXPECT_DOUBLE_EQ(f[base + 3], 0.5);   // presence fraction
+}
+
+TEST(CharFeaturesTest, EmptyColumnIsZeroVector) {
+  CharFeatureExtractor ex;
+  auto f = ex.Extract(MakeColumn({}));
+  for (double v : f) EXPECT_DOUBLE_EQ(v, 0.0);
+  auto g = ex.Extract(MakeColumn({"", ""}));
+  for (double v : g) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(CharFeaturesTest, DigitsAndPunctuationCovered) {
+  auto alphabet = CharFeatureExtractor::Alphabet();
+  for (char c : {'0', '9', '$', '%', ',', '-'}) {
+    EXPECT_NE(alphabet.find(c), std::string_view::npos) << c;
+  }
+}
+
+TEST(CharFeaturesTest, DistinguishesCodesFromWords) {
+  CharFeatureExtractor ex;
+  auto code = ex.Extract(MakeColumn({"AB-1234", "XY-5678"}));
+  auto word = ex.Extract(MakeColumn({"Warsaw", "London"}));
+  EXPECT_NE(code, word);
+}
+
+// ---------------------------------------------------------------- word ----
+
+TEST(WordFeaturesTest, DimIs2DPlus2) {
+  auto emb = TinyEmbeddings();
+  WordFeatureExtractor ex(&emb);
+  EXPECT_EQ(ex.dim(), 2 * emb.dim() + 2);
+}
+
+TEST(WordFeaturesTest, MeanEmbeddingForUniformColumn) {
+  auto emb = TinyEmbeddings();
+  WordFeatureExtractor ex(&emb);
+  auto f = ex.Extract(MakeColumn({"warsaw", "warsaw"}));
+  EXPECT_DOUBLE_EQ(f[0], 1.0);  // mean dim0 = warsaw[0]
+  EXPECT_DOUBLE_EQ(f[1], 0.0);
+  EXPECT_DOUBLE_EQ(f[2], 0.0);  // std dim0
+  EXPECT_DOUBLE_EQ(f[4], 1.0);  // in-vocab fraction
+  EXPECT_DOUBLE_EQ(f[5], 1.0);  // mean tokens per value
+}
+
+TEST(WordFeaturesTest, CoverageDropsForOovTokens) {
+  auto emb = TinyEmbeddings();
+  WordFeatureExtractor ex(&emb);
+  auto f = ex.Extract(MakeColumn({"warsaw", "zanzibar"}));
+  EXPECT_DOUBLE_EQ(f[2 * emb.dim()], 0.5);
+}
+
+TEST(WordFeaturesTest, EmptyColumnIsZero) {
+  auto emb = TinyEmbeddings();
+  WordFeatureExtractor ex(&emb);
+  auto f = ex.Extract(MakeColumn({"", ""}));
+  for (double v : f) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+// ---------------------------------------------------------------- para ----
+
+TEST(ParaFeaturesTest, UnitNormPlusNormScalar) {
+  auto emb = TinyEmbeddings();
+  embedding::TfIdf tfidf;
+  tfidf.Fit({{"warsaw"}, {"london"}});
+  ParagraphFeatureExtractor ex(&emb, &tfidf);
+  auto f = ex.Extract(MakeColumn({"warsaw london", "warsaw"}));
+  double norm = 0.0;
+  for (size_t i = 0; i + 1 < f.size(); ++i) norm += f[i] * f[i];
+  EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-9);
+  EXPECT_GT(f.back(), 0.0);  // pre-normalisation magnitude
+}
+
+TEST(ParaFeaturesTest, EmptyColumnZero) {
+  auto emb = TinyEmbeddings();
+  embedding::TfIdf tfidf;
+  tfidf.Fit({{"x"}});
+  ParagraphFeatureExtractor ex(&emb, &tfidf);
+  auto f = ex.Extract(MakeColumn({}));
+  for (double v : f) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+// ---------------------------------------------------------------- stat ----
+
+TEST(StatFeaturesTest, Exactly27Features) {
+  StatFeatureExtractor ex;
+  EXPECT_EQ(ex.dim(), 27u);
+  EXPECT_EQ(StatFeatureExtractor::FeatureNames().size(), 27u);
+  EXPECT_EQ(ex.Extract(MakeColumn({"a"})).size(), 27u);
+}
+
+TEST(StatFeaturesTest, FractionsForMixedColumn) {
+  StatFeatureExtractor ex;
+  auto f = ex.Extract(MakeColumn({"12", "abc", "", "45"}));
+  EXPECT_DOUBLE_EQ(f[1], 0.25);          // frac empty (1 of 4)
+  EXPECT_DOUBLE_EQ(f[2], 2.0 / 3.0);     // frac numeric of non-empty
+}
+
+TEST(StatFeaturesTest, LengthStatistics) {
+  StatFeatureExtractor ex;
+  auto f = ex.Extract(MakeColumn({"ab", "abcd"}));
+  EXPECT_DOUBLE_EQ(f[3], 3.0);  // mean length
+  EXPECT_DOUBLE_EQ(f[5], 2.0);  // min
+  EXPECT_DOUBLE_EQ(f[6], 4.0);  // max
+  EXPECT_DOUBLE_EQ(f[7], 3.0);  // median
+}
+
+TEST(StatFeaturesTest, UniquenessAndEntropy) {
+  StatFeatureExtractor ex;
+  auto uniform = ex.Extract(MakeColumn({"a", "b", "c", "d"}));
+  auto constant = ex.Extract(MakeColumn({"a", "a", "a", "a"}));
+  EXPECT_DOUBLE_EQ(uniform[8], 1.0);   // all unique
+  EXPECT_DOUBLE_EQ(constant[8], 0.25);
+  EXPECT_GT(uniform[24], constant[24]);  // entropy higher when diverse
+}
+
+TEST(StatFeaturesTest, NumericMomentsOnLogScale) {
+  StatFeatureExtractor ex;
+  auto f = ex.Extract(MakeColumn({"10", "100", "1000"}));
+  EXPECT_NEAR(f[11], std::log1p(10.0), 1e-12);    // min (log)
+  EXPECT_NEAR(f[12], std::log1p(1000.0), 1e-12);  // max (log)
+}
+
+TEST(StatFeaturesTest, CapsAndCapitalizedFractions) {
+  StatFeatureExtractor ex;
+  auto f = ex.Extract(MakeColumn({"USA", "Warsaw", "paris", "UK"}));
+  EXPECT_DOUBLE_EQ(f[18], 0.5);   // all-caps: USA, UK
+  EXPECT_DOUBLE_EQ(f[19], 0.75);  // capitalized first letter
+}
+
+TEST(StatFeaturesTest, EmptyColumnOnlyCountFeature) {
+  StatFeatureExtractor ex;
+  auto f = ex.Extract(MakeColumn({}));
+  EXPECT_DOUBLE_EQ(f[0], std::log1p(0.0));
+  for (size_t i = 1; i < f.size(); ++i) EXPECT_DOUBLE_EQ(f[i], 0.0);
+}
+
+// ------------------------------------------------------------- pipeline ----
+
+TEST(PipelineTest, GroupDimensionsConsistent) {
+  auto emb = TinyEmbeddings();
+  embedding::TfIdf tfidf;
+  tfidf.Fit({{"warsaw"}});
+  FeaturePipeline pipeline(&emb, &tfidf);
+  auto f = pipeline.Extract(MakeColumn({"warsaw", "london"}));
+  EXPECT_EQ(f.char_features.size(), pipeline.char_dim());
+  EXPECT_EQ(f.word_features.size(), pipeline.word_dim());
+  EXPECT_EQ(f.para_features.size(), pipeline.para_dim());
+  EXPECT_EQ(f.stat_features.size(), pipeline.stat_dim());
+  EXPECT_EQ(pipeline.total_dim(), pipeline.char_dim() + pipeline.word_dim() +
+                                      pipeline.para_dim() + pipeline.stat_dim());
+}
+
+TEST(PipelineTest, GroupAccessor) {
+  ColumnFeatures f;
+  f.char_features = {1.0};
+  f.word_features = {2.0};
+  f.para_features = {3.0};
+  f.stat_features = {4.0};
+  EXPECT_EQ(f.group(FeatureGroup::kChar)[0], 1.0);
+  EXPECT_EQ(f.group(FeatureGroup::kWord)[0], 2.0);
+  EXPECT_EQ(f.group(FeatureGroup::kPara)[0], 3.0);
+  EXPECT_EQ(f.group(FeatureGroup::kStat)[0], 4.0);
+  EXPECT_THROW(f.group(FeatureGroup::kTopic), std::invalid_argument);
+}
+
+TEST(PipelineTest, GroupNamesMatchFigure9Labels) {
+  EXPECT_EQ(FeatureGroupName(FeatureGroup::kChar), "char");
+  EXPECT_EQ(FeatureGroupName(FeatureGroup::kWord), "word");
+  EXPECT_EQ(FeatureGroupName(FeatureGroup::kPara), "par");
+  EXPECT_EQ(FeatureGroupName(FeatureGroup::kStat), "rest");
+  EXPECT_EQ(FeatureGroupName(FeatureGroup::kTopic), "topic");
+}
+
+// --------------------------------------------------------------- scaler ----
+
+TEST(ScalerTest, StandardizesToZeroMeanUnitVariance) {
+  std::vector<ColumnFeatures> features(3);
+  for (size_t i = 0; i < 3; ++i) {
+    features[i].char_features = {static_cast<double>(i)};        // 0,1,2
+    features[i].word_features = {10.0 * static_cast<double>(i)};
+    features[i].para_features = {5.0};                           // constant
+    features[i].stat_features = {static_cast<double>(i) - 1.0};
+  }
+  FeatureScaler scaler;
+  scaler.Fit(features);
+  for (auto& f : features) scaler.Transform(&f);
+
+  double mean = 0.0;
+  for (const auto& f : features) mean += f.char_features[0];
+  EXPECT_NEAR(mean / 3.0, 0.0, 1e-12);
+  // Constant feature centred to exactly zero.
+  for (const auto& f : features) EXPECT_DOUBLE_EQ(f.para_features[0], 0.0);
+}
+
+TEST(ScalerTest, TransformBeforeFitThrows) {
+  FeatureScaler scaler;
+  ColumnFeatures f;
+  EXPECT_THROW(scaler.Transform(&f), std::logic_error);
+}
+
+TEST(ScalerTest, FitEmptyThrows) {
+  FeatureScaler scaler;
+  EXPECT_THROW(scaler.Fit({}), std::invalid_argument);
+}
+
+TEST(ScalerTest, SaveLoadRoundTrip) {
+  std::vector<ColumnFeatures> features(4);
+  for (size_t i = 0; i < 4; ++i) {
+    double v = static_cast<double>(i);
+    features[i].char_features = {v, 2.0 * v};
+    features[i].word_features = {-v};
+    features[i].para_features = {v * v};
+    features[i].stat_features = {1.0, v, 3.0};
+  }
+  FeatureScaler scaler;
+  scaler.Fit(features);
+  std::stringstream ss;
+  scaler.Save(&ss);
+  FeatureScaler back = FeatureScaler::Load(&ss);
+  EXPECT_TRUE(back.fitted());
+
+  ColumnFeatures a = features[2], b = features[2];
+  scaler.Transform(&a);
+  back.Transform(&b);
+  EXPECT_EQ(a.char_features, b.char_features);
+  EXPECT_EQ(a.word_features, b.word_features);
+  EXPECT_EQ(a.para_features, b.para_features);
+  EXPECT_EQ(a.stat_features, b.stat_features);
+}
+
+TEST(ScalerTest, SaveBeforeFitThrows) {
+  FeatureScaler scaler;
+  std::stringstream ss;
+  EXPECT_THROW(scaler.Save(&ss), std::logic_error);
+}
+
+TEST(ScalerTest, DimensionMismatchDetected) {
+  std::vector<ColumnFeatures> features(2);
+  for (auto& f : features) {
+    f.char_features = {1.0, 2.0};
+    f.word_features = {1.0};
+    f.para_features = {1.0};
+    f.stat_features = {1.0};
+  }
+  FeatureScaler scaler;
+  scaler.Fit(features);
+  ColumnFeatures bad;
+  bad.char_features = {1.0};  // wrong dim
+  bad.word_features = {1.0};
+  bad.para_features = {1.0};
+  bad.stat_features = {1.0};
+  EXPECT_THROW(scaler.Transform(&bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sato::features

@@ -1,0 +1,297 @@
+// Unit tests for sato::table: the 78-type registry, header canonicalization
+// (paper §4.1), and the Table data model.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "table/canonicalize.h"
+#include "table/ontology.h"
+#include "table/semantic_type.h"
+#include "table/table.h"
+
+namespace sato {
+namespace {
+
+// ------------------------------------------------------ type registry ----
+
+TEST(SemanticTypeTest, HasExactly78Types) {
+  EXPECT_EQ(SemanticTypeRegistry::Instance().size(), 78);
+  EXPECT_EQ(kNumSemanticTypes, 78);
+}
+
+TEST(SemanticTypeTest, FrequencyOrderMatchesFigure5Head) {
+  // Fig 5's most frequent types, in order.
+  EXPECT_EQ(TypeName(0), "name");
+  EXPECT_EQ(TypeName(1), "description");
+  EXPECT_EQ(TypeName(2), "team");
+  EXPECT_EQ(TypeName(3), "type");
+  EXPECT_EQ(TypeName(4), "age");
+}
+
+TEST(SemanticTypeTest, FrequencyOrderMatchesFigure5Tail) {
+  EXPECT_EQ(TypeName(77), "organisation");
+  EXPECT_EQ(TypeName(76), "continent");
+  EXPECT_EQ(TypeName(75), "sales");
+}
+
+TEST(SemanticTypeTest, RoundTripAllIds) {
+  const auto& registry = SemanticTypeRegistry::Instance();
+  for (TypeId id = 0; id < registry.size(); ++id) {
+    auto back = registry.Id(registry.Name(id));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, id);
+  }
+}
+
+TEST(SemanticTypeTest, NamesAreUnique) {
+  const auto& names = SemanticTypeRegistry::Instance().names();
+  std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), names.size());
+}
+
+TEST(SemanticTypeTest, UnknownNameReturnsNullopt) {
+  EXPECT_FALSE(SemanticTypeRegistry::Instance().Id("population").has_value());
+  EXPECT_FALSE(SemanticTypeRegistry::Instance().Id("").has_value());
+}
+
+TEST(SemanticTypeTest, TypeIdOrDieThrowsOnUnknown) {
+  EXPECT_THROW(TypeIdOrDie("notAType"), std::invalid_argument);
+  EXPECT_EQ(TypeIdOrDie("birthPlace"), TypeIdOrDie("birthPlace"));
+}
+
+TEST(SemanticTypeTest, PaperExampleTypesPresent) {
+  // Types used in the paper's running examples and Table 3/4.
+  for (const char* name :
+       {"city", "country", "birthPlace", "birthDate", "code", "symbol",
+        "isbn", "sales", "teamName", "jockey", "affiliate", "family",
+        "manufacturer", "nationality", "origin", "religion"}) {
+    EXPECT_TRUE(SemanticTypeRegistry::Instance().Id(name).has_value())
+        << name;
+  }
+}
+
+// ----------------------------------------------------- canonicalization ----
+
+TEST(CanonicalizeTest, PaperExamples) {
+  // §4.1: 'YEAR', 'Year' and 'year (first occurrence)' -> 'year';
+  // 'birth place (country)' -> 'birthPlace'.
+  EXPECT_EQ(CanonicalizeHeader("YEAR"), "year");
+  EXPECT_EQ(CanonicalizeHeader("Year"), "year");
+  EXPECT_EQ(CanonicalizeHeader("year (first occurrence)"), "year");
+  EXPECT_EQ(CanonicalizeHeader("birth place (country)"), "birthPlace");
+}
+
+TEST(CanonicalizeTest, MultiWordCapitalization) {
+  EXPECT_EQ(CanonicalizeHeader("team name"), "teamName");
+  EXPECT_EQ(CanonicalizeHeader("FILE SIZE"), "fileSize");
+  EXPECT_EQ(CanonicalizeHeader("Birth Date"), "birthDate");
+}
+
+TEST(CanonicalizeTest, CamelCasePreserved) {
+  EXPECT_EQ(CanonicalizeHeader("teamName"), "teamName");
+  EXPECT_EQ(CanonicalizeHeader("birthPlace"), "birthPlace");
+}
+
+TEST(CanonicalizeTest, SeparatorVariants) {
+  EXPECT_EQ(CanonicalizeHeader("birth_place"), "birthPlace");
+  EXPECT_EQ(CanonicalizeHeader("birth-place"), "birthPlace");
+  EXPECT_EQ(CanonicalizeHeader("birth/place"), "birthPlace");
+  EXPECT_EQ(CanonicalizeHeader("birth.place"), "birthPlace");
+}
+
+TEST(CanonicalizeTest, NestedAndUnbalancedParens) {
+  EXPECT_EQ(CanonicalizeHeader("year (a (b) c)"), "year");
+  EXPECT_EQ(CanonicalizeHeader("year )"), "year");
+  EXPECT_EQ(CanonicalizeHeader("(all) year"), "year");
+}
+
+TEST(CanonicalizeTest, EmptyAndWhitespace) {
+  EXPECT_EQ(CanonicalizeHeader(""), "");
+  EXPECT_EQ(CanonicalizeHeader("   "), "");
+  EXPECT_EQ(CanonicalizeHeader("(only parens)"), "");
+}
+
+TEST(CanonicalizeTest, AllCapsAcronyms) {
+  EXPECT_EQ(CanonicalizeHeader("ISBN"), "isbn");
+  EXPECT_EQ(CanonicalizeHeader("isbn"), "isbn");
+}
+
+// Property: every registry name canonicalises to itself (fixed point).
+class CanonicalizeFixedPointTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CanonicalizeFixedPointTest, RegistryNameIsFixedPoint) {
+  const std::string& name = TypeName(GetParam());
+  EXPECT_EQ(CanonicalizeHeader(name), name);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, CanonicalizeFixedPointTest,
+                         ::testing::Range(0, kNumSemanticTypes));
+
+// --------------------------------------------------------------- table ----
+
+Table MakeSampleTable() {
+  Table t("sample");
+  Column c1;
+  c1.header = "City";
+  c1.type = TypeIdOrDie("city");
+  c1.values = {"Florence", "Warsaw", "London"};
+  Column c2;
+  c2.header = "Country";
+  c2.type = TypeIdOrDie("country");
+  c2.values = {"Italy", "Poland", "England"};
+  t.AddColumn(c1);
+  t.AddColumn(c2);
+  return t;
+}
+
+TEST(TableTest, BasicAccessors) {
+  Table t = MakeSampleTable();
+  EXPECT_EQ(t.id(), "sample");
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_TRUE(t.FullyLabeled());
+}
+
+TEST(TableTest, NumRowsIsMaxOverRaggedColumns) {
+  Table t = MakeSampleTable();
+  t.column(0).values.push_back("Braunschweig");
+  EXPECT_EQ(t.num_rows(), 4u);
+}
+
+TEST(TableTest, AllValuesColumnMajor) {
+  Table t = MakeSampleTable();
+  auto values = t.AllValues();
+  ASSERT_EQ(values.size(), 6u);
+  EXPECT_EQ(values[0], "Florence");
+  EXPECT_EQ(values[3], "Italy");
+}
+
+TEST(TableTest, TypeSequence) {
+  Table t = MakeSampleTable();
+  auto seq = t.TypeSequence();
+  EXPECT_EQ(seq, (std::vector<TypeId>{TypeIdOrDie("city"), TypeIdOrDie("country")}));
+}
+
+TEST(TableTest, TypeSequenceThrowsOnUnlabeled) {
+  Table t = MakeSampleTable();
+  t.column(1).type.reset();
+  EXPECT_FALSE(t.FullyLabeled());
+  EXPECT_THROW(t.TypeSequence(), std::logic_error);
+}
+
+TEST(TableTest, CsvRoundTrip) {
+  Table t = MakeSampleTable();
+  Table back = Table::FromCsv(t.ToCsv(), "back");
+  ASSERT_EQ(back.num_columns(), 2u);
+  EXPECT_EQ(back.column(0).header, "City");
+  EXPECT_EQ(back.column(0).values, t.column(0).values);
+  ASSERT_TRUE(back.column(0).type.has_value());
+  EXPECT_EQ(*back.column(0).type, TypeIdOrDie("city"));
+}
+
+TEST(TableTest, FromCsvCanonicalizesHeadersForLabels) {
+  Table t = Table::FromCsv("BIRTH PLACE,Notes (x)\nWarsaw,hello\n");
+  ASSERT_EQ(t.num_columns(), 2u);
+  ASSERT_TRUE(t.column(0).type.has_value());
+  EXPECT_EQ(*t.column(0).type, TypeIdOrDie("birthPlace"));
+  ASSERT_TRUE(t.column(1).type.has_value());
+  EXPECT_EQ(*t.column(1).type, TypeIdOrDie("notes"));
+}
+
+TEST(TableTest, FromCsvUnknownHeaderYieldsNoType) {
+  Table t = Table::FromCsv("population\n42\n");
+  ASSERT_EQ(t.num_columns(), 1u);
+  EXPECT_FALSE(t.column(0).type.has_value());
+}
+
+TEST(TableTest, FromCsvEmptyInput) {
+  Table t = Table::FromCsv("");
+  EXPECT_EQ(t.num_columns(), 0u);
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+TEST(TableTest, FromCsvRaggedRowsPadded) {
+  Table t = Table::FromCsv("a,b\n1\n2,3\n");
+  ASSERT_EQ(t.num_columns(), 2u);
+  EXPECT_EQ(t.column(1).values[0], "");
+  EXPECT_EQ(t.column(1).values[1], "3");
+}
+
+// ------------------------------------------------------------ ontology ----
+
+TEST(OntologyTest, EveryTypeHasAParent) {
+  for (TypeId t = 0; t < kNumSemanticTypes; ++t) {
+    EXPECT_NO_THROW({
+      CoarseType c = CoarseTypeOf(t);
+      EXPECT_GE(static_cast<int>(c), 0);
+      EXPECT_LT(static_cast<int>(c), kNumCoarseTypes);
+    }) << TypeName(t);
+  }
+}
+
+TEST(OntologyTest, PaperSection6Examples) {
+  // §6: "country and city are types (subclasses) of location and club and
+  // company are types of organisation".
+  EXPECT_EQ(CoarseTypeOf(TypeIdOrDie("country")),
+            CoarseTypeOf(TypeIdOrDie("city")));
+  EXPECT_EQ(CoarseTypeOf(TypeIdOrDie("country")),
+            CoarseTypeOf(TypeIdOrDie("location")));
+  EXPECT_EQ(CoarseTypeOf(TypeIdOrDie("club")),
+            CoarseTypeOf(TypeIdOrDie("company")));
+  EXPECT_EQ(CoarseTypeOf(TypeIdOrDie("club")), CoarseType::kOrganisation);
+}
+
+TEST(OntologyTest, Fig1AmbiguityIsWithinFamily) {
+  // The birthPlace/city ambiguity the paper opens with is a *within-family*
+  // confusion under the ontology.
+  EXPECT_EQ(CoarseTypeOf(TypeIdOrDie("birthPlace")),
+            CoarseTypeOf(TypeIdOrDie("city")));
+}
+
+TEST(OntologyTest, DistinctFamiliesAreDistinct) {
+  EXPECT_NE(CoarseTypeOf(TypeIdOrDie("name")),
+            CoarseTypeOf(TypeIdOrDie("city")));
+  EXPECT_NE(CoarseTypeOf(TypeIdOrDie("isbn")),
+            CoarseTypeOf(TypeIdOrDie("sales")));
+  EXPECT_NE(CoarseTypeOf(TypeIdOrDie("year")),
+            CoarseTypeOf(TypeIdOrDie("age")));
+}
+
+TEST(OntologyTest, EveryCategoryNonEmptyAndNamed) {
+  std::vector<int> counts(kNumCoarseTypes, 0);
+  for (TypeId t = 0; t < kNumSemanticTypes; ++t) {
+    ++counts[static_cast<size_t>(CoarseTypeOf(t))];
+  }
+  std::set<std::string> names;
+  for (int c = 0; c < kNumCoarseTypes; ++c) {
+    EXPECT_GT(counts[static_cast<size_t>(c)], 0) << c;
+    names.insert(CoarseTypeName(static_cast<CoarseType>(c)));
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(kNumCoarseTypes));
+}
+
+TEST(OntologyTest, MapToCoarse) {
+  std::vector<int> fine = {TypeIdOrDie("city"), TypeIdOrDie("name"),
+                           TypeIdOrDie("isbn")};
+  auto coarse = MapToCoarse(fine);
+  EXPECT_EQ(coarse, (std::vector<int>{static_cast<int>(CoarseType::kPlace),
+                                      static_cast<int>(CoarseType::kPerson),
+                                      static_cast<int>(CoarseType::kIdentifier)}));
+}
+
+TEST(TableTest, CsvQuotedValuesSurvive) {
+  Table t("q");
+  Column c;
+  c.header = "notes";
+  c.type = TypeIdOrDie("notes");
+  c.values = {"a,b", "line\nbreak", "say \"hi\""};
+  t.AddColumn(c);
+  Table back = Table::FromCsv(t.ToCsv());
+  EXPECT_EQ(back.column(0).values, c.values);
+}
+
+}  // namespace
+}  // namespace sato

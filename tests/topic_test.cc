@@ -1,0 +1,220 @@
+// Tests for the LDA table-intent estimator: Gibbs training invariants,
+// topic recovery on separable corpora, fold-in inference, analysis helpers.
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "corpus/generator.h"
+#include "topic/analysis.h"
+#include "topic/lda.h"
+#include "topic/table_document.h"
+
+namespace sato::topic {
+namespace {
+
+// Two cleanly separable themes.
+std::vector<std::vector<std::string>> TwoThemeCorpus(int docs_per_theme) {
+  std::vector<std::vector<std::string>> docs;
+  for (int i = 0; i < docs_per_theme; ++i) {
+    docs.push_back({"goal", "match", "league", "striker", "goal", "match"});
+    docs.push_back({"election", "senate", "ballot", "vote", "senate", "vote"});
+  }
+  return docs;
+}
+
+LdaOptions SmallLda(int topics) {
+  LdaOptions o;
+  o.num_topics = topics;
+  o.train_iterations = 80;
+  o.infer_iterations = 30;
+  o.min_count = 1;
+  return o;
+}
+
+TEST(LdaTest, PhiRowsAreDistributions) {
+  util::Rng rng(1);
+  LdaModel lda = LdaModel::Train(TwoThemeCorpus(30), SmallLda(4), &rng);
+  for (const auto& row : lda.phi()) {
+    double sum = 0.0;
+    for (double p : row) {
+      EXPECT_GE(p, 0.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(LdaTest, InferredThetaIsDistribution) {
+  util::Rng rng(2);
+  LdaModel lda = LdaModel::Train(TwoThemeCorpus(30), SmallLda(4), &rng);
+  auto theta = lda.InferTopics({"goal", "match", "league"}, &rng);
+  ASSERT_EQ(theta.size(), 4u);
+  double sum = 0.0;
+  for (double p : theta) {
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(LdaTest, SeparatesTwoThemes) {
+  util::Rng rng(3);
+  LdaModel lda = LdaModel::Train(TwoThemeCorpus(50), SmallLda(2), &rng);
+  auto sports = lda.InferTopics({"goal", "match", "striker", "league"}, &rng);
+  auto politics = lda.InferTopics({"vote", "senate", "ballot", "election"}, &rng);
+  // The argmax topics must differ.
+  size_t s_top = sports[0] > sports[1] ? 0 : 1;
+  size_t p_top = politics[0] > politics[1] ? 0 : 1;
+  EXPECT_NE(s_top, p_top);
+  EXPECT_GT(sports[s_top], 0.7);
+  EXPECT_GT(politics[p_top], 0.7);
+}
+
+TEST(LdaTest, UnknownTokensGiveUniformMixture) {
+  util::Rng rng(4);
+  LdaModel lda = LdaModel::Train(TwoThemeCorpus(20), SmallLda(4), &rng);
+  auto theta = lda.InferTopics({"zzz", "qqq"}, &rng);
+  for (double p : theta) EXPECT_NEAR(p, 0.25, 1e-12);
+}
+
+TEST(LdaTest, TopWordsBelongToTheme) {
+  util::Rng rng(5);
+  LdaModel lda = LdaModel::Train(TwoThemeCorpus(50), SmallLda(2), &rng);
+  // Each topic's top word should come from a single theme's vocabulary.
+  std::set<std::string> sports = {"goal", "match", "league", "striker"};
+  std::set<std::string> politics = {"election", "senate", "ballot", "vote"};
+  for (int t = 0; t < 2; ++t) {
+    auto top = lda.TopWords(t, 3);
+    ASSERT_FALSE(top.empty());
+    bool in_sports = sports.count(top[0].first) > 0;
+    for (const auto& [word, p] : top) {
+      EXPECT_EQ(in_sports ? sports.count(word) : politics.count(word), 1u)
+          << word;
+    }
+  }
+}
+
+TEST(LdaTest, EmptyVocabularyThrows) {
+  util::Rng rng(6);
+  EXPECT_THROW(LdaModel::Train({}, SmallLda(2), &rng), std::invalid_argument);
+}
+
+TEST(LdaTest, SaveLoadRoundTrip) {
+  util::Rng rng(7);
+  LdaModel lda = LdaModel::Train(TwoThemeCorpus(20), SmallLda(3), &rng);
+  std::stringstream ss;
+  lda.Save(&ss);
+  LdaModel back = LdaModel::Load(&ss);
+  EXPECT_EQ(back.num_topics(), lda.num_topics());
+  EXPECT_EQ(back.vocab().size(), lda.vocab().size());
+  EXPECT_EQ(back.phi(), lda.phi());
+  // Inference streams must agree for the same seed.
+  util::Rng r1(9), r2(9);
+  EXPECT_EQ(lda.InferTopics({"goal", "match"}, &r1),
+            back.InferTopics({"goal", "match"}, &r2));
+}
+
+TEST(LdaTest, MaxDocTokensTruncates) {
+  util::Rng rng(8);
+  LdaOptions opts = SmallLda(2);
+  opts.max_doc_tokens = 4;
+  LdaModel lda = LdaModel::Train(TwoThemeCorpus(20), opts, &rng);
+  // Inference still works on a long document.
+  std::vector<std::string> longdoc(1000, "goal");
+  auto theta = lda.InferTopics(longdoc, &rng);
+  double sum = 0.0;
+  for (double p : theta) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+// ------------------------------------------------------ table documents ----
+
+TEST(TableDocumentTest, ConcatenatesAllCellTokens) {
+  Table t("doc");
+  Column c1;
+  c1.header = "city";
+  c1.values = {"New York", "Paris"};
+  Column c2;
+  c2.header = "year";
+  c2.values = {"1999"};
+  t.AddColumn(c1);
+  t.AddColumn(c2);
+  auto doc = TableToDocument(t);
+  EXPECT_EQ(doc, (std::vector<std::string>{"new", "york", "paris", "<num_4>"}));
+}
+
+TEST(TableDocumentTest, HeadersExcluded) {
+  Table t("doc");
+  Column c;
+  c.header = "SECRETHEADER";
+  c.values = {"x"};
+  t.AddColumn(c);
+  for (const auto& token : TableToDocument(t)) {
+    EXPECT_EQ(token.find("secretheader"), std::string::npos);
+  }
+}
+
+TEST(TableDocumentTest, BatchConversion) {
+  corpus::CorpusOptions opts;
+  opts.num_tables = 10;
+  corpus::CorpusGenerator gen(opts);
+  auto tables = gen.Generate();
+  auto docs = TablesToDocuments(tables);
+  EXPECT_EQ(docs.size(), tables.size());
+}
+
+// ------------------------------------------------------------- analysis ----
+
+TEST(TopicAnalysisTest, SalientTopicsHaveInterpretableShape) {
+  corpus::CorpusOptions opts;
+  opts.num_tables = 300;
+  opts.seed = 11;
+  corpus::CorpusGenerator gen(opts);
+  auto tables = gen.Generate();
+
+  util::Rng rng(12);
+  LdaOptions lda_opts = SmallLda(8);
+  lda_opts.min_count = 2;
+  LdaModel lda = LdaModel::Train(TablesToDocuments(tables), lda_opts, &rng);
+
+  TopicAnalysis analysis(&lda);
+  analysis.Fit(tables, &rng);
+  auto salient = analysis.SalientTopics(5, 5);
+  ASSERT_EQ(salient.size(), 5u);
+  for (size_t i = 1; i < salient.size(); ++i) {
+    EXPECT_GE(salient[i - 1].saliency, salient[i].saliency);  // sorted
+  }
+  for (const auto& st : salient) {
+    EXPECT_EQ(st.top_types.size(), 5u);
+    EXPECT_FALSE(st.top_words.empty());
+    EXPECT_GE(st.saliency, 0.0);
+    // Representative-type probabilities are sorted descending.
+    for (size_t i = 1; i < st.top_types.size(); ++i) {
+      EXPECT_GE(st.top_types[i - 1].second, st.top_types[i].second);
+    }
+  }
+}
+
+TEST(TopicAnalysisTest, TypeTopicRowsAreDistributions) {
+  corpus::CorpusOptions opts;
+  opts.num_tables = 200;
+  opts.seed = 13;
+  corpus::CorpusGenerator gen(opts);
+  auto tables = gen.Generate();
+  util::Rng rng(14);
+  LdaModel lda =
+      LdaModel::Train(TablesToDocuments(tables), SmallLda(6), &rng);
+  TopicAnalysis analysis(&lda);
+  analysis.Fit(tables, &rng);
+  // Types present in the corpus must have a normalised distribution.
+  const auto& row = analysis.TypeTopicDistribution(TypeIdOrDie("name"));
+  double sum = 0.0;
+  for (double p : row) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace sato::topic
