@@ -1,0 +1,90 @@
+// Throughput benchmark for the serving subsystem: batch prediction over
+// synthetic corpus tables at increasing worker counts, reported as
+// tables/s and columns/s with the speedup over the single-thread run.
+//
+// The model is architecture-complete but untrained (training changes the
+// weights, not the FLOPs), so the numbers isolate the featurise +
+// forward + Viterbi serving path the BatchPredictor parallelises.
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/predictor.h"
+#include "serve/batch_predictor.h"
+#include "util/timer.h"
+
+namespace sato::bench {
+namespace {
+
+struct ServeResult {
+  size_t threads;
+  double seconds;
+  double tables_per_sec;
+  double columns_per_sec;
+};
+
+ServeResult MeasureThroughput(const SatoModel& model, const BenchEnv& env,
+                              const features::FeatureScaler& scaler,
+                              const std::vector<Table>& tables,
+                              size_t num_columns, size_t threads,
+                              int trials) {
+  serve::BatchPredictorOptions options;
+  options.num_threads = threads;
+  options.seed = 1;
+  serve::BatchPredictor batch(model, &env.context, scaler, options);
+
+  batch.PredictTables(tables);  // warm-up pass (first-touch, page faults)
+
+  util::Timer timer;
+  for (int t = 0; t < trials; ++t) batch.PredictTables(tables);
+  double seconds = timer.ElapsedSeconds() / trials;
+  double tables_per_sec = static_cast<double>(tables.size()) / seconds;
+  double columns_per_sec = static_cast<double>(num_columns) / seconds;
+  return ServeResult{threads, seconds, tables_per_sec, columns_per_sec};
+}
+
+int Run() {
+  BenchEnv env = BuildEnv(/*seed=*/7);
+
+  // Standardise a copy of D to fit the serving scaler (prediction-time
+  // tables must be scaled like the training split).
+  Dataset train = env.dataset_d;
+  features::FeatureScaler scaler = StandardizeSplits(&train, nullptr);
+
+  util::Rng rng(13);
+  SatoModel model(SatoVariant::kFull, env.dims, env.context.topic_dim(),
+                  env.config, &rng);
+
+  const std::vector<Table>& tables = env.tables_dmult;
+  size_t num_columns = 0;
+  for (const Table& t : tables) num_columns += t.num_columns();
+  std::printf("bench_serve: %zu multi-column tables (%zu columns), "
+              "hardware threads = %u\n",
+              tables.size(), num_columns,
+              std::thread::hardware_concurrency());
+
+  std::vector<size_t> thread_counts = {1, 2, 4, 8};
+  int trials = std::max(1, env.scale.trials);
+
+  std::printf("%8s  %10s  %12s  %13s  %8s\n", "threads", "sec/batch",
+              "tables/sec", "columns/sec", "speedup");
+  PrintRule(60);
+  double base_throughput = 0.0;
+  for (size_t threads : thread_counts) {
+    ServeResult r = MeasureThroughput(model, env, scaler, tables, num_columns,
+                                      threads, trials);
+    if (threads == 1) base_throughput = r.tables_per_sec;
+    std::printf("%8zu  %10.3f  %12.1f  %13.1f  %7.2fx\n", r.threads,
+                r.seconds, r.tables_per_sec, r.columns_per_sec,
+                r.tables_per_sec / base_throughput);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace sato::bench
+
+int main() { return sato::bench::Run(); }

@@ -7,10 +7,13 @@
 //                                           ignored for prediction)
 //   sato_cli eval <bundle>                  evaluate the bundle on a freshly
 //                                           generated held-out corpus
-//   sato_cli types                          list the 78 supported types
+//   sato_cli types                          list the supported types
 //
 // Options for `train`: --tables N, --topics K, --epochs E, --variant
 // base|notopic|nostruct|full, --seed S.
+//
+// `predict` and `eval` accept --jobs N to decode tables on N worker
+// threads through the BatchPredictor; output is identical for any N.
 
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +30,7 @@
 #include "core/trainer.h"
 #include "corpus/generator.h"
 #include "eval/model_eval.h"
+#include "serve/batch_predictor.h"
 #include "util/timer.h"
 
 using namespace sato;
@@ -38,8 +42,8 @@ int Usage() {
                "usage:\n"
                "  sato_cli train <bundle> [--tables N] [--topics K] [--epochs E]\n"
                "                 [--variant base|notopic|nostruct|full] [--seed S]\n"
-               "  sato_cli predict <bundle> <table.csv>...\n"
-               "  sato_cli eval <bundle> [--tables N] [--seed S]\n"
+               "  sato_cli predict <bundle> [--jobs N] <table.csv>...\n"
+               "  sato_cli eval <bundle> [--tables N] [--seed S] [--jobs N]\n"
                "  sato_cli types\n");
   return 2;
 }
@@ -49,10 +53,15 @@ struct Flags {
   int topics = 32;
   int epochs = 25;
   uint64_t seed = 7;
+  int jobs = 1;
   SatoVariant variant = SatoVariant::kFull;
 };
 
-bool ParseFlags(int argc, char** argv, int start, Flags* flags) {
+// Parses --flag arguments starting at argv[start]. When `positional` is
+// non-null, non-flag arguments are collected there (e.g. the CSV paths of
+// `predict`); otherwise they are rejected.
+bool ParseFlags(int argc, char** argv, int start, Flags* flags,
+                std::vector<std::string>* positional = nullptr) {
   for (int i = start; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -74,6 +83,11 @@ bool ParseFlags(int argc, char** argv, int start, Flags* flags) {
       const char* v = next();
       if (v == nullptr) return false;
       flags->seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      flags->jobs = std::atoi(v);
+      if (flags->jobs < 1) return false;
     } else if (arg == "--variant") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -83,6 +97,8 @@ bool ParseFlags(int argc, char** argv, int start, Flags* flags) {
       else if (name == "nostruct") flags->variant = SatoVariant::kNoStruct;
       else if (name == "full") flags->variant = SatoVariant::kFull;
       else return false;
+    } else if (positional != nullptr && arg.rfind("--", 0) != 0) {
+      positional->push_back(std::move(arg));
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -161,14 +177,18 @@ LoadedSato LoadBundleOrDie(const std::string& path) {
 }
 
 int CmdPredict(const std::string& bundle_path,
-               const std::vector<std::string>& csv_paths) {
+               const std::vector<std::string>& csv_paths, int jobs) {
   LoadedSato sato = LoadBundleOrDie(bundle_path);
-  util::Rng rng(1);
+
+  bool any_failed = false;
+  std::vector<std::string> loaded_paths;
+  std::vector<Table> tables;
   for (const std::string& path : csv_paths) {
     std::ifstream in(path);
     if (!in) {
       std::fprintf(stderr, "cannot open %s\n", path.c_str());
-      return 1;
+      any_failed = true;
+      continue;
     }
     std::ostringstream buffer;
     buffer << in.rdbuf();
@@ -177,16 +197,41 @@ int CmdPredict(const std::string& bundle_path,
       std::fprintf(stderr, "%s: empty table\n", path.c_str());
       continue;
     }
-    auto types = sato.predictor->PredictTypeNames(table, &rng);
-    std::printf("%s:\n", path.c_str());
+    loaded_paths.push_back(path);
+    tables.push_back(std::move(table));
+  }
+
+  // Table i decodes with the Rng stream TableSeed(1, i), so the output is
+  // identical for any --jobs value. With one job the bundle's own predictor
+  // serves directly; with more, the BatchPredictor fans out over replicas.
+  constexpr uint64_t kPredictSeed = 1;
+  std::vector<std::vector<std::string>> names;
+  if (jobs == 1) {
+    names.reserve(tables.size());
+    for (size_t i = 0; i < tables.size(); ++i) {
+      util::Rng rng(serve::BatchPredictor::TableSeed(kPredictSeed, i));
+      names.push_back(sato.predictor->PredictTypeNames(tables[i], &rng));
+    }
+  } else {
+    serve::BatchPredictorOptions options;
+    options.num_threads = static_cast<size_t>(jobs);
+    options.seed = kPredictSeed;
+    serve::BatchPredictor batch(*sato.model, sato.context.get(), sato.scaler,
+                                options);
+    names = batch.PredictTypeNames(tables);
+  }
+
+  for (size_t i = 0; i < tables.size(); ++i) {
+    const Table& table = tables[i];
+    std::printf("%s:\n", loaded_paths[i].c_str());
     for (size_t c = 0; c < table.num_columns(); ++c) {
       const char* sample =
           table.column(c).values.empty() ? "" : table.column(c).values[0].c_str();
       std::printf("  %-20s -> %-16s (e.g. \"%s\")\n",
-                  table.column(c).header.c_str(), types[c].c_str(), sample);
+                  table.column(c).header.c_str(), names[i][c].c_str(), sample);
     }
   }
-  return 0;
+  return any_failed ? 1 : 0;
 }
 
 int CmdEval(const std::string& bundle_path, const Flags& flags) {
@@ -197,13 +242,31 @@ int CmdEval(const std::string& bundle_path, const Flags& flags) {
   corpus::CorpusGenerator generator(copts);
   auto tables = corpus::FilterMultiColumn(generator.Generate());
 
-  util::Rng rng(3);
+  // Same seed-stream discipline as CmdPredict: identical metrics for any
+  // --jobs value.
+  constexpr uint64_t kEvalSeed = 3;
+  std::vector<std::vector<TypeId>> predictions;
+  if (flags.jobs == 1) {
+    predictions.reserve(tables.size());
+    for (size_t i = 0; i < tables.size(); ++i) {
+      util::Rng rng(serve::BatchPredictor::TableSeed(kEvalSeed, i));
+      predictions.push_back(sato.predictor->PredictTable(tables[i], &rng));
+    }
+  } else {
+    serve::BatchPredictorOptions options;
+    options.num_threads = static_cast<size_t>(flags.jobs);
+    options.seed = kEvalSeed;
+    serve::BatchPredictor batch(*sato.model, sato.context.get(), sato.scaler,
+                                options);
+    predictions = batch.PredictTables(tables);
+  }
+
   std::vector<int> gold, predicted;
-  for (const Table& t : tables) {
-    auto pred = sato.predictor->PredictTable(t, &rng);
-    auto truth = t.TypeSequence();
+  for (size_t i = 0; i < tables.size(); ++i) {
+    auto truth = tables[i].TypeSequence();
     gold.insert(gold.end(), truth.begin(), truth.end());
-    predicted.insert(predicted.end(), pred.begin(), pred.end());
+    predicted.insert(predicted.end(), predictions[i].begin(),
+                     predictions[i].end());
   }
   auto result = eval::Evaluate(gold, predicted, kNumSemanticTypes);
   std::printf("evaluated %zu tables (%zu columns)\n", tables.size(),
@@ -228,8 +291,11 @@ int main(int argc, char** argv) {
   }
   if (command == "predict") {
     if (argc < 4) return Usage();
-    std::vector<std::string> paths(argv + 3, argv + argc);
-    return CmdPredict(argv[2], paths);
+    Flags flags;
+    std::vector<std::string> paths;
+    if (!ParseFlags(argc, argv, 3, &flags, &paths)) return Usage();
+    if (paths.empty()) return Usage();
+    return CmdPredict(argv[2], paths, flags.jobs);
   }
   if (command == "eval") {
     if (argc < 3) return Usage();

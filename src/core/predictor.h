@@ -33,7 +33,8 @@ class SatoPredictor {
   std::vector<std::string> PredictTypeNames(const Table& table,
                                             util::Rng* rng) const;
 
-  /// Column-wise probabilities [num_columns x 78] (pre-CRF scores).
+  /// Column-wise probabilities [num_columns x num_classes], where
+  /// num_classes is the size of the model's type ontology (pre-CRF scores).
   nn::Matrix PredictProbs(const Table& table, util::Rng* rng) const;
 
   SatoModel& model() { return *model_; }

@@ -45,6 +45,7 @@ class SatoModel {
   const SatoConfig& config() const { return config_; }
 
   ColumnwiseModel& columnwise() { return *columnwise_; }
+  const ColumnwiseModel& columnwise() const { return *columnwise_; }
   crf::LinearChainCrf& crf() { return *crf_; }
   const crf::LinearChainCrf& crf() const { return *crf_; }
 

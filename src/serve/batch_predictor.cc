@@ -1,0 +1,90 @@
+#include "serve/batch_predictor.h"
+
+#include <exception>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "table/semantic_type.h"
+#include "util/rng.h"
+
+namespace sato::serve {
+
+namespace {
+
+/// Replicates a trained model: constructs a twin with the same
+/// architecture, then copies the parameters through the serialisation
+/// round-trip (the only parameter-copy channel SatoModel exposes).
+std::unique_ptr<SatoModel> CloneModel(const SatoModel& model) {
+  ColumnwiseModel::Dims dims = model.columnwise().dims();
+  util::Rng init_rng(0);  // initial weights are overwritten by Load below
+  auto clone = std::make_unique<SatoModel>(model.variant(), dims,
+                                           dims.topic_dim, model.config(),
+                                           &init_rng);
+  std::stringstream buffer;
+  model.Save(&buffer);
+  clone->Load(&buffer);
+  return clone;
+}
+
+}  // namespace
+
+BatchPredictor::BatchPredictor(const SatoModel& model,
+                               const FeatureContext* context,
+                               features::FeatureScaler scaler,
+                               const BatchPredictorOptions& options)
+    : options_(options),
+      pool_(options.num_threads) {
+  replicas_.reserve(pool_.num_threads());
+  predictors_.reserve(pool_.num_threads());
+  for (size_t w = 0; w < pool_.num_threads(); ++w) {
+    replicas_.push_back(CloneModel(model));
+    predictors_.push_back(std::make_unique<SatoPredictor>(
+        replicas_.back().get(), context, scaler));
+  }
+}
+
+uint64_t BatchPredictor::TableSeed(uint64_t base_seed, size_t table_index) {
+  // splitmix64 over (base_seed, index): cheap, stateless, and well mixed,
+  // so neighbouring tables get uncorrelated streams.
+  uint64_t z = base_seed + 0x9e3779b97f4a7c15ULL * (table_index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::vector<std::vector<TypeId>> BatchPredictor::PredictTables(
+    const std::vector<Table>& tables) {
+  std::vector<std::vector<TypeId>> results(tables.size());
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  for (size_t i = 0; i < tables.size(); ++i) {
+    pool_.Submit([this, &tables, &results, &first_error, &error_mutex,
+                  i](size_t worker) {
+      try {
+        if (tables[i].num_columns() == 0) return;  // empty prediction
+        util::Rng rng(TableSeed(options_.seed, i));
+        results[i] = predictors_[worker]->PredictTable(tables[i], &rng);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  pool_.Wait();
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+std::vector<std::vector<std::string>> BatchPredictor::PredictTypeNames(
+    const std::vector<Table>& tables) {
+  std::vector<std::vector<std::string>> names(tables.size());
+  auto ids = PredictTables(tables);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    names[i].reserve(ids[i].size());
+    for (TypeId id : ids[i]) names[i].push_back(TypeName(id));
+  }
+  return names;
+}
+
+}  // namespace sato::serve

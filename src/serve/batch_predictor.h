@@ -1,0 +1,73 @@
+#ifndef SATO_SERVE_BATCH_PREDICTOR_H_
+#define SATO_SERVE_BATCH_PREDICTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/feature_context.h"
+#include "core/predictor.h"
+#include "core/sato_model.h"
+#include "features/pipeline.h"
+#include "serve/thread_pool.h"
+#include "table/table.h"
+
+namespace sato::serve {
+
+struct BatchPredictorOptions {
+  /// Worker threads (and model replicas). Clamped to >= 1.
+  size_t num_threads = 1;
+
+  /// Base seed of the per-table Rng streams. Every table derives its own
+  /// stream from (seed, table index), so predictions depend only on the
+  /// seed and the table's position in the batch -- never on thread count
+  /// or scheduling order.
+  uint64_t seed = 1;
+};
+
+/// Parallel batch prediction over many tables.
+///
+/// Per-table CRF decoding is embarrassingly parallel across tables, but the
+/// column-wise network is not re-entrant (forward passes cache activations
+/// for backward), so each worker owns a private replica of the model cloned
+/// through the Save/Load round-trip. The immutable FeatureContext and the
+/// fitted scaler are shared by all workers.
+///
+/// Determinism: table i is decoded with an Rng seeded TableSeed(seed, i),
+/// and results land at index i of the output, so a batch produces
+/// byte-identical output for 1, 2, or N worker threads -- identical to
+/// running SatoPredictor sequentially with the same per-table seeds.
+class BatchPredictor {
+ public:
+  /// Clones `model` once per worker. `context` is borrowed and must outlive
+  /// the predictor; `model` is only read during construction.
+  BatchPredictor(const SatoModel& model, const FeatureContext* context,
+                 features::FeatureScaler scaler,
+                 const BatchPredictorOptions& options);
+
+  /// Predicted semantic type ids for every table, in input order.
+  std::vector<std::vector<TypeId>> PredictTables(
+      const std::vector<Table>& tables);
+
+  /// Predicted canonical type names for every table, in input order.
+  std::vector<std::vector<std::string>> PredictTypeNames(
+      const std::vector<Table>& tables);
+
+  /// The deterministic per-table seed stream (splitmix64 over the base
+  /// seed and table index). Exposed so sequential reference runs can
+  /// reproduce the batch output exactly.
+  static uint64_t TableSeed(uint64_t base_seed, size_t table_index);
+
+  size_t num_threads() const { return pool_.num_threads(); }
+
+ private:
+  BatchPredictorOptions options_;
+  std::vector<std::unique_ptr<SatoModel>> replicas_;       // one per worker
+  std::vector<std::unique_ptr<SatoPredictor>> predictors_; // one per worker
+  ThreadPool pool_;
+};
+
+}  // namespace sato::serve
+
+#endif  // SATO_SERVE_BATCH_PREDICTOR_H_

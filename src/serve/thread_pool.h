@@ -1,0 +1,60 @@
+#ifndef SATO_SERVE_THREAD_POOL_H_
+#define SATO_SERVE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sato::serve {
+
+/// A fixed-size pool of worker threads draining a shared task queue.
+///
+/// Tasks receive the index of the worker running them (0 .. num_threads-1),
+/// which lets callers keep worker-local state -- the BatchPredictor uses it
+/// to route each table to a worker-private model replica, since the
+/// network's forward pass caches activations and is not re-entrant.
+///
+/// The pool is created once and reused across batches; Wait() blocks until
+/// the queue is empty *and* every in-flight task has finished, so a
+/// Submit/Wait cycle is a complete barrier.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Never blocks; the queue is unbounded.
+  ///
+  /// Tasks must handle their own errors (e.g. capture an exception_ptr,
+  /// as the BatchPredictor does): an exception escaping a task is
+  /// swallowed by the worker so the pool keeps draining, and is lost.
+  void Submit(std::function<void(size_t worker)> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop(size_t worker_index);
+
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void(size_t)>> queue_;
+  size_t in_flight_ = 0;  // queued + currently executing
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sato::serve
+
+#endif  // SATO_SERVE_THREAD_POOL_H_

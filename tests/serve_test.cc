@@ -1,0 +1,234 @@
+// Tests for the serving subsystem: the ThreadPool and the BatchPredictor's
+// guarantee that parallel batch prediction is byte-identical to a
+// sequential SatoPredictor run for a fixed seed, at any worker count.
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+#include "core/dataset.h"
+#include "core/feature_context.h"
+#include "core/predictor.h"
+#include "core/sato_model.h"
+#include "corpus/generator.h"
+#include "serve/batch_predictor.h"
+#include "serve/thread_pool.h"
+#include "table/semantic_type.h"
+#include "util/rng.h"
+
+namespace sato {
+namespace {
+
+// ---------------------------------------------------------- thread pool ----
+
+TEST(ThreadPoolTest, ExecutesEveryTask) {
+  serve::ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&counter](size_t) { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, ClampsToAtLeastOneWorker) {
+  serve::ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter](size_t worker) {
+    EXPECT_EQ(worker, 0u);
+    counter.fetch_add(1);
+  });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, WorkerIndicesAreInRange) {
+  constexpr size_t kWorkers = 3;
+  serve::ThreadPool pool(kWorkers);
+  std::atomic<int> out_of_range{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&out_of_range](size_t worker) {
+      if (worker >= kWorkers) out_of_range.fetch_add(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(out_of_range.load(), 0);
+}
+
+TEST(ThreadPoolTest, WaitIsReusableAcrossBatches) {
+  serve::ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter](size_t) { counter.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), 20 * (round + 1));
+  }
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
+  serve::ThreadPool pool(2);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+// ------------------------------------------------------- table seeding ----
+
+TEST(BatchPredictorSeedTest, TableSeedsAreDistinctAndStable) {
+  std::set<uint64_t> seeds;
+  for (size_t i = 0; i < 1000; ++i) {
+    seeds.insert(serve::BatchPredictor::TableSeed(7, i));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+  // Stable across calls (pure function of base seed and index).
+  EXPECT_EQ(serve::BatchPredictor::TableSeed(7, 3),
+            serve::BatchPredictor::TableSeed(7, 3));
+  EXPECT_NE(serve::BatchPredictor::TableSeed(7, 3),
+            serve::BatchPredictor::TableSeed(8, 3));
+}
+
+// ------------------------------------------------------ batch predictor ----
+
+// Shares one small corpus + feature context across all BatchPredictor
+// tests; models are untrained (random but seed-deterministic weights),
+// which exercises the identical prediction path at a fraction of the cost.
+class BatchPredictorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus::CorpusOptions copts;
+    copts.num_tables = 150;
+    copts.singleton_prob = 0.2;
+    copts.seed = 33;
+    corpus::CorpusGenerator gen(copts);
+    tables_ = new std::vector<Table>(gen.Generate());
+    auto reference = gen.GenerateWith(120, 999);
+
+    config_ = new SatoConfig();
+    config_->num_topics = 8;
+    util::Rng rng(11);
+    context_ =
+        new FeatureContext(FeatureContext::Build(reference, *config_, &rng));
+
+    DatasetBuilder builder(context_);
+    Dataset train = builder.Build(*tables_, &rng);
+    scaler_ = new features::FeatureScaler(StandardizeSplits(&train, nullptr));
+  }
+
+  static void TearDownTestSuite() {
+    delete scaler_;
+    delete context_;
+    delete config_;
+    delete tables_;
+  }
+
+  static SatoModel MakeModel(SatoVariant variant, uint64_t seed) {
+    ColumnwiseModel::Dims dims;
+    dims.char_dim = context_->pipeline().char_dim();
+    dims.word_dim = context_->pipeline().word_dim();
+    dims.para_dim = context_->pipeline().para_dim();
+    dims.stat_dim = context_->pipeline().stat_dim();
+    util::Rng rng(seed);
+    return SatoModel(variant, dims, context_->topic_dim(), *config_, &rng);
+  }
+
+  // The sequential reference: SatoPredictor over each table in order, with
+  // the same per-table seed stream the BatchPredictor uses.
+  static std::vector<std::vector<TypeId>> SequentialReference(
+      SatoModel* model, uint64_t seed) {
+    SatoPredictor predictor(model, context_, *scaler_);
+    std::vector<std::vector<TypeId>> out;
+    out.reserve(tables_->size());
+    for (size_t i = 0; i < tables_->size(); ++i) {
+      util::Rng rng(serve::BatchPredictor::TableSeed(seed, i));
+      out.push_back(predictor.PredictTable((*tables_)[i], &rng));
+    }
+    return out;
+  }
+
+  static std::vector<Table>* tables_;
+  static SatoConfig* config_;
+  static FeatureContext* context_;
+  static features::FeatureScaler* scaler_;
+};
+
+std::vector<Table>* BatchPredictorTest::tables_ = nullptr;
+SatoConfig* BatchPredictorTest::config_ = nullptr;
+FeatureContext* BatchPredictorTest::context_ = nullptr;
+features::FeatureScaler* BatchPredictorTest::scaler_ = nullptr;
+
+TEST_F(BatchPredictorTest, MatchesSequentialAcrossWorkerCounts) {
+  constexpr uint64_t kSeed = 5;
+  SatoModel model = MakeModel(SatoVariant::kFull, 17);
+  auto reference = SequentialReference(&model, kSeed);
+  ASSERT_EQ(reference.size(), tables_->size());
+
+  for (size_t threads : {1u, 2u, 8u}) {
+    serve::BatchPredictorOptions options;
+    options.num_threads = threads;
+    options.seed = kSeed;
+    serve::BatchPredictor batch(model, context_, *scaler_, options);
+    EXPECT_EQ(batch.num_threads(), threads);
+    auto results = batch.PredictTables(*tables_);
+    EXPECT_EQ(results, reference) << "thread count " << threads;
+  }
+}
+
+TEST_F(BatchPredictorTest, MatchesSequentialForUnstructuredVariant) {
+  constexpr uint64_t kSeed = 9;
+  SatoModel model = MakeModel(SatoVariant::kBase, 23);
+  auto reference = SequentialReference(&model, kSeed);
+
+  serve::BatchPredictorOptions options;
+  options.num_threads = 4;
+  options.seed = kSeed;
+  serve::BatchPredictor batch(model, context_, *scaler_, options);
+  EXPECT_EQ(batch.PredictTables(*tables_), reference);
+}
+
+TEST_F(BatchPredictorTest, RepeatedBatchesAreIdentical) {
+  SatoModel model = MakeModel(SatoVariant::kFull, 17);
+  serve::BatchPredictorOptions options;
+  options.num_threads = 2;
+  options.seed = 5;
+  serve::BatchPredictor batch(model, context_, *scaler_, options);
+  auto first = batch.PredictTables(*tables_);
+  auto second = batch.PredictTables(*tables_);
+  EXPECT_EQ(first, second);
+}
+
+TEST_F(BatchPredictorTest, PredictTypeNamesMatchesIds) {
+  SatoModel model = MakeModel(SatoVariant::kFull, 17);
+  serve::BatchPredictorOptions options;
+  options.num_threads = 2;
+  options.seed = 5;
+  serve::BatchPredictor batch(model, context_, *scaler_, options);
+
+  std::vector<Table> subset(tables_->begin(),
+                            tables_->begin() + std::min<size_t>(10, tables_->size()));
+  auto ids = batch.PredictTables(subset);
+  auto names = batch.PredictTypeNames(subset);
+  ASSERT_EQ(ids.size(), names.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_EQ(ids[i].size(), names[i].size());
+    for (size_t c = 0; c < ids[i].size(); ++c) {
+      EXPECT_EQ(names[i][c], TypeName(ids[i][c]));
+    }
+  }
+}
+
+TEST_F(BatchPredictorTest, EmptyBatchYieldsEmptyResult) {
+  SatoModel model = MakeModel(SatoVariant::kFull, 17);
+  serve::BatchPredictorOptions options;
+  options.num_threads = 2;
+  serve::BatchPredictor batch(model, context_, *scaler_, options);
+  EXPECT_TRUE(batch.PredictTables({}).empty());
+}
+
+}  // namespace
+}  // namespace sato

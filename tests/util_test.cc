@@ -379,8 +379,10 @@ TEST(TimerTest, MeasuresElapsedTime) {
   double t0 = timer.ElapsedSeconds();
   EXPECT_GE(t0, 0.0);
   // Busy-wait a tiny amount; elapsed must be monotone non-decreasing.
+  // Plain assignment: compound assignment to a volatile is deprecated in
+  // C++20 (-Wvolatile).
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += static_cast<double>(i);
+  for (int i = 0; i < 100000; ++i) sink = sink + static_cast<double>(i);
   double t1 = timer.ElapsedSeconds();
   EXPECT_GE(t1, t0);
   EXPECT_NEAR(timer.ElapsedMillis(), timer.ElapsedSeconds() * 1e3,
