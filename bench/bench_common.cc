@@ -19,6 +19,9 @@ BenchScale GetScale() {
   if (name == "medium") {
     return BenchScale{"medium", 3000, 1200, 64, 35, 15, 5, 5};
   }
+  if (name == "tiny") {  // CI smoke runs: shape coverage, minimal cost
+    return BenchScale{"tiny", 200, 120, 8, 2, 2, 2, 1};
+  }
   return BenchScale{"small", 1200, 500, 32, 25, 10, 5, 3};
 }
 

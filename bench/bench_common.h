@@ -6,8 +6,9 @@
 // Every bench binary is self-contained: it synthesises the corpus with a
 // fixed seed, trains whatever models it needs, and prints rows/series in
 // the layout of the corresponding paper table/figure. The environment
-// variable SATO_BENCH_SCALE (small | medium | large, default small)
-// selects the corpus/model scale; result *shapes* are stable across scales.
+// variable SATO_BENCH_SCALE (tiny | small | medium | large, default small)
+// selects the corpus/model scale; result *shapes* are stable across scales
+// (tiny exists for CI smoke runs).
 
 #include <string>
 #include <vector>

@@ -4,7 +4,12 @@
 //
 // The model is architecture-complete but untrained (training changes the
 // weights, not the FLOPs), so the numbers isolate the featurise +
-// forward + Viterbi serving path the BatchPredictor parallelises.
+// forward + Viterbi serving path the BatchPredictor parallelises. Every
+// worker shares the one model through the const Apply() path; the
+// benchmark also reports the memory the shared design costs (model +
+// per-worker workspaces) against what per-worker replicas would have
+// cost, and writes the whole result table to BENCH_serve.json so the
+// serving perf trajectory is machine-readable across commits.
 
 #include <algorithm>
 #include <cstdio>
@@ -24,6 +29,7 @@ struct ServeResult {
   double seconds;
   double tables_per_sec;
   double columns_per_sec;
+  size_t workspace_bytes;  // steady-state scratch across all workers
 };
 
 ServeResult MeasureThroughput(const SatoModel& model, const BenchEnv& env,
@@ -43,7 +49,47 @@ ServeResult MeasureThroughput(const SatoModel& model, const BenchEnv& env,
   double seconds = timer.ElapsedSeconds() / trials;
   double tables_per_sec = static_cast<double>(tables.size()) / seconds;
   double columns_per_sec = static_cast<double>(num_columns) / seconds;
-  return ServeResult{threads, seconds, tables_per_sec, columns_per_sec};
+  return ServeResult{threads, seconds, tables_per_sec, columns_per_sec,
+                     batch.WorkspaceBytes()};
+}
+
+void WriteJson(const char* path, const BenchEnv& env,
+               const std::vector<ServeResult>& results, size_t model_bytes,
+               size_t num_tables, size_t num_columns) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_serve: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"serve\",\n");
+  std::fprintf(f, "  \"scale\": \"%s\",\n", env.scale.name.c_str());
+  std::fprintf(f, "  \"tables\": %zu,\n", num_tables);
+  std::fprintf(f, "  \"columns\": %zu,\n", num_columns);
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"model_bytes\": %zu,\n", model_bytes);
+  std::fprintf(f, "  \"per_call_model_copies\": 0,\n");
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ServeResult& r = results[i];
+    // Memory comparison: the shared design holds one model plus scratch
+    // workspaces; the old replica design held num_threads full models.
+    size_t shared = model_bytes + r.workspace_bytes;
+    size_t replica = r.threads * model_bytes;
+    std::fprintf(f,
+                 "    {\"threads\": %zu, \"sec_per_batch\": %.6f, "
+                 "\"tables_per_sec\": %.2f, \"columns_per_sec\": %.2f, "
+                 "\"workspace_bytes\": %zu, "
+                 "\"shared_model_total_bytes\": %zu, "
+                 "\"replica_model_total_bytes\": %zu}%s\n",
+                 r.threads, r.seconds, r.tables_per_sec, r.columns_per_sec,
+                 r.workspace_bytes, shared, replica,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "bench_serve: wrote %s\n", path);
 }
 
 int Run() {
@@ -61,26 +107,36 @@ int Run() {
   const std::vector<Table>& tables = env.tables_dmult;
   size_t num_columns = 0;
   for (const Table& t : tables) num_columns += t.num_columns();
+  size_t model_bytes = model.ParameterBytes();
   std::printf("bench_serve: %zu multi-column tables (%zu columns), "
-              "hardware threads = %u\n",
+              "hardware threads = %u, shared model = %.2f MiB\n",
               tables.size(), num_columns,
-              std::thread::hardware_concurrency());
+              std::thread::hardware_concurrency(),
+              static_cast<double>(model_bytes) / (1024.0 * 1024.0));
 
   std::vector<size_t> thread_counts = {1, 2, 4, 8};
   int trials = std::max(1, env.scale.trials);
 
-  std::printf("%8s  %10s  %12s  %13s  %8s\n", "threads", "sec/batch",
-              "tables/sec", "columns/sec", "speedup");
-  PrintRule(60);
+  std::printf("%8s  %10s  %12s  %13s  %8s  %12s\n", "threads", "sec/batch",
+              "tables/sec", "columns/sec", "speedup", "mem vs repl");
+  PrintRule(74);
   double base_throughput = 0.0;
+  std::vector<ServeResult> results;
   for (size_t threads : thread_counts) {
     ServeResult r = MeasureThroughput(model, env, scaler, tables, num_columns,
                                       threads, trials);
     if (threads == 1) base_throughput = r.tables_per_sec;
-    std::printf("%8zu  %10.3f  %12.1f  %13.1f  %7.2fx\n", r.threads,
-                r.seconds, r.tables_per_sec, r.columns_per_sec,
-                r.tables_per_sec / base_throughput);
+    size_t shared = model_bytes + r.workspace_bytes;
+    size_t replica = threads * model_bytes;
+    std::printf("%8zu  %10.3f  %12.1f  %13.1f  %7.2fx  %5.1f/%.1f MiB\n",
+                r.threads, r.seconds, r.tables_per_sec, r.columns_per_sec,
+                r.tables_per_sec / base_throughput,
+                static_cast<double>(shared) / (1024.0 * 1024.0),
+                static_cast<double>(replica) / (1024.0 * 1024.0));
+    results.push_back(r);
   }
+  WriteJson("BENCH_serve.json", env, results, model_bytes, tables.size(),
+            num_columns);
   return 0;
 }
 

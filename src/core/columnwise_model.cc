@@ -91,8 +91,51 @@ nn::Matrix ColumnwiseModel::RunSubnets(const FeatureBatch& batch, bool train) {
   return concat;
 }
 
+const nn::Matrix& ColumnwiseModel::ApplySubnets(const FeatureBatch& batch,
+                                                nn::Workspace* ws) const {
+  // Same column layout as RunSubnets: char | word | para | topic | stat.
+  const nn::Matrix& c = char_subnet_.Apply(batch.char_features, ws);
+  const nn::Matrix& w = word_subnet_.Apply(batch.word_features, ws);
+  const nn::Matrix& p = para_subnet_.Apply(batch.para_features, ws);
+  const nn::Matrix* t = nullptr;
+  if (uses_topic()) {
+    if (batch.topic_features.rows() != batch.batch_size()) {
+      throw std::invalid_argument("ColumnwiseModel: missing topic features");
+    }
+    t = &topic_subnet_.Apply(batch.topic_features, ws);
+  }
+  if (batch.stat_features.cols() != dims_.stat_dim ||
+      batch.stat_features.rows() != batch.batch_size()) {
+    throw std::invalid_argument("ColumnwiseModel: stat feature shape");
+  }
+  size_t n = batch.batch_size();
+  size_t width = char_out_ + word_out_ + para_out_ + topic_out_ + dims_.stat_dim;
+  nn::Matrix& concat = ws->Scratch(n, width);
+  for (size_t r = 0; r < n; ++r) {
+    double* dst = concat.Row(r);
+    dst = std::copy(c.Row(r), c.Row(r) + c.cols(), dst);
+    dst = std::copy(w.Row(r), w.Row(r) + w.cols(), dst);
+    dst = std::copy(p.Row(r), p.Row(r) + p.cols(), dst);
+    if (t != nullptr) dst = std::copy(t->Row(r), t->Row(r) + t->cols(), dst);
+    std::copy(batch.stat_features.Row(r),
+              batch.stat_features.Row(r) + batch.stat_features.cols(), dst);
+  }
+  return concat;
+}
+
 nn::Matrix ColumnwiseModel::Forward(const FeatureBatch& batch, bool train) {
   return primary_.Forward(RunSubnets(batch, train), train);
+}
+
+const nn::Matrix& ColumnwiseModel::Apply(const FeatureBatch& batch,
+                                         nn::Workspace* ws) const {
+  return primary_.Apply(ApplySubnets(batch, ws), ws);
+}
+
+const nn::Matrix& ColumnwiseModel::ApplyWithEmbedding(
+    const FeatureBatch& batch, nn::Workspace* ws,
+    nn::Matrix* embedding) const {
+  return primary_.ApplyWithPenultimate(ApplySubnets(batch, ws), ws, embedding);
 }
 
 nn::Matrix ColumnwiseModel::ForwardWithEmbedding(const FeatureBatch& batch,
@@ -137,6 +180,19 @@ std::vector<nn::Parameter*> ColumnwiseModel::Parameters() {
     params.insert(params.end(), p.begin(), p.end());
   }
   return params;
+}
+
+size_t ColumnwiseModel::ParameterBytes() const {
+  auto* self = const_cast<ColumnwiseModel*>(this);
+  size_t bytes = 0;
+  for (const nn::Parameter* p : self->Parameters()) {
+    bytes += (p->value.size() + p->grad.size()) * sizeof(double);
+  }
+  for (const nn::BatchNorm1d* bn : batch_norms_) {
+    bytes += (bn->running_mean().size() + bn->running_var().size()) *
+             sizeof(double);
+  }
+  return bytes;
 }
 
 void ColumnwiseModel::Save(std::ostream* out) const {

@@ -59,13 +59,31 @@ class ColumnwiseModel {
   bool uses_topic() const { return dims_.topic_dim > 0; }
   const Dims& dims() const { return dims_; }
 
-  /// Forward pass to logits: [batch x num_classes].
+  /// Forward pass to logits: [batch x num_classes]. Training path; caches
+  /// activations for Backward and is not re-entrant.
   nn::Matrix Forward(const FeatureBatch& batch, bool train);
 
   /// Forward pass that also exposes the activations entering the output
   /// layer -- the "column embeddings" analysed in Fig 10.
   nn::Matrix ForwardWithEmbedding(const FeatureBatch& batch, bool train,
                                   nn::Matrix* embedding);
+
+  /// Re-entrant inference to logits: const through every layer, all
+  /// scratch drawn from the caller's workspace, bit-identical to
+  /// Forward(batch, /*train=*/false). The returned reference lives in `ws`
+  /// until its next Reset.
+  const nn::Matrix& Apply(const FeatureBatch& batch, nn::Workspace* ws) const;
+
+  /// Re-entrant counterpart of ForwardWithEmbedding; `embedding` is a
+  /// caller-owned matrix receiving the penultimate activations.
+  const nn::Matrix& ApplyWithEmbedding(const FeatureBatch& batch,
+                                       nn::Workspace* ws,
+                                       nn::Matrix* embedding) const;
+
+  /// Bytes of parameter state (values + gradients + BatchNorm running
+  /// statistics) -- the per-replica cost the shared-model serving path
+  /// avoids paying per worker.
+  size_t ParameterBytes() const;
 
   /// Backward pass from d(loss)/d(logits); accumulates parameter grads.
   void Backward(const nn::Matrix& grad_logits);
@@ -77,6 +95,8 @@ class ColumnwiseModel {
 
  private:
   nn::Matrix RunSubnets(const FeatureBatch& batch, bool train);
+  const nn::Matrix& ApplySubnets(const FeatureBatch& batch,
+                                 nn::Workspace* ws) const;
 
   Dims dims_;
   nn::Sequential char_subnet_;

@@ -17,20 +17,25 @@ TableExample SatoPredictor::Featurize(const Table& table,
 }
 
 std::vector<TypeId> SatoPredictor::PredictTable(const Table& table,
-                                                util::Rng* rng) const {
-  return model_->Predict(Featurize(table, rng));
+                                                util::Rng* rng,
+                                                nn::Workspace* ws) const {
+  if (ws != nullptr) return model_->Predict(Featurize(table, rng), ws);
+  nn::Workspace local;
+  return model_->Predict(Featurize(table, rng), &local);
 }
 
 std::vector<std::string> SatoPredictor::PredictTypeNames(
-    const Table& table, util::Rng* rng) const {
+    const Table& table, util::Rng* rng, nn::Workspace* ws) const {
   std::vector<std::string> names;
-  for (TypeId id : PredictTable(table, rng)) names.push_back(TypeName(id));
+  for (TypeId id : PredictTable(table, rng, ws)) names.push_back(TypeName(id));
   return names;
 }
 
-nn::Matrix SatoPredictor::PredictProbs(const Table& table,
-                                       util::Rng* rng) const {
-  return model_->PredictProbs(Featurize(table, rng));
+nn::Matrix SatoPredictor::PredictProbs(const Table& table, util::Rng* rng,
+                                       nn::Workspace* ws) const {
+  if (ws != nullptr) return model_->PredictProbs(Featurize(table, rng), ws);
+  nn::Workspace local;
+  return model_->PredictProbs(Featurize(table, rng), &local);
 }
 
 }  // namespace sato

@@ -16,10 +16,15 @@ namespace sato {
 /// training split, and decode with the model. This is the API an
 /// application uses after training -- without it, callers would feed
 /// unstandardised features into a network trained on standardised ones.
+///
+/// The predictor only ever drives the model's const, re-entrant Apply
+/// path, so one SatoPredictor (and the one model behind it) may be shared
+/// by any number of threads -- each caller passes its own Workspace, or
+/// nullptr to use a transient one.
 class SatoPredictor {
  public:
   /// All pointers are borrowed and must outlive the predictor.
-  SatoPredictor(SatoModel* model, const FeatureContext* context,
+  SatoPredictor(const SatoModel* model, const FeatureContext* context,
                 features::FeatureScaler scaler)
       : model_(model), context_(context), scaler_(std::move(scaler)) {}
 
@@ -27,20 +32,23 @@ class SatoPredictor {
   TableExample Featurize(const Table& table, util::Rng* rng) const;
 
   /// Predicted semantic type ids, one per column.
-  std::vector<TypeId> PredictTable(const Table& table, util::Rng* rng) const;
+  std::vector<TypeId> PredictTable(const Table& table, util::Rng* rng,
+                                   nn::Workspace* ws = nullptr) const;
 
   /// Predicted canonical type names, one per column.
   std::vector<std::string> PredictTypeNames(const Table& table,
-                                            util::Rng* rng) const;
+                                            util::Rng* rng,
+                                            nn::Workspace* ws = nullptr) const;
 
   /// Column-wise probabilities [num_columns x num_classes], where
   /// num_classes is the size of the model's type ontology (pre-CRF scores).
-  nn::Matrix PredictProbs(const Table& table, util::Rng* rng) const;
+  nn::Matrix PredictProbs(const Table& table, util::Rng* rng,
+                          nn::Workspace* ws = nullptr) const;
 
-  SatoModel& model() { return *model_; }
+  const SatoModel& model() const { return *model_; }
 
  private:
-  SatoModel* model_;               // not owned
+  const SatoModel* model_;         // not owned
   const FeatureContext* context_;  // not owned
   features::FeatureScaler scaler_;
 };

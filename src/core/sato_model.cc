@@ -50,18 +50,37 @@ FeatureBatch SatoModel::MakeBatch(const TableExample& table) const {
   return FeatureBatch::FromColumns(columns, topics);
 }
 
-nn::Matrix SatoModel::PredictProbs(const TableExample& table) {
+const nn::Matrix& SatoModel::ApplyProbs(const TableExample& table,
+                                        nn::Workspace* ws) const {
+  ws->Reset();
   FeatureBatch batch = MakeBatch(table);
-  nn::Matrix logits = columnwise_->Forward(batch, /*train=*/false);
-  return nn::SoftmaxRows(logits);
+  // The logits come back as a workspace reference owned by the output
+  // layer's slot; softmax would clobber it for any later reader, so the
+  // probabilities get their own scratch slot.
+  const nn::Matrix& logits = columnwise_->Apply(batch, ws);
+  nn::Matrix& probs = ws->Scratch(logits.rows(), logits.cols());
+  std::copy(logits.data(), logits.data() + logits.size(), probs.data());
+  nn::SoftmaxRowsInPlace(&probs);
+  return probs;
 }
 
-std::vector<int> SatoModel::Predict(const TableExample& table) {
-  nn::Matrix probs = PredictProbs(table);
+nn::Matrix SatoModel::PredictProbs(const TableExample& table,
+                                   nn::Workspace* ws) const {
+  return ApplyProbs(table, ws);
+}
+
+nn::Matrix SatoModel::PredictProbs(const TableExample& table) const {
+  nn::Workspace ws;
+  return PredictProbs(table, &ws);
+}
+
+std::vector<int> SatoModel::Predict(const TableExample& table,
+                                    nn::Workspace* ws) const {
+  const nn::Matrix& probs = ApplyProbs(table, ws);
   if (uses_crf()) {
     // Unary potentials are the log of the normalised prediction scores
     // (§4.3); Viterbi yields the MAP type sequence (§3.3).
-    nn::Matrix unary(probs.rows(), probs.cols());
+    nn::Matrix& unary = ws->Scratch(probs.rows(), probs.cols());
     for (size_t i = 0; i < probs.size(); ++i) {
       unary.data()[i] = std::log(std::max(probs.data()[i], 1e-12));
     }
@@ -79,11 +98,32 @@ std::vector<int> SatoModel::Predict(const TableExample& table) {
   return out;
 }
 
-nn::Matrix SatoModel::ColumnEmbeddings(const TableExample& table) {
+std::vector<int> SatoModel::Predict(const TableExample& table) const {
+  nn::Workspace ws;
+  return Predict(table, &ws);
+}
+
+nn::Matrix SatoModel::ColumnEmbeddings(const TableExample& table,
+                                       nn::Workspace* ws) const {
+  ws->Reset();
   FeatureBatch batch = MakeBatch(table);
   nn::Matrix embedding;
-  columnwise_->ForwardWithEmbedding(batch, /*train=*/false, &embedding);
+  columnwise_->ApplyWithEmbedding(batch, ws, &embedding);
   return embedding;
+}
+
+nn::Matrix SatoModel::ColumnEmbeddings(const TableExample& table) const {
+  nn::Workspace ws;
+  return ColumnEmbeddings(table, &ws);
+}
+
+size_t SatoModel::ParameterBytes() const {
+  size_t bytes = columnwise_->ParameterBytes();
+  if (crf_ != nullptr) {
+    bytes += (crf_->pairwise().value.size() + crf_->pairwise().grad.size()) *
+             sizeof(double);
+  }
+  return bytes;
 }
 
 void SatoModel::Save(std::ostream* out) const {

@@ -55,19 +55,39 @@ class SatoModel {
 
   /// Column-wise softmax probabilities [num_columns x num_types] in eval
   /// mode (these are the CRF's normalised unary scores).
-  nn::Matrix PredictProbs(const TableExample& table);
+  ///
+  /// The whole prediction surface is const and re-entrant: one trained
+  /// SatoModel may serve any number of threads concurrently, each passing
+  /// its own Workspace. `ws` is Reset on entry and supplies every
+  /// intermediate, so steady-state predictions allocate only the returned
+  /// result. The overloads without a workspace use a transient one.
+  nn::Matrix PredictProbs(const TableExample& table, nn::Workspace* ws) const;
+  nn::Matrix PredictProbs(const TableExample& table) const;
 
   /// Final type prediction for every column of the table: Viterbi decoding
   /// for structured variants, per-column argmax otherwise.
-  std::vector<int> Predict(const TableExample& table);
+  std::vector<int> Predict(const TableExample& table, nn::Workspace* ws) const;
+  std::vector<int> Predict(const TableExample& table) const;
 
   /// Column embeddings (final-layer input activations, Fig 10).
-  nn::Matrix ColumnEmbeddings(const TableExample& table);
+  nn::Matrix ColumnEmbeddings(const TableExample& table,
+                              nn::Workspace* ws) const;
+  nn::Matrix ColumnEmbeddings(const TableExample& table) const;
+
+  /// Bytes of model state a per-worker replica would have to duplicate
+  /// (columnwise parameters + CRF potentials).
+  size_t ParameterBytes() const;
 
   void Save(std::ostream* out) const;
   void Load(std::istream* in);
 
  private:
+  /// Shared core of the const prediction path: featurised probs written
+  /// into `ws` (which is Reset here). Returned reference is valid until
+  /// the workspace's next Reset.
+  const nn::Matrix& ApplyProbs(const TableExample& table,
+                               nn::Workspace* ws) const;
+
   SatoVariant variant_;
   SatoConfig config_;
   std::unique_ptr<ColumnwiseModel> columnwise_;

@@ -74,9 +74,10 @@ double Trainer::TrainCrf(SatoModel* model, const Dataset& train,
   // prediction scores, fixed during CRF training.
   std::vector<crf::CrfExample> examples;
   examples.reserve(train.tables.size());
+  nn::Workspace ws;  // scratch reused across tables
   for (const TableExample& table : train.tables) {
     if (table.labels.size() < 2) continue;  // no pairwise signal
-    nn::Matrix probs = model->PredictProbs(table);
+    nn::Matrix probs = model->PredictProbs(table, &ws);
     crf::CrfExample ex;
     ex.unary = nn::Matrix(probs.rows(), probs.cols());
     for (size_t i = 0; i < probs.size(); ++i) {

@@ -22,6 +22,12 @@ namespace sato::crf {
 ///
 /// log Z is computed exactly by the forward algorithm in log space
 /// (the "forward-backward" of §3.3), MAP decoding by Viterbi.
+///
+/// Re-entrancy: every decoding entry point (LogPartition, LogLikelihood,
+/// Viterbi, Marginals) is const, keeps all its state on the stack, and
+/// only reads pairwise().value -- one trained CRF may decode for any
+/// number of threads concurrently. The only mutating paths are training
+/// (AccumulateGradients writes pairwise().grad) and the initialisers.
 class LinearChainCrf {
  public:
   explicit LinearChainCrf(int num_states);

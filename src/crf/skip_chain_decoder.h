@@ -35,6 +35,8 @@ class SkipChainDecoder {
       double scale);
 
   /// Exact MAP sequence under unary + pairwise + skip potentials.
+  /// Const and stack-only like LinearChainCrf::Viterbi: safe to call from
+  /// many threads on one shared decoder.
   std::vector<int> Decode(const nn::Matrix& unary) const;
 
   const nn::Matrix& skip() const { return skip_; }

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "nn/loss.h"
+
 namespace sato::encoder {
 
 using nn::Matrix;
@@ -54,18 +56,7 @@ Matrix MultiHeadSelfAttention::Forward(const Matrix& input, bool /*train*/) {
         scores(i, j) = dot * scale;
       }
     }
-    // Softmax rows in place.
-    for (size_t i = 0; i < n; ++i) {
-      double* row = scores.Row(i);
-      double mx = row[0];
-      for (size_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
-      double sum = 0.0;
-      for (size_t j = 0; j < n; ++j) {
-        row[j] = std::exp(row[j] - mx);
-        sum += row[j];
-      }
-      for (size_t j = 0; j < n; ++j) row[j] /= sum;
-    }
+    nn::SoftmaxRowsInPlace(&scores);
     attn_[h] = scores;
     // O_h = A V_h written into the concat slice.
     for (size_t i = 0; i < n; ++i) {
@@ -77,6 +68,49 @@ Matrix MultiHeadSelfAttention::Forward(const Matrix& input, bool /*train*/) {
     }
   }
   return MatMul(concat_, wo_.value);
+}
+
+const Matrix& MultiHeadSelfAttention::Apply(const Matrix& input,
+                                            nn::Workspace* ws) const {
+  const size_t n = input.rows();
+  if (input.cols() != d_model_) {
+    throw std::invalid_argument("attention: input width mismatch");
+  }
+  Matrix& q = ws->ScratchUninit(n, d_model_);
+  Matrix& k = ws->ScratchUninit(n, d_model_);
+  Matrix& v = ws->ScratchUninit(n, d_model_);
+  MatMulInto(input, wq_.value, &q);
+  MatMulInto(input, wk_.value, &k);
+  MatMulInto(input, wv_.value, &v);
+
+  double scale = 1.0 / std::sqrt(static_cast<double>(d_head_));
+  Matrix& scores = ws->Scratch(n, n);  // reused across heads
+  Matrix& concat = ws->Scratch(n, d_model_);
+  for (size_t h = 0; h < num_heads_; ++h) {
+    size_t off = h * d_head_;
+    // Scores S = Q_h K_h^T * scale, then row softmax.
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        double dot = 0.0;
+        for (size_t d = 0; d < d_head_; ++d) {
+          dot += q(i, off + d) * k(j, off + d);
+        }
+        scores(i, j) = dot * scale;
+      }
+    }
+    nn::SoftmaxRowsInPlace(&scores);
+    // O_h = A V_h written into the concat slice.
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t d = 0; d < d_head_; ++d) {
+        double sum = 0.0;
+        for (size_t j = 0; j < n; ++j) sum += scores(i, j) * v(j, off + d);
+        concat(i, off + d) = sum;
+      }
+    }
+  }
+  Matrix& out = ws->ScratchUninit(n, d_model_);
+  MatMulInto(concat, wo_.value, &out);
+  return out;
 }
 
 Matrix MultiHeadSelfAttention::Backward(const Matrix& grad_output) {

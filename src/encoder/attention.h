@@ -17,6 +17,8 @@ class MultiHeadSelfAttention : public nn::Layer {
   MultiHeadSelfAttention(size_t d_model, size_t num_heads, util::Rng* rng);
 
   nn::Matrix Forward(const nn::Matrix& input, bool train) override;
+  const nn::Matrix& Apply(const nn::Matrix& input,
+                          nn::Workspace* ws) const override;
   nn::Matrix Backward(const nn::Matrix& grad_output) override;
   std::vector<nn::Parameter*> Parameters() override;
   std::string name() const override { return "MultiHeadSelfAttention"; }

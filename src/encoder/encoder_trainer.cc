@@ -51,8 +51,13 @@ double EncoderTrainer::Train(TokenEncoderModel* model,
   return last_epoch;
 }
 
-int PredictColumn(TokenEncoderModel* model, const Column& column) {
-  nn::Matrix logits = model->Forward(model->Encode(column), /*train=*/false);
+namespace {
+
+// Argmax over the logits the re-entrant Apply path leaves in `ws`.
+int ArgmaxLogits(const TokenEncoderModel& model, const Column& column,
+                 nn::Workspace* ws) {
+  ws->Reset();
+  const nn::Matrix& logits = model.Apply(model.Encode(column), ws);
   const double* row = logits.Row(0);
   int best = 0;
   for (size_t c = 1; c < logits.cols(); ++c) {
@@ -61,10 +66,27 @@ int PredictColumn(TokenEncoderModel* model, const Column& column) {
   return best;
 }
 
-std::vector<double> PredictScores(TokenEncoderModel* model,
-                                  const Column& column) {
-  nn::Matrix logits = model->Forward(model->Encode(column), /*train=*/false);
+std::vector<double> ScoresRow(const TokenEncoderModel& model,
+                              const Column& column, nn::Workspace* ws) {
+  ws->Reset();
+  const nn::Matrix& logits = model.Apply(model.Encode(column), ws);
   return nn::SoftmaxRows(logits).RowVector(0);
+}
+
+}  // namespace
+
+int PredictColumn(const TokenEncoderModel* model, const Column& column,
+                  nn::Workspace* ws) {
+  if (ws != nullptr) return ArgmaxLogits(*model, column, ws);
+  nn::Workspace local;
+  return ArgmaxLogits(*model, column, &local);
+}
+
+std::vector<double> PredictScores(const TokenEncoderModel* model,
+                                  const Column& column, nn::Workspace* ws) {
+  if (ws != nullptr) return ScoresRow(*model, column, ws);
+  nn::Workspace local;
+  return ScoresRow(*model, column, &local);
 }
 
 }  // namespace sato::encoder

@@ -23,13 +23,17 @@ class EncoderTrainer {
   EncoderConfig config_;
 };
 
-/// Argmax type prediction for one column.
-int PredictColumn(TokenEncoderModel* model, const Column& column);
+/// Argmax type prediction for one column. Runs the re-entrant Apply path:
+/// the model is shared-safe; pass a per-thread workspace (or nullptr for a
+/// transient one).
+int PredictColumn(const TokenEncoderModel* model, const Column& column,
+                  nn::Workspace* ws = nullptr);
 
 /// Softmax scores over the 78 types for one column (usable as CRF unary
 /// potentials -- the plug-in role §3.3 describes).
-std::vector<double> PredictScores(TokenEncoderModel* model,
-                                  const Column& column);
+std::vector<double> PredictScores(const TokenEncoderModel* model,
+                                  const Column& column,
+                                  nn::Workspace* ws = nullptr);
 
 }  // namespace sato::encoder
 

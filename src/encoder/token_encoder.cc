@@ -28,6 +28,21 @@ Matrix TransformerBlock::Forward(const Matrix& x, bool train) {
   return out;
 }
 
+const Matrix& TransformerBlock::Apply(const Matrix& x, nn::Workspace* ws) const {
+  const Matrix& attn_out = attention_.Apply(ln1_.Apply(x, ws), ws);
+  Matrix& mid = ws->Scratch(x.rows(), x.cols());
+  for (size_t i = 0; i < mid.size(); ++i) {
+    mid.data()[i] = x.data()[i] + attn_out.data()[i];  // residual 1
+  }
+  const Matrix& ffn_out = ffn_out_.Apply(
+      gelu_.Apply(ffn_in_.Apply(ln2_.Apply(mid, ws), ws), ws), ws);
+  Matrix& out = ws->Scratch(x.rows(), x.cols());
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = mid.data()[i] + ffn_out.data()[i];  // residual 2
+  }
+  return out;
+}
+
 Matrix TransformerBlock::Backward(const Matrix& grad) {
   // Residual 2: grad flows both directly and through the FFN path.
   Matrix d_mid = grad;
@@ -115,6 +130,29 @@ Matrix TokenEncoderModel::Forward(const std::vector<int>& tokens, bool train) {
   }
   pooled *= 1.0 / static_cast<double>(seq_len_);
   return classifier_.Forward(pooled, train);
+}
+
+const Matrix& TokenEncoderModel::Apply(const std::vector<int>& tokens,
+                                       nn::Workspace* ws) const {
+  const size_t seq_len = tokens.size();
+  Matrix& embedded = ws->Scratch(seq_len, config_.d_model);
+  for (size_t i = 0; i < seq_len; ++i) {
+    const double* tok = token_embedding_.value.Row(static_cast<size_t>(tokens[i]));
+    const double* pos = position_embedding_.value.Row(i);
+    double* row = embedded.Row(i);
+    for (size_t d = 0; d < config_.d_model; ++d) row[d] = tok[d] + pos[d];
+  }
+  const Matrix* x = &embedded;
+  for (const auto& block : blocks_) x = &block->Apply(*x, ws);
+  x = &final_ln_.Apply(*x, ws);
+  // Mean-pool over tokens.
+  Matrix& pooled = ws->Scratch(1, config_.d_model);
+  for (size_t i = 0; i < seq_len; ++i) {
+    const double* row = x->Row(i);
+    for (size_t d = 0; d < config_.d_model; ++d) pooled(0, d) += row[d];
+  }
+  pooled *= 1.0 / static_cast<double>(seq_len);
+  return classifier_.Apply(pooled, ws);
 }
 
 void TokenEncoderModel::Backward(const Matrix& grad_logits) {

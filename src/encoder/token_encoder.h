@@ -35,6 +35,8 @@ class TransformerBlock {
   TransformerBlock(const EncoderConfig& config, util::Rng* rng);
 
   nn::Matrix Forward(const nn::Matrix& x, bool train);
+  /// Re-entrant inference pass (no caches touched); mirrors Layer::Apply.
+  const nn::Matrix& Apply(const nn::Matrix& x, nn::Workspace* ws) const;
   nn::Matrix Backward(const nn::Matrix& grad);
   std::vector<nn::Parameter*> Parameters();
 
@@ -65,8 +67,15 @@ class TokenEncoderModel {
   /// reserved <cls>-like token).
   std::vector<int> Encode(const Column& column) const;
 
-  /// Logits over the 78 types for one encoded column.
+  /// Logits over the 78 types for one encoded column. Training path: may
+  /// cache the token sequence for Backward and is not re-entrant.
   nn::Matrix Forward(const std::vector<int>& tokens, bool train);
+
+  /// Re-entrant inference: logits for one encoded column, const through
+  /// the whole stack, with all scratch drawn from `ws`. The returned
+  /// reference lives in the workspace until its next Reset.
+  const nn::Matrix& Apply(const std::vector<int>& tokens,
+                          nn::Workspace* ws) const;
 
   /// Backward from d(loss)/d(logits); accumulates gradients.
   void Backward(const nn::Matrix& grad_logits);
@@ -85,7 +94,8 @@ class TokenEncoderModel {
   nn::LayerNorm final_ln_;
   nn::Linear classifier_;
 
-  // Forward caches.
+  // Forward caches -- training path only; Apply never reads or writes
+  // these, so inference over a shared model is safe from any thread.
   std::vector<int> tokens_cache_;
   size_t seq_len_ = 0;
 };

@@ -2,16 +2,17 @@
 
 namespace sato::eval {
 
-void PredictDataset(SatoModel* model, const Dataset& data,
+void PredictDataset(const SatoModel* model, const Dataset& data,
                     std::vector<int>* gold, std::vector<int>* predicted) {
+  nn::Workspace ws;
   for (const TableExample& table : data.tables) {
-    std::vector<int> pred = model->Predict(table);
+    std::vector<int> pred = model->Predict(table, &ws);
     gold->insert(gold->end(), table.labels.begin(), table.labels.end());
     predicted->insert(predicted->end(), pred.begin(), pred.end());
   }
 }
 
-EvaluationResult EvaluateModel(SatoModel* model, const Dataset& data) {
+EvaluationResult EvaluateModel(const SatoModel* model, const Dataset& data) {
   std::vector<int> gold, predicted;
   PredictDataset(model, data, &gold, &predicted);
   return Evaluate(gold, predicted, kNumSemanticTypes);

@@ -10,12 +10,13 @@
 namespace sato::eval {
 
 /// Runs a model over every table of a dataset; appends flattened gold and
-/// predicted labels (column order preserved within each table).
-void PredictDataset(SatoModel* model, const Dataset& data,
+/// predicted labels (column order preserved within each table). Uses the
+/// const inference path with one reused workspace across tables.
+void PredictDataset(const SatoModel* model, const Dataset& data,
                     std::vector<int>* gold, std::vector<int>* predicted);
 
 /// Convenience: predict + evaluate in one call.
-EvaluationResult EvaluateModel(SatoModel* model, const Dataset& data);
+EvaluationResult EvaluateModel(const SatoModel* model, const Dataset& data);
 
 }  // namespace sato::eval
 

@@ -17,6 +17,15 @@ Matrix ReLU::Forward(const Matrix& input, bool /*train*/) {
   return out;
 }
 
+const Matrix& ReLU::Apply(const Matrix& input, Workspace* ws) const {
+  Matrix& out = ws->Scratch(input.rows(), input.cols());
+  for (size_t i = 0; i < out.size(); ++i) {
+    double v = input.data()[i];
+    out.data()[i] = v > 0.0 ? v : 0.0;
+  }
+  return out;
+}
+
 Matrix ReLU::Backward(const Matrix& grad_output) {
   Matrix grad = grad_output;
   grad.HadamardInPlace(mask_);
@@ -42,6 +51,12 @@ Matrix GELU::Forward(const Matrix& input, bool /*train*/) {
   input_cache_ = input;
   Matrix out = input;
   for (size_t i = 0; i < out.size(); ++i) out.data()[i] = GeluValue(out.data()[i]);
+  return out;
+}
+
+const Matrix& GELU::Apply(const Matrix& input, Workspace* ws) const {
+  Matrix& out = ws->Scratch(input.rows(), input.cols());
+  for (size_t i = 0; i < out.size(); ++i) out.data()[i] = GeluValue(input.data()[i]);
   return out;
 }
 

@@ -11,6 +11,7 @@ namespace sato::nn {
 class ReLU : public Layer {
  public:
   Matrix Forward(const Matrix& input, bool train) override;
+  const Matrix& Apply(const Matrix& input, Workspace* ws) const override;
   Matrix Backward(const Matrix& grad_output) override;
   std::string name() const override { return "ReLU"; }
 
@@ -23,6 +24,7 @@ class ReLU : public Layer {
 class GELU : public Layer {
  public:
   Matrix Forward(const Matrix& input, bool train) override;
+  const Matrix& Apply(const Matrix& input, Workspace* ws) const override;
   Matrix Backward(const Matrix& grad_output) override;
   std::string name() const override { return "GELU"; }
 

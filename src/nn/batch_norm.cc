@@ -59,6 +59,28 @@ Matrix BatchNorm1d::Forward(const Matrix& input, bool train) {
   return out;
 }
 
+const Matrix& BatchNorm1d::Apply(const Matrix& input, Workspace* ws) const {
+  size_t n = input.rows(), f = input.cols();
+  if (f != gamma_.value.cols()) {
+    throw std::invalid_argument("BatchNorm1d: feature mismatch");
+  }
+  // Per-feature scale lives in the workspace too: Apply owns no storage.
+  Matrix& inv_std = ws->Scratch(1, f);
+  for (size_t c = 0; c < f; ++c) {
+    inv_std(0, c) = 1.0 / std::sqrt(running_var_(0, c) + eps_);
+  }
+  Matrix& out = ws->Scratch(n, f);
+  for (size_t r = 0; r < n; ++r) {
+    const double* in = input.Row(r);
+    double* o = out.Row(r);
+    for (size_t c = 0; c < f; ++c) {
+      double xh = (in[c] - running_mean_(0, c)) * inv_std(0, c);
+      o[c] = gamma_.value(0, c) * xh + beta_.value(0, c);
+    }
+  }
+  return out;
+}
+
 Matrix BatchNorm1d::Backward(const Matrix& grad_output) {
   size_t n = grad_output.rows(), f = grad_output.cols();
   Matrix grad_input(n, f);

@@ -17,6 +17,8 @@ class BatchNorm1d : public Layer {
                        double eps = 1e-5);
 
   Matrix Forward(const Matrix& input, bool train) override;
+  /// Normalises with the frozen running statistics (eval semantics).
+  const Matrix& Apply(const Matrix& input, Workspace* ws) const override;
   Matrix Backward(const Matrix& grad_output) override;
   std::vector<Parameter*> Parameters() override { return {&gamma_, &beta_}; }
   std::string name() const override { return "BatchNorm1d"; }

@@ -27,6 +27,10 @@ Matrix Dropout::Forward(const Matrix& input, bool train) {
   return out;
 }
 
+const Matrix& Dropout::Apply(const Matrix& input, Workspace* /*ws*/) const {
+  return input;
+}
+
 Matrix Dropout::Backward(const Matrix& grad_output) {
   if (!last_train_ || rate_ == 0.0) return grad_output;
   Matrix grad = grad_output;

@@ -15,6 +15,8 @@ class Dropout : public Layer {
   Dropout(double rate, util::Rng* rng);
 
   Matrix Forward(const Matrix& input, bool train) override;
+  /// Inference dropout is the identity: returns `input` itself, untouched.
+  const Matrix& Apply(const Matrix& input, Workspace* ws) const override;
   Matrix Backward(const Matrix& grad_output) override;
   std::string name() const override { return "Dropout"; }
 

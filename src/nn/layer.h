@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "nn/matrix.h"
+#include "nn/workspace.h"
 
 namespace sato::nn {
 
@@ -28,6 +29,14 @@ struct Parameter {
 /// Contract: Backward must be called with the gradient of the loss w.r.t.
 /// the layer's most recent Forward output, and returns the gradient w.r.t.
 /// that Forward call's input, accumulating parameter gradients on the way.
+///
+/// Two forward entry points:
+///  * Forward(input, train) is the training path; it may cache
+///    activations on the layer and is therefore NOT re-entrant.
+///  * Apply(input, ws) is the inference path: const, writes nothing to the
+///    layer, and draws every intermediate from the caller's Workspace, so
+///    any number of threads may Apply one shared layer concurrently.
+///    Apply is bit-identical to Forward(input, /*train=*/false).
 class Layer {
  public:
   virtual ~Layer() = default;
@@ -35,6 +44,11 @@ class Layer {
   /// Forward pass over a [batch, in_features] matrix. `train` toggles
   /// training-only behaviour (dropout masks, batch-norm batch statistics).
   virtual Matrix Forward(const Matrix& input, bool train) = 0;
+
+  /// Re-entrant inference pass; see class contract. The returned reference
+  /// points into `ws` (or at `input` for identity layers) and stays valid
+  /// until the workspace is Reset.
+  virtual const Matrix& Apply(const Matrix& input, Workspace* ws) const = 0;
 
   /// Backward pass; see class contract.
   virtual Matrix Backward(const Matrix& grad_output) = 0;

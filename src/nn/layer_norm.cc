@@ -41,6 +41,32 @@ Matrix LayerNorm::Forward(const Matrix& input, bool /*train*/) {
   return out;
 }
 
+const Matrix& LayerNorm::Apply(const Matrix& input, Workspace* ws) const {
+  size_t n = input.rows(), f = input.cols();
+  if (f != gamma_.value.cols()) {
+    throw std::invalid_argument("LayerNorm: feature mismatch");
+  }
+  Matrix& out = ws->Scratch(n, f);
+  for (size_t r = 0; r < n; ++r) {
+    const double* x = input.Row(r);
+    double mean = 0.0;
+    for (size_t c = 0; c < f; ++c) mean += x[c];
+    mean /= static_cast<double>(f);
+    double var = 0.0;
+    for (size_t c = 0; c < f; ++c) {
+      double d = x[c] - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(f);
+    double inv_std = 1.0 / std::sqrt(var + eps_);
+    double* o = out.Row(r);
+    for (size_t c = 0; c < f; ++c) {
+      o[c] = gamma_.value(0, c) * ((x[c] - mean) * inv_std) + beta_.value(0, c);
+    }
+  }
+  return out;
+}
+
 Matrix LayerNorm::Backward(const Matrix& grad_output) {
   size_t n = grad_output.rows(), f = grad_output.cols();
   Matrix grad_input(n, f);

@@ -15,6 +15,7 @@ class LayerNorm : public Layer {
   explicit LayerNorm(size_t features, double eps = 1e-5);
 
   Matrix Forward(const Matrix& input, bool train) override;
+  const Matrix& Apply(const Matrix& input, Workspace* ws) const override;
   Matrix Backward(const Matrix& grad_output) override;
   std::vector<Parameter*> Parameters() override { return {&gamma_, &beta_}; }
   std::string name() const override { return "LayerNorm"; }

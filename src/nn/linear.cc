@@ -13,6 +13,13 @@ Matrix Linear::Forward(const Matrix& input, bool /*train*/) {
   return out;
 }
 
+const Matrix& Linear::Apply(const Matrix& input, Workspace* ws) const {
+  Matrix& out = ws->ScratchUninit(input.rows(), weight_.value.cols());
+  MatMulInto(input, weight_.value, &out);
+  out.AddRowVectorInPlace(bias_.value);
+  return out;
+}
+
 Matrix Linear::Backward(const Matrix& grad_output) {
   weight_.grad += MatMulTransposeA(input_cache_, grad_output);
   bias_.grad += grad_output.ColumnSums();

@@ -14,6 +14,7 @@ class Linear : public Layer {
   Linear(size_t in_features, size_t out_features, util::Rng* rng);
 
   Matrix Forward(const Matrix& input, bool train) override;
+  const Matrix& Apply(const Matrix& input, Workspace* ws) const override;
   Matrix Backward(const Matrix& grad_output) override;
   std::vector<Parameter*> Parameters() override { return {&weight_, &bias_}; }
   std::string name() const override { return "Linear"; }

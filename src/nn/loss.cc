@@ -8,17 +8,21 @@ namespace sato::nn {
 
 Matrix SoftmaxRows(const Matrix& logits) {
   Matrix out = logits;
-  for (size_t r = 0; r < out.rows(); ++r) {
-    double* row = out.Row(r);
-    double mx = *std::max_element(row, row + out.cols());
+  SoftmaxRowsInPlace(&out);
+  return out;
+}
+
+void SoftmaxRowsInPlace(Matrix* m) {
+  for (size_t r = 0; r < m->rows(); ++r) {
+    double* row = m->Row(r);
+    double mx = *std::max_element(row, row + m->cols());
     double sum = 0.0;
-    for (size_t c = 0; c < out.cols(); ++c) {
+    for (size_t c = 0; c < m->cols(); ++c) {
       row[c] = std::exp(row[c] - mx);
       sum += row[c];
     }
-    for (size_t c = 0; c < out.cols(); ++c) row[c] /= sum;
+    for (size_t c = 0; c < m->cols(); ++c) row[c] /= sum;
   }
-  return out;
 }
 
 Matrix LogSoftmaxRows(const Matrix& logits) {

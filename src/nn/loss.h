@@ -31,6 +31,10 @@ class SoftmaxCrossEntropy {
 /// Row-wise softmax of a logits matrix (stable).
 Matrix SoftmaxRows(const Matrix& logits);
 
+/// Row-wise softmax computed in place (stable); lets the inference path
+/// normalise workspace-resident logits without allocating.
+void SoftmaxRowsInPlace(Matrix* m);
+
 /// Row-wise log-softmax of a logits matrix (stable).
 Matrix LogSoftmaxRows(const Matrix& logits);
 

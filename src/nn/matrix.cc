@@ -120,12 +120,21 @@ std::string Matrix::DebugString() const {
 }
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
-  if (a.cols() != b.rows()) throw std::invalid_argument("MatMul: shape mismatch");
   Matrix c(a.rows(), b.cols());
+  MatMulInto(a, b, &c);
+  return c;
+}
+
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* c) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("MatMul: shape mismatch");
+  if (c->rows() != a.rows() || c->cols() != b.cols()) {
+    throw std::invalid_argument("MatMulInto: bad output shape");
+  }
+  c->Fill(0.0);
   // i-k-j loop order: streams over contiguous rows of b and c.
   for (size_t i = 0; i < a.rows(); ++i) {
     const double* arow = a.Row(i);
-    double* crow = c.Row(i);
+    double* crow = c->Row(i);
     for (size_t k = 0; k < a.cols(); ++k) {
       double aik = arow[k];
       if (aik == 0.0) continue;
@@ -133,7 +142,6 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
       for (size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
     }
   }
-  return c;
 }
 
 Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {

@@ -1,6 +1,7 @@
 #ifndef SATO_NN_MATRIX_H_
 #define SATO_NN_MATRIX_H_
 
+#include <algorithm>  // std::fill used by Fill() below
 #include <cstddef>
 #include <string>
 #include <vector>
@@ -55,6 +56,23 @@ class Matrix {
 
   void Fill(double v) { std::fill(data_.begin(), data_.end(), v); }
 
+  /// Reshapes to [rows, cols] and zero-fills. Existing heap storage is
+  /// reused whenever capacity allows -- this is what lets Workspace hand
+  /// out scratch matrices without steady-state allocation.
+  void Resize(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0);
+  }
+
+  /// Resize that skips the zero-fill: surviving elements keep stale
+  /// values. Only for outputs the caller fully overwrites (MatMulInto).
+  void ResizeUninit(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
   // -- element-wise in-place ops ------------------------------------------
   Matrix& operator+=(const Matrix& other);
   Matrix& operator-=(const Matrix& other);
@@ -89,6 +107,10 @@ class Matrix {
 
 /// C = A * B. Shapes: [m,k] x [k,n] -> [m,n].
 Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// C = A * B written into a caller-owned [m,n] matrix (overwritten), so
+/// hot paths can reuse pooled storage. Bit-identical to MatMul.
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* c);
 
 /// C = A * B^T. Shapes: [m,k] x [n,k] -> [m,n].
 Matrix MatMulTransposeB(const Matrix& a, const Matrix& b);

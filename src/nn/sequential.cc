@@ -18,6 +18,23 @@ Matrix Sequential::ForwardWithPenultimate(const Matrix& input, bool train,
   return x;
 }
 
+const Matrix& Sequential::Apply(const Matrix& input, Workspace* ws) const {
+  const Matrix* x = &input;
+  for (const auto& layer : layers_) x = &layer->Apply(*x, ws);
+  return *x;
+}
+
+const Matrix& Sequential::ApplyWithPenultimate(const Matrix& input,
+                                               Workspace* ws,
+                                               Matrix* penultimate) const {
+  const Matrix* x = &input;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    if (i + 1 == layers_.size() && penultimate != nullptr) *penultimate = *x;
+    x = &layers_[i]->Apply(*x, ws);
+  }
+  return *x;
+}
+
 Matrix Sequential::Backward(const Matrix& grad_output) {
   Matrix g = grad_output;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {

@@ -31,6 +31,7 @@ class Sequential : public Layer {
   }
 
   Matrix Forward(const Matrix& input, bool train) override;
+  const Matrix& Apply(const Matrix& input, Workspace* ws) const override;
   Matrix Backward(const Matrix& grad_output) override;
   std::vector<Parameter*> Parameters() override;
   std::string name() const override { return "Sequential"; }
@@ -43,6 +44,11 @@ class Sequential : public Layer {
   /// the output layer).
   Matrix ForwardWithPenultimate(const Matrix& input, bool train,
                                 Matrix* penultimate);
+
+  /// Re-entrant counterpart of ForwardWithPenultimate: `penultimate` is a
+  /// caller-owned matrix that receives a copy of the final layer's input.
+  const Matrix& ApplyWithPenultimate(const Matrix& input, Workspace* ws,
+                                     Matrix* penultimate) const;
 
  private:
   std::vector<std::unique_ptr<Layer>> layers_;

@@ -1,0 +1,25 @@
+#include "nn/workspace.h"
+
+namespace sato::nn {
+
+Matrix& Workspace::Scratch(size_t rows, size_t cols) {
+  if (next_ == pool_.size()) pool_.emplace_back();
+  Matrix& m = pool_[next_++];
+  m.Resize(rows, cols);
+  return m;
+}
+
+Matrix& Workspace::ScratchUninit(size_t rows, size_t cols) {
+  if (next_ == pool_.size()) pool_.emplace_back();
+  Matrix& m = pool_[next_++];
+  m.ResizeUninit(rows, cols);
+  return m;
+}
+
+size_t Workspace::PooledBytes() const {
+  size_t bytes = 0;
+  for (const Matrix& m : pool_) bytes += m.size() * sizeof(double);
+  return bytes;
+}
+
+}  // namespace sato::nn

@@ -1,0 +1,67 @@
+#ifndef SATO_NN_WORKSPACE_H_
+#define SATO_NN_WORKSPACE_H_
+
+#include <cstddef>
+#include <deque>
+
+#include "nn/matrix.h"
+
+namespace sato::nn {
+
+/// A pool of scratch matrices backing the re-entrant inference path
+/// (Layer::Apply and everything built on it).
+///
+/// Layers must not own mutable per-call state if one model instance is to
+/// serve many threads, so every intermediate an inference pass needs lives
+/// here instead: the caller owns one Workspace per thread and passes it
+/// down through Apply. Scratch() hands out zero-filled matrices whose
+/// storage is recycled across rounds -- after the first few calls reach
+/// the high-water mark, repeated predictions perform no heap allocation.
+///
+/// Usage contract:
+///  * One Workspace is used by at most one prediction call at a time
+///    (workspaces are cheap; make one per thread).
+///  * Reset() marks every pooled matrix free for reuse and is called by
+///    top-level entry points (e.g. SatoModel::Predict) -- references
+///    obtained from Scratch() before the last Reset() are invalid.
+///  * Scratch() results keep stable addresses until Reset(), so a layer
+///    may safely return a reference to its output slot while later layers
+///    acquire more scratch.
+class Workspace {
+ public:
+  Workspace() = default;
+
+  // A workspace is thread-local state; copying one is always a bug.
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+  Workspace(Workspace&&) = default;
+  Workspace& operator=(Workspace&&) = default;
+
+  /// Returns a zero-filled [rows, cols] matrix, reusing pooled storage.
+  /// The reference stays valid until the next Reset().
+  Matrix& Scratch(size_t rows, size_t cols);
+
+  /// Scratch without the zero-fill, for outputs the caller overwrites in
+  /// full before reading (e.g. MatMulInto destinations, which zero
+  /// themselves): skips one memory pass on the hot path. Contents are
+  /// stale garbage until written, so never read-modify-write them.
+  Matrix& ScratchUninit(size_t rows, size_t cols);
+
+  /// Makes all pooled matrices available for reuse (storage is kept).
+  void Reset() { next_ = 0; }
+
+  /// Number of matrices currently pooled (the high-water mark of one
+  /// prediction round); exposed so tests can assert steady state.
+  size_t pooled() const { return pool_.size(); }
+
+  /// Bytes of matrix storage held by the pool.
+  size_t PooledBytes() const;
+
+ private:
+  std::deque<Matrix> pool_;  // deque: stable addresses as the pool grows
+  size_t next_ = 0;
+};
+
+}  // namespace sato::nn
+
+#endif  // SATO_NN_WORKSPACE_H_

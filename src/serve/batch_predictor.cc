@@ -2,7 +2,6 @@
 
 #include <exception>
 #include <mutex>
-#include <sstream>
 #include <utility>
 
 #include "table/semantic_type.h"
@@ -10,38 +9,16 @@
 
 namespace sato::serve {
 
-namespace {
-
-/// Replicates a trained model: constructs a twin with the same
-/// architecture, then copies the parameters through the serialisation
-/// round-trip (the only parameter-copy channel SatoModel exposes).
-std::unique_ptr<SatoModel> CloneModel(const SatoModel& model) {
-  ColumnwiseModel::Dims dims = model.columnwise().dims();
-  util::Rng init_rng(0);  // initial weights are overwritten by Load below
-  auto clone = std::make_unique<SatoModel>(model.variant(), dims,
-                                           dims.topic_dim, model.config(),
-                                           &init_rng);
-  std::stringstream buffer;
-  model.Save(&buffer);
-  clone->Load(&buffer);
-  return clone;
-}
-
-}  // namespace
-
 BatchPredictor::BatchPredictor(const SatoModel& model,
                                const FeatureContext* context,
                                features::FeatureScaler scaler,
                                const BatchPredictorOptions& options)
     : options_(options),
+      predictor_(&model, context, std::move(scaler)),
       pool_(options.num_threads) {
-  replicas_.reserve(pool_.num_threads());
-  predictors_.reserve(pool_.num_threads());
-  for (size_t w = 0; w < pool_.num_threads(); ++w) {
-    replicas_.push_back(CloneModel(model));
-    predictors_.push_back(std::make_unique<SatoPredictor>(
-        replicas_.back().get(), context, scaler));
-  }
+  // One scratch workspace per worker; the model itself is shared and
+  // never copied (the inference path is const and re-entrant).
+  workspaces_.resize(pool_.num_threads());
 }
 
 uint64_t BatchPredictor::TableSeed(uint64_t base_seed, size_t table_index) {
@@ -64,7 +41,8 @@ std::vector<std::vector<TypeId>> BatchPredictor::PredictTables(
       try {
         if (tables[i].num_columns() == 0) return;  // empty prediction
         util::Rng rng(TableSeed(options_.seed, i));
-        results[i] = predictors_[worker]->PredictTable(tables[i], &rng);
+        results[i] =
+            predictor_.PredictTable(tables[i], &rng, &workspaces_[worker]);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
@@ -85,6 +63,12 @@ std::vector<std::vector<std::string>> BatchPredictor::PredictTypeNames(
     for (TypeId id : ids[i]) names[i].push_back(TypeName(id));
   }
   return names;
+}
+
+size_t BatchPredictor::WorkspaceBytes() const {
+  size_t bytes = 0;
+  for (const nn::Workspace& ws : workspaces_) bytes += ws.PooledBytes();
+  return bytes;
 }
 
 }  // namespace sato::serve

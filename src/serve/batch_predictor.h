@@ -2,7 +2,6 @@
 #define SATO_SERVE_BATCH_PREDICTOR_H_
 
 #include <cstdint>
-#include <memory>
 #include <string>
 #include <vector>
 
@@ -10,13 +9,14 @@
 #include "core/predictor.h"
 #include "core/sato_model.h"
 #include "features/pipeline.h"
+#include "nn/workspace.h"
 #include "serve/thread_pool.h"
 #include "table/table.h"
 
 namespace sato::serve {
 
 struct BatchPredictorOptions {
-  /// Worker threads (and model replicas). Clamped to >= 1.
+  /// Worker threads. Clamped to >= 1.
   size_t num_threads = 1;
 
   /// Base seed of the per-table Rng streams. Every table derives its own
@@ -26,22 +26,29 @@ struct BatchPredictorOptions {
   uint64_t seed = 1;
 };
 
-/// Parallel batch prediction over many tables.
+/// Parallel batch prediction over many tables, all workers sharing ONE
+/// immutable model.
 ///
-/// Per-table CRF decoding is embarrassingly parallel across tables, but the
-/// column-wise network is not re-entrant (forward passes cache activations
-/// for backward), so each worker owns a private replica of the model cloned
-/// through the Save/Load round-trip. The immutable FeatureContext and the
-/// fitted scaler are shared by all workers.
+/// The network's inference pass (SatoModel::Predict via Layer::Apply) is
+/// const and re-entrant: it writes nothing to the model and draws every
+/// intermediate from a caller-owned nn::Workspace. The BatchPredictor
+/// therefore borrows a single `const SatoModel&` and keeps one Workspace
+/// per worker thread -- model memory is O(1) in the thread count and
+/// construction copies no parameters, where the previous design cloned a
+/// full replica per worker through a Save/Load round-trip. The immutable
+/// FeatureContext and the fitted scaler are likewise shared.
 ///
 /// Determinism: table i is decoded with an Rng seeded TableSeed(seed, i),
 /// and results land at index i of the output, so a batch produces
 /// byte-identical output for 1, 2, or N worker threads -- identical to
 /// running SatoPredictor sequentially with the same per-table seeds.
+/// (Workspace scratch is zero-filled on acquisition, so results never
+/// depend on what a worker computed previously.)
 class BatchPredictor {
  public:
-  /// Clones `model` once per worker. `context` is borrowed and must outlive
-  /// the predictor; `model` is only read during construction.
+  /// Borrows `model` and `context`; both must outlive the predictor.
+  /// No model state is copied -- construction is O(num_threads) empty
+  /// workspaces, not O(num_threads x model size).
   BatchPredictor(const SatoModel& model, const FeatureContext* context,
                  features::FeatureScaler scaler,
                  const BatchPredictorOptions& options);
@@ -61,10 +68,17 @@ class BatchPredictor {
 
   size_t num_threads() const { return pool_.num_threads(); }
 
+  /// The shared model all workers read -- exactly one, never cloned.
+  const SatoModel& model() const { return predictor_.model(); }
+
+  /// Bytes of scratch currently pooled across all worker workspaces (the
+  /// steady-state serving overhead that replaced per-worker replicas).
+  size_t WorkspaceBytes() const;
+
  private:
   BatchPredictorOptions options_;
-  std::vector<std::unique_ptr<SatoModel>> replicas_;       // one per worker
-  std::vector<std::unique_ptr<SatoPredictor>> predictors_; // one per worker
+  SatoPredictor predictor_;               // drives the shared const model
+  std::vector<nn::Workspace> workspaces_; // one per worker thread
   ThreadPool pool_;
 };
 

@@ -15,8 +15,8 @@ namespace sato::serve {
 ///
 /// Tasks receive the index of the worker running them (0 .. num_threads-1),
 /// which lets callers keep worker-local state -- the BatchPredictor uses it
-/// to route each table to a worker-private model replica, since the
-/// network's forward pass caches activations and is not re-entrant.
+/// to route each table to a worker-private nn::Workspace while every
+/// worker reads the same shared, immutable model.
 ///
 /// The pool is created once and reused across batches; Wait() blocks until
 /// the queue is empty *and* every in-flight task has finished, so a

@@ -241,6 +241,30 @@ TEST(TokenEncoderTest, CanLearnTwoDistinguishableTypes) {
   EXPECT_GT(correct, 55);
 }
 
+TEST(TokenEncoderTest, ApplyMatchesEvalForwardBitForBit) {
+  // The §6 extension model must honour the same re-entrancy contract as
+  // the primary network: const Apply == Forward(tokens, /*train=*/false).
+  EncoderConfig config;
+  config.min_count = 1;
+  Column c = MakeColumn({"warsaw", "london", "alpha beta"});
+  auto vocab = TokenEncoderModel::BuildVocabulary({&c}, config);
+  util::Rng rng(14);
+  TokenEncoderModel model(config, std::move(vocab), &rng);
+  const TokenEncoderModel& shared = model;  // the view serving threads get
+  auto tokens = model.Encode(c);
+  nn::Matrix forward = model.Forward(tokens, false);
+  nn::Workspace ws;
+  for (int round = 0; round < 2; ++round) {  // exercise workspace reuse
+    ws.Reset();
+    const nn::Matrix& applied = shared.Apply(tokens, &ws);
+    ASSERT_EQ(applied.rows(), forward.rows());
+    ASSERT_EQ(applied.cols(), forward.cols());
+    for (size_t i = 0; i < applied.size(); ++i) {
+      EXPECT_EQ(applied.data()[i], forward.data()[i]);
+    }
+  }
+}
+
 TEST(TokenEncoderTest, PredictScoresSumToOne) {
   EncoderConfig config;
   config.min_count = 1;

@@ -7,15 +7,18 @@
 
 #include <gtest/gtest.h>
 
+#include "encoder/attention.h"
 #include "nn/activations.h"
 #include "nn/batch_norm.h"
 #include "nn/dropout.h"
+#include "nn/layer_norm.h"
 #include "nn/linear.h"
 #include "nn/loss.h"
 #include "nn/matrix.h"
 #include "nn/optimizer.h"
 #include "nn/sequential.h"
 #include "nn/serialize.h"
+#include "nn/workspace.h"
 
 namespace sato::nn {
 namespace {
@@ -504,6 +507,170 @@ TEST(SerializeTest, BadMagicThrows) {
   Sequential net;
   net.Emplace<Linear>(2, 2, &rng);
   EXPECT_THROW(LoadParameters(net.Parameters(), &ss), std::runtime_error);
+}
+
+// ---------------------------------------------------------- workspace ----
+
+TEST(WorkspaceTest, ScratchHasRequestedShapeAndIsZeroFilled) {
+  Workspace ws;
+  Matrix& a = ws.Scratch(3, 4);
+  EXPECT_EQ(a.rows(), 3u);
+  EXPECT_EQ(a.cols(), 4u);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.data()[i], 0.0);
+  a.Fill(7.0);  // poison, must not leak into the next round
+  ws.Reset();
+  Matrix& b = ws.Scratch(2, 2);
+  for (size_t i = 0; i < b.size(); ++i) EXPECT_EQ(b.data()[i], 0.0);
+}
+
+TEST(WorkspaceTest, PoolStabilisesAtHighWaterMark) {
+  Workspace ws;
+  for (int round = 0; round < 5; ++round) {
+    ws.Reset();
+    ws.Scratch(4, 8);
+    ws.Scratch(4, 8);
+    ws.Scratch(1, 8);
+    EXPECT_EQ(ws.pooled(), 3u) << "round " << round;
+  }
+  EXPECT_GT(ws.PooledBytes(), 0u);
+}
+
+TEST(WorkspaceTest, ScratchAddressesStableUntilReset) {
+  Workspace ws;
+  Matrix& a = ws.Scratch(2, 2);
+  double* a_data = a.data();
+  for (int i = 0; i < 100; ++i) ws.Scratch(3, 3);  // force pool growth
+  EXPECT_EQ(a.data(), a_data);  // earlier slot untouched by growth
+}
+
+// ------------------------------------------ Apply / Forward(eval) parity ----
+
+// The serving path's contract: for every layer type, the const re-entrant
+// Apply() is byte-identical to the training object's Forward in eval mode.
+void ExpectBitIdentical(const Matrix& a, const Matrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.data()[i], b.data()[i]) << "element " << i;
+  }
+}
+
+TEST(ApplyParityTest, Linear) {
+  util::Rng rng(21);
+  Linear layer(4, 3, &rng);
+  Matrix x = Matrix::Gaussian(5, 4, 1.0, &rng);
+  Workspace ws;
+  ExpectBitIdentical(layer.Apply(x, &ws), layer.Forward(x, false));
+}
+
+TEST(ApplyParityTest, ReLU) {
+  util::Rng rng(22);
+  ReLU relu;
+  Matrix x = Matrix::Gaussian(4, 6, 1.0, &rng);
+  Workspace ws;
+  ExpectBitIdentical(relu.Apply(x, &ws), relu.Forward(x, false));
+}
+
+TEST(ApplyParityTest, GELU) {
+  util::Rng rng(23);
+  GELU gelu;
+  Matrix x = Matrix::Gaussian(4, 6, 1.0, &rng);
+  Workspace ws;
+  ExpectBitIdentical(gelu.Apply(x, &ws), gelu.Forward(x, false));
+}
+
+TEST(ApplyParityTest, DropoutIsIdentityAtInference) {
+  util::Rng rng(24);
+  Dropout dropout(0.5, &rng);
+  Matrix x = Matrix::Gaussian(4, 6, 1.0, &rng);
+  Workspace ws;
+  const Matrix& y = dropout.Apply(x, &ws);
+  ExpectBitIdentical(y, dropout.Forward(x, false));
+  EXPECT_EQ(&y, &x);  // true identity: no copy, no workspace use
+}
+
+TEST(ApplyParityTest, BatchNormUsesRunningStats) {
+  util::Rng rng(25);
+  BatchNorm1d bn(5);
+  // Push several training batches through so the running statistics are
+  // far from their (0, 1) initialisation.
+  for (int i = 0; i < 10; ++i) {
+    Matrix batch = Matrix::Gaussian(16, 5, 2.0, &rng);
+    batch += Matrix(16, 5, 3.0);
+    bn.Forward(batch, true);
+  }
+  Matrix x = Matrix::Gaussian(7, 5, 1.0, &rng);
+  Workspace ws;
+  ExpectBitIdentical(bn.Apply(x, &ws), bn.Forward(x, false));
+}
+
+TEST(ApplyParityTest, LayerNorm) {
+  util::Rng rng(26);
+  LayerNorm ln(6);
+  Matrix x = Matrix::Gaussian(4, 6, 1.5, &rng);
+  Workspace ws;
+  ExpectBitIdentical(ln.Apply(x, &ws), ln.Forward(x, false));
+}
+
+TEST(ApplyParityTest, MultiHeadSelfAttention) {
+  util::Rng rng(27);
+  encoder::MultiHeadSelfAttention attn(8, 2, &rng);
+  Matrix x = Matrix::Gaussian(5, 8, 1.0, &rng);
+  Workspace ws;
+  ExpectBitIdentical(attn.Apply(x, &ws), attn.Forward(x, false));
+}
+
+TEST(ApplyParityTest, SequentialPrimaryNetworkShape) {
+  // The shape of the paper's primary network: FC + BN + ReLU + Dropout
+  // blocks and a linear head, exercised end to end through Apply.
+  util::Rng rng(28);
+  Sequential net;
+  net.Emplace<Linear>(10, 8, &rng);
+  net.Emplace<BatchNorm1d>(8);
+  net.Emplace<ReLU>();
+  net.Emplace<Dropout>(0.3, &rng);
+  net.Emplace<Linear>(8, 4, &rng);
+  Matrix x = Matrix::Gaussian(6, 10, 1.0, &rng);
+  Workspace ws;
+  ExpectBitIdentical(net.Apply(x, &ws), net.Forward(x, false));
+}
+
+TEST(ApplyParityTest, SequentialApplyWithPenultimate) {
+  util::Rng rng(29);
+  Sequential net;
+  net.Emplace<Linear>(5, 4, &rng);
+  net.Emplace<ReLU>();
+  net.Emplace<Linear>(4, 3, &rng);
+  Matrix x = Matrix::Gaussian(3, 5, 1.0, &rng);
+  Matrix pen_fwd, pen_apply;
+  Matrix fwd = net.ForwardWithPenultimate(x, false, &pen_fwd);
+  Workspace ws;
+  const Matrix& apply = net.ApplyWithPenultimate(x, &ws, &pen_apply);
+  ExpectBitIdentical(apply, fwd);
+  ExpectBitIdentical(pen_apply, pen_fwd);
+}
+
+TEST(ApplyParityTest, RepeatedApplyWithReusedWorkspaceIsStable) {
+  // Workspace reuse across rounds must not change results: scratch is
+  // zero-filled on acquisition, so round 2 cannot see round 1's data.
+  util::Rng rng(30);
+  Sequential net;
+  net.Emplace<Linear>(6, 6, &rng);
+  net.Emplace<ReLU>();
+  net.Emplace<Linear>(6, 2, &rng);
+  Matrix x1 = Matrix::Gaussian(4, 6, 1.0, &rng);
+  Matrix x2 = Matrix::Gaussian(4, 6, 1.0, &rng);
+  Workspace ws;
+  ws.Reset();
+  Matrix first = net.Apply(x1, &ws);  // copy out before reuse
+  ws.Reset();
+  net.Apply(x2, &ws);  // interleave different input
+  ws.Reset();
+  ExpectBitIdentical(net.Apply(x1, &ws), first);
+  size_t pooled = ws.pooled();
+  ws.Reset();
+  net.Apply(x1, &ws);
+  EXPECT_EQ(ws.pooled(), pooled);  // steady state: no new slots
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -228,6 +229,91 @@ TEST_F(BatchPredictorTest, EmptyBatchYieldsEmptyResult) {
   options.num_threads = 2;
   serve::BatchPredictor batch(model, context_, *scaler_, options);
   EXPECT_TRUE(batch.PredictTables({}).empty());
+}
+
+TEST_F(BatchPredictorTest, SharesExactlyOneModelInstance) {
+  SatoModel model = MakeModel(SatoVariant::kFull, 17);
+  serve::BatchPredictorOptions options;
+  options.num_threads = 8;
+  serve::BatchPredictor batch(model, context_, *scaler_, options);
+  // No replicas: the model the workers read IS the caller's instance.
+  EXPECT_EQ(&batch.model(), &model);
+}
+
+// ------------------------------------------------ shared-model re-entrancy ----
+
+// N threads call PredictProbs concurrently on ONE shared const SatoModel,
+// each with its own Workspace; every output must be byte-identical to the
+// single-threaded run. This is the property the whole serving design
+// rests on: the Apply path writes nothing to the model.
+TEST_F(BatchPredictorTest, ConcurrentPredictProbsOnSharedModelIsByteIdentical) {
+  constexpr uint64_t kSeed = 41;
+  constexpr size_t kThreads = 8;
+  const SatoModel model = MakeModel(SatoVariant::kFull, 29);
+  const SatoPredictor predictor(&model, context_, *scaler_);
+  const size_t n = std::min<size_t>(64, tables_->size());
+
+  // Sequential reference (fresh Rng per table, same seed stream).
+  std::vector<nn::Matrix> reference(n);
+  for (size_t i = 0; i < n; ++i) {
+    util::Rng rng(serve::BatchPredictor::TableSeed(kSeed, i));
+    reference[i] = predictor.PredictProbs((*tables_)[i], &rng);
+  }
+
+  // Concurrent run over the same shared model: thread t owns workspace t
+  // and the tables with index % kThreads == t.
+  std::vector<nn::Matrix> concurrent(n);
+  std::vector<nn::Workspace> workspaces(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = t; i < n; i += kThreads) {
+        util::Rng rng(serve::BatchPredictor::TableSeed(kSeed, i));
+        concurrent[i] =
+            predictor.PredictProbs((*tables_)[i], &rng, &workspaces[t]);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(concurrent[i], reference[i]) << "table " << i;
+  }
+}
+
+// Same property through SatoModel::Predict (CRF Viterbi decode included),
+// re-running each thread's slice twice so workspace *reuse* is exercised
+// under concurrency, not just first-touch.
+TEST_F(BatchPredictorTest, ConcurrentPredictWithWorkspaceReuseMatches) {
+  constexpr uint64_t kSeed = 43;
+  constexpr size_t kThreads = 4;
+  const SatoModel model = MakeModel(SatoVariant::kFull, 17);
+  const SatoPredictor predictor(&model, context_, *scaler_);
+  const size_t n = std::min<size_t>(40, tables_->size());
+
+  std::vector<std::vector<TypeId>> reference(n);
+  for (size_t i = 0; i < n; ++i) {
+    util::Rng rng(serve::BatchPredictor::TableSeed(kSeed, i));
+    reference[i] = predictor.PredictTable((*tables_)[i], &rng);
+  }
+
+  for (int round = 0; round < 2; ++round) {
+    std::vector<std::vector<TypeId>> concurrent(n);
+    std::vector<nn::Workspace> workspaces(kThreads);
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (size_t i = t; i < n; i += kThreads) {
+          util::Rng rng(serve::BatchPredictor::TableSeed(kSeed, i));
+          concurrent[i] =
+              predictor.PredictTable((*tables_)[i], &rng, &workspaces[t]);
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(concurrent, reference) << "round " << round;
+  }
 }
 
 }  // namespace
