@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "nn/gemm.h"
+
 namespace sato::nn {
 
 Matrix Matrix::Gaussian(size_t rows, size_t cols, double stddev,
@@ -119,64 +121,33 @@ std::string Matrix::DebugString() const {
   return os.str();
 }
 
+// All four multiply routings funnel through the blocked kernel in
+// nn/gemm.h (the process-wide gemm::DefaultConfig() selects the kernel),
+// so Linear, attention, the encoder and the column-wise model pick up
+// kernel improvements with no call-site changes.
+
 Matrix MatMul(const Matrix& a, const Matrix& b) {
-  Matrix c(a.rows(), b.cols());
-  MatMulInto(a, b, &c);
+  Matrix c;
+  gemm::Gemm(a, b, &c);
   return c;
 }
 
 void MatMulInto(const Matrix& a, const Matrix& b, Matrix* c) {
-  if (a.cols() != b.rows()) throw std::invalid_argument("MatMul: shape mismatch");
   if (c->rows() != a.rows() || c->cols() != b.cols()) {
     throw std::invalid_argument("MatMulInto: bad output shape");
   }
-  c->Fill(0.0);
-  // i-k-j loop order: streams over contiguous rows of b and c.
-  for (size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.Row(i);
-    double* crow = c->Row(i);
-    for (size_t k = 0; k < a.cols(); ++k) {
-      double aik = arow[k];
-      if (aik == 0.0) continue;
-      const double* brow = b.Row(k);
-      for (size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
-    }
-  }
+  gemm::Gemm(a, b, c);
 }
 
 Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
-  if (a.cols() != b.cols()) {
-    throw std::invalid_argument("MatMulTransposeB: shape mismatch");
-  }
-  Matrix c(a.rows(), b.rows());
-  for (size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.Row(i);
-    double* crow = c.Row(i);
-    for (size_t j = 0; j < b.rows(); ++j) {
-      const double* brow = b.Row(j);
-      double sum = 0.0;
-      for (size_t k = 0; k < a.cols(); ++k) sum += arow[k] * brow[k];
-      crow[j] = sum;
-    }
-  }
+  Matrix c;
+  gemm::GemmTransposeB(a, b, &c);
   return c;
 }
 
 Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
-  if (a.rows() != b.rows()) {
-    throw std::invalid_argument("MatMulTransposeA: shape mismatch");
-  }
-  Matrix c(a.cols(), b.cols());
-  for (size_t k = 0; k < a.rows(); ++k) {
-    const double* arow = a.Row(k);
-    const double* brow = b.Row(k);
-    for (size_t i = 0; i < a.cols(); ++i) {
-      double aki = arow[i];
-      if (aki == 0.0) continue;
-      double* crow = c.Row(i);
-      for (size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
-    }
-  }
+  Matrix c;
+  gemm::GemmTransposeA(a, b, &c);
   return c;
 }
 

@@ -13,6 +13,22 @@ namespace sato::nn {
 /// Dense row-major matrix of doubles. This is the only tensor type the
 /// library needs: batches are matrices of shape [batch, features] and all
 /// layers map matrices to matrices.
+///
+/// Shape conventions used across src/nn, src/encoder and src/core:
+///  * storage is row-major and contiguous: element (r, c) lives at
+///    data()[r * cols() + c], and Row(r) is a contiguous span of cols()
+///    doubles;
+///  * rows index the batch (one column-of-a-table per row for the
+///    column-wise model, one token per row inside the encoder); columns
+///    index features;
+///  * weights are stored [in_features, out_features], so a forward pass is
+///    always `activations = MatMul(input, weight)` with no transpose;
+///  * a "row vector" is a [1, n] Matrix (biases, ColumnSums results).
+///
+/// Thread-safety follows the usual const contract: concurrent reads of one
+/// Matrix are safe, any mutation needs external ordering. The re-entrant
+/// inference path never mutates shared matrices -- every intermediate is
+/// drawn from a per-thread nn::Workspace.
 class Matrix {
  public:
   Matrix() : rows_(0), cols_(0) {}
@@ -105,17 +121,33 @@ class Matrix {
   std::vector<double> data_;
 };
 
+// -- matrix multiplication --------------------------------------------------
+// All four routings run on the cache-blocked, register-tiled kernel in
+// nn/gemm.h under the process-wide gemm::DefaultConfig() (serial blocked
+// kernel by default -- see gemm.h for tuning, parallel splits and the
+// reference-kernel escape hatch). They are re-entrant, allocate no
+// steady-state heap (packing scratch is thread_local and recycled), and
+// throw std::invalid_argument on inner-dimension mismatch.
+
 /// C = A * B. Shapes: [m,k] x [k,n] -> [m,n].
 Matrix MatMul(const Matrix& a, const Matrix& b);
 
-/// C = A * B written into a caller-owned [m,n] matrix (overwritten), so
-/// hot paths can reuse pooled storage. Bit-identical to MatMul.
+/// C = A * B written into a caller-owned matrix pre-shaped to [m,n], so
+/// hot paths can reuse pooled storage (Workspace::ScratchUninit). The
+/// output is completely overwritten and bit-identical to MatMul.
+/// Aliasing rule: `c` must not alias `a` or `b` -- the kernel interleaves
+/// reads of both inputs with writes to `c`, so an aliased call reads
+/// partially overwritten inputs. (Workspace scratch never aliases layer
+/// parameters, which is what the inference path relies on.)
 void MatMulInto(const Matrix& a, const Matrix& b, Matrix* c);
 
-/// C = A * B^T. Shapes: [m,k] x [n,k] -> [m,n].
+/// C = A * B^T. Shapes: [m,k] x [n,k] -> [m,n]. B is read through a
+/// transposed view; no transposed copy of B is materialised beyond the
+/// kernel's packed panels.
 Matrix MatMulTransposeB(const Matrix& a, const Matrix& b);
 
-/// C = A^T * B. Shapes: [k,m] x [k,n] -> [m,n].
+/// C = A^T * B. Shapes: [k,m] x [k,n] -> [m,n]. Same view mechanics as
+/// MatMulTransposeB.
 Matrix MatMulTransposeA(const Matrix& a, const Matrix& b);
 
 /// Horizontal concatenation [A | B] of matrices with equal row counts.

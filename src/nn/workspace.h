@@ -27,6 +27,15 @@ namespace sato::nn {
 ///  * Scratch() results keep stable addresses until Reset(), so a layer
 ///    may safely return a reference to its output slot while later layers
 ///    acquire more scratch.
+///
+/// Re-entrancy map of the inference stack (what "const" buys): every
+/// Layer::Apply, MultiHeadSelfAttention::Apply, TransformerBlock::Apply,
+/// TokenEncoderModel::Apply, ColumnwiseModel::Apply and the const
+/// SatoModel::Predict* overloads draw ALL mutable state from the Workspace
+/// passed in (plus thread_local GEMM packing buffers, see nn/gemm.h), so
+/// one immutable model instance serves any number of threads as long as
+/// each thread brings its own Workspace. Training-time Forward()/Backward()
+/// cache activations on the layers and are NOT re-entrant.
 class Workspace {
  public:
   Workspace() = default;
@@ -42,9 +51,11 @@ class Workspace {
   Matrix& Scratch(size_t rows, size_t cols);
 
   /// Scratch without the zero-fill, for outputs the caller overwrites in
-  /// full before reading (e.g. MatMulInto destinations, which zero
-  /// themselves): skips one memory pass on the hot path. Contents are
-  /// stale garbage until written, so never read-modify-write them.
+  /// full before reading (e.g. MatMulInto destinations, which the GEMM
+  /// kernel overwrites completely): skips one memory pass on the hot
+  /// path. Contents are stale garbage until written, so never
+  /// read-modify-write them. Scratch matrices never alias layer
+  /// parameters, satisfying the MatMulInto aliasing rule (matrix.h).
   Matrix& ScratchUninit(size_t rows, size_t cols);
 
   /// Makes all pooled matrices available for reuse (storage is kept).

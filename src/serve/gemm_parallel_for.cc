@@ -1,0 +1,35 @@
+#include "serve/gemm_parallel_for.h"
+
+#include <exception>
+#include <mutex>
+
+#include "serve/thread_pool.h"
+
+namespace sato::serve {
+
+nn::gemm::ParallelFor GemmParallelFor(ThreadPool* pool) {
+  return [pool](size_t count, const std::function<void(size_t)>& fn) {
+    // Tasks must capture their own errors (Submit contract): collect the
+    // first exception and rethrow it after the barrier, like the
+    // BatchPredictor does -- a swallowed error would silently leave the
+    // failed chunk's output columns as uninitialized memory.
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+    // `fn` and the locals outlive the tasks: Wait() returns only after
+    // every chunk ran.
+    for (size_t chunk = 0; chunk < count; ++chunk) {
+      pool->Submit([&fn, &error_mutex, &first_error, chunk](size_t) {
+        try {
+          fn(chunk);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+    }
+    pool->Wait();
+    if (first_error) std::rethrow_exception(first_error);
+  };
+}
+
+}  // namespace sato::serve

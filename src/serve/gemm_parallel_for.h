@@ -1,0 +1,40 @@
+#ifndef SATO_SERVE_GEMM_PARALLEL_FOR_H_
+#define SATO_SERVE_GEMM_PARALLEL_FOR_H_
+
+// The ThreadPool <-> GEMM bridge lives in its own header so that
+// serve/thread_pool.h stays dependency-free: only translation units that
+// actually column-split matrix multiplies pull in the nn/gemm.h API.
+
+#include "nn/gemm.h"
+
+namespace sato::serve {
+
+class ThreadPool;
+
+/// Adapts a ThreadPool to the nn::gemm::ParallelFor barrier so a single
+/// large matrix multiply can be column-split across the pool's workers
+/// (gemm::Config::parallel_for). The returned functor submits one task per
+/// chunk and blocks in Wait() until all have finished; the GEMM result is
+/// byte-identical to the serial kernel for any worker count. Exceptions
+/// escaping a chunk are captured per the Submit contract and the first
+/// one is rethrown to the caller after the barrier (a half-written result
+/// is never returned silently).
+///
+/// Usage constraints (both follow from Wait() being a pool-global
+/// barrier):
+///  * only invoke the functor from OUTSIDE the pool's own tasks -- a task
+///    waiting on its own pool deadlocks. In particular, do not install a
+///    pool-backed ParallelFor into gemm::SetDefaultConfig while the same
+///    pool parallelises across tables (the BatchPredictor pattern);
+///    intra-GEMM and across-table parallelism are alternatives, not
+///    layers.
+///  * the functor shares the pool with any other concurrently submitted
+///    work and will wait for that too; prefer a dedicated pool (or the
+///    gap between batches) for parallel GEMM.
+///
+/// `pool` is borrowed and must outlive the returned functor.
+nn::gemm::ParallelFor GemmParallelFor(ThreadPool* pool);
+
+}  // namespace sato::serve
+
+#endif  // SATO_SERVE_GEMM_PARALLEL_FOR_H_

@@ -55,6 +55,10 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 };
 
+// serve/gemm_parallel_for.h adapts a ThreadPool to the GEMM kernel's
+// column-parallel barrier (kept out of this header so ThreadPool
+// consumers don't depend on the nn/gemm.h API).
+
 }  // namespace sato::serve
 
 #endif  // SATO_SERVE_THREAD_POOL_H_

@@ -1,0 +1,285 @@
+// Tests for the blocked GEMM kernel (nn/gemm.h): blocked-vs-reference
+// parity on all four MatMul routings, edge shapes (1xN, Nx1, empty,
+// non-multiple-of-block dims), the reference escape hatch, and bitwise
+// determinism of the column-parallel split at any chunk/thread count.
+
+#include "nn/gemm.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/matrix.h"
+#include "serve/gemm_parallel_for.h"
+#include "serve/thread_pool.h"
+#include "util/rng.h"
+
+namespace sato::nn {
+namespace {
+
+double MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  EXPECT_EQ(a.rows(), b.rows());
+  EXPECT_EQ(a.cols(), b.cols());
+  double max_diff = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    max_diff = std::max(max_diff, std::abs(a.data()[i] - b.data()[i]));
+  }
+  return max_diff;
+}
+
+struct Shape {
+  size_t m, k, n;
+};
+
+// Non-multiples of the micro tile (4x8) and of the default cache blocks,
+// plus tile-aligned sizes and shapes crossing the mc/kc/nc boundaries.
+const std::vector<Shape> kParityShapes = {
+    {1, 1, 1},  {1, 7, 1},   {3, 5, 2},    {17, 23, 29},
+    {4, 8, 8},  {64, 64, 64}, {65, 63, 66}, {128, 100, 77},
+};
+
+TEST(GemmTest, BlockedMatchesReferencePlain) {
+  util::Rng rng(11);
+  for (const Shape& s : kParityShapes) {
+    Matrix a = Matrix::Gaussian(s.m, s.k, 1.0, &rng);
+    Matrix b = Matrix::Gaussian(s.k, s.n, 1.0, &rng);
+    Matrix blocked, reference;
+    gemm::Gemm(a, b, &blocked);
+    gemm::ReferenceGemm(a, b, &reference);
+    EXPECT_LT(MaxAbsDiff(blocked, reference), 1e-12)
+        << s.m << "x" << s.k << "x" << s.n;
+  }
+}
+
+TEST(GemmTest, BlockedMatchesReferenceTransposeA) {
+  util::Rng rng(12);
+  for (const Shape& s : kParityShapes) {
+    Matrix a = Matrix::Gaussian(s.k, s.m, 1.0, &rng);  // stored [k, m]
+    Matrix b = Matrix::Gaussian(s.k, s.n, 1.0, &rng);
+    Matrix blocked, reference;
+    gemm::GemmTransposeA(a, b, &blocked);
+    gemm::ReferenceGemmTransposeA(a, b, &reference);
+    EXPECT_LT(MaxAbsDiff(blocked, reference), 1e-12)
+        << s.m << "x" << s.k << "x" << s.n;
+  }
+}
+
+TEST(GemmTest, BlockedMatchesReferenceTransposeB) {
+  util::Rng rng(13);
+  for (const Shape& s : kParityShapes) {
+    Matrix a = Matrix::Gaussian(s.m, s.k, 1.0, &rng);
+    Matrix b = Matrix::Gaussian(s.n, s.k, 1.0, &rng);  // stored [n, k]
+    Matrix blocked, reference;
+    gemm::GemmTransposeB(a, b, &blocked);
+    gemm::ReferenceGemmTransposeB(a, b, &reference);
+    EXPECT_LT(MaxAbsDiff(blocked, reference), 1e-12)
+        << s.m << "x" << s.k << "x" << s.n;
+  }
+}
+
+TEST(GemmTest, PublicMatMulRoutingsMatchReference) {
+  util::Rng rng(14);
+  Matrix a = Matrix::Gaussian(33, 45, 1.0, &rng);
+  Matrix b = Matrix::Gaussian(45, 27, 1.0, &rng);
+  Matrix reference;
+  gemm::ReferenceGemm(a, b, &reference);
+  EXPECT_LT(MaxAbsDiff(MatMul(a, b), reference), 1e-12);
+
+  Matrix into(33, 27, /*fill=*/123.0);  // stale contents must be overwritten
+  MatMulInto(a, b, &into);
+  EXPECT_EQ(into, MatMul(a, b));  // bit-identical, full overwrite
+
+  Matrix at = Matrix::Gaussian(45, 33, 1.0, &rng);
+  Matrix ta_ref;
+  gemm::ReferenceGemmTransposeA(at, b, &ta_ref);
+  EXPECT_LT(MaxAbsDiff(MatMulTransposeA(at, b), ta_ref), 1e-12);
+
+  Matrix bt = Matrix::Gaussian(27, 45, 1.0, &rng);
+  Matrix tb_ref;
+  gemm::ReferenceGemmTransposeB(a, bt, &tb_ref);
+  EXPECT_LT(MaxAbsDiff(MatMulTransposeB(a, bt), tb_ref), 1e-12);
+}
+
+TEST(GemmTest, TinyBlockConfigCrossesEveryBlockBoundary) {
+  // Blocks far smaller than the matrix force multi-slab jc/pc/ic loops and
+  // partial edge tiles in every dimension at once.
+  gemm::Config tiny;
+  tiny.mc = 8;
+  tiny.kc = 8;
+  tiny.nc = 16;
+  util::Rng rng(15);
+  Matrix a = Matrix::Gaussian(17, 23, 1.0, &rng);
+  Matrix b = Matrix::Gaussian(23, 29, 1.0, &rng);
+  Matrix blocked, reference;
+  gemm::Gemm(a, b, &blocked, tiny);
+  gemm::ReferenceGemm(a, b, &reference);
+  EXPECT_LT(MaxAbsDiff(blocked, reference), 1e-12);
+}
+
+TEST(GemmTest, EdgeShapesRowAndColumnVectors) {
+  util::Rng rng(16);
+  // 1xN: a single-row batch (the per-column inference path).
+  Matrix a1 = Matrix::Gaussian(1, 64, 1.0, &rng);
+  Matrix b1 = Matrix::Gaussian(64, 32, 1.0, &rng);
+  Matrix c1, r1;
+  gemm::Gemm(a1, b1, &c1);
+  gemm::ReferenceGemm(a1, b1, &r1);
+  EXPECT_LT(MaxAbsDiff(c1, r1), 1e-12);
+
+  // Nx1 output column.
+  Matrix b2 = Matrix::Gaussian(64, 1, 1.0, &rng);
+  Matrix a2 = Matrix::Gaussian(32, 64, 1.0, &rng);
+  Matrix c2, r2;
+  gemm::Gemm(a2, b2, &c2);
+  gemm::ReferenceGemm(a2, b2, &r2);
+  EXPECT_LT(MaxAbsDiff(c2, r2), 1e-12);
+
+  // Inner dimension 1 (outer product).
+  Matrix a3 = Matrix::Gaussian(5, 1, 1.0, &rng);
+  Matrix b3 = Matrix::Gaussian(1, 7, 1.0, &rng);
+  Matrix c3, r3;
+  gemm::Gemm(a3, b3, &c3);
+  gemm::ReferenceGemm(a3, b3, &r3);
+  EXPECT_LT(MaxAbsDiff(c3, r3), 1e-12);
+}
+
+TEST(GemmTest, EmptyShapesAreWellDefined) {
+  // M == 0 and N == 0 yield empty results of the right shape.
+  Matrix c;
+  gemm::Gemm(Matrix(0, 4), Matrix(4, 5), &c);
+  EXPECT_EQ(c.rows(), 0u);
+  EXPECT_EQ(c.cols(), 5u);
+  gemm::Gemm(Matrix(4, 5), Matrix(5, 0), &c);
+  EXPECT_EQ(c.rows(), 4u);
+  EXPECT_EQ(c.cols(), 0u);
+  // K == 0 is an empty sum: the output exists and is all zeros.
+  gemm::Gemm(Matrix(4, 0), Matrix(0, 5), &c);
+  ASSERT_EQ(c.rows(), 4u);
+  ASSERT_EQ(c.cols(), 5u);
+  for (size_t i = 0; i < c.size(); ++i) EXPECT_EQ(c.data()[i], 0.0);
+}
+
+TEST(GemmTest, ShapeMismatchThrowsOnEveryVariant) {
+  Matrix a(2, 3), b(2, 3);
+  Matrix c;
+  EXPECT_THROW(gemm::Gemm(a, b, &c), std::invalid_argument);
+  Matrix ta(3, 2), tb(2, 4);  // A^T*B needs a.rows == b.rows
+  EXPECT_THROW(gemm::GemmTransposeA(ta, tb, &c), std::invalid_argument);
+  Matrix ba(2, 3), bb(4, 2);  // A*B^T needs a.cols == b.cols
+  EXPECT_THROW(gemm::GemmTransposeB(ba, bb, &c), std::invalid_argument);
+  Matrix bad_out(5, 5);
+  Matrix ga(2, 3), gb(3, 4);
+  EXPECT_THROW(MatMulInto(ga, gb, &bad_out), std::invalid_argument);
+}
+
+TEST(GemmTest, ReferenceEscapeHatchIsBitwiseReference) {
+  gemm::Config ref;
+  ref.use_reference = true;
+  EXPECT_EQ(gemm::KernelName(ref), "reference");
+  util::Rng rng(17);
+  Matrix a = Matrix::Gaussian(19, 31, 1.0, &rng);
+  Matrix b = Matrix::Gaussian(31, 21, 1.0, &rng);
+  Matrix via_config, direct;
+  gemm::Gemm(a, b, &via_config, ref);
+  gemm::ReferenceGemm(a, b, &direct);
+  EXPECT_EQ(via_config, direct);  // same code path: bitwise equal
+}
+
+TEST(GemmTest, CpuDispatchDisabledStaysWithinTolerance) {
+  gemm::Config generic;
+  generic.enable_cpu_dispatch = false;
+  EXPECT_EQ(gemm::KernelName(generic), "blocked-generic");
+  util::Rng rng(18);
+  Matrix a = Matrix::Gaussian(40, 52, 1.0, &rng);
+  Matrix b = Matrix::Gaussian(52, 36, 1.0, &rng);
+  Matrix dispatched, portable;
+  gemm::Gemm(a, b, &dispatched);  // DefaultConfig: dispatch enabled
+  gemm::Gemm(a, b, &portable, generic);
+  EXPECT_LT(MaxAbsDiff(dispatched, portable), 1e-12);
+}
+
+TEST(GemmTest, ParallelSplitIsBitwiseIdenticalToSerial) {
+  util::Rng rng(19);
+  Matrix a = Matrix::Gaussian(37, 53, 1.0, &rng);
+  Matrix b = Matrix::Gaussian(53, 141, 1.0, &rng);
+  Matrix serial;
+  gemm::Gemm(a, b, &serial);
+
+  serve::ThreadPool pool(3);
+  for (size_t chunks : {size_t{1}, size_t{2}, size_t{3}, size_t{7},
+                        size_t{500} /* more chunks than columns */}) {
+    gemm::Config par;
+    par.parallel_for = serve::GemmParallelFor(&pool);
+    par.parallel_chunks = chunks;
+    par.parallel_min_columns = 1;
+    Matrix split;
+    gemm::Gemm(a, b, &split, par);
+    EXPECT_EQ(split, serial) << "chunks=" << chunks;
+  }
+}
+
+TEST(GemmTest, ParallelSplitCoversTransposedVariants) {
+  util::Rng rng(20);
+  serve::ThreadPool pool(2);
+  gemm::Config par;
+  par.parallel_for = serve::GemmParallelFor(&pool);
+  par.parallel_chunks = 4;
+  par.parallel_min_columns = 1;
+
+  Matrix a = Matrix::Gaussian(30, 26, 1.0, &rng);   // [k=30, m=26] for A^T
+  Matrix b = Matrix::Gaussian(30, 90, 1.0, &rng);
+  Matrix serial, split;
+  gemm::GemmTransposeA(a, b, &serial);
+  gemm::GemmTransposeA(a, b, &split, par);
+  EXPECT_EQ(split, serial);
+
+  Matrix ta = Matrix::Gaussian(26, 30, 1.0, &rng);
+  Matrix tb = Matrix::Gaussian(90, 30, 1.0, &rng);  // [n=90, k=30] for B^T
+  gemm::GemmTransposeB(ta, tb, &serial);
+  gemm::GemmTransposeB(ta, tb, &split, par);
+  EXPECT_EQ(split, serial);
+}
+
+TEST(GemmTest, SmallMatricesSkipTheParallelBarrier) {
+  // Below parallel_min_columns the kernel must not touch the pool at all
+  // -- validated by handing it a ParallelFor that fails the test if used.
+  gemm::Config par;
+  par.parallel_for = [](size_t, const std::function<void(size_t)>&) {
+    FAIL() << "parallel_for invoked below parallel_min_columns";
+  };
+  par.parallel_min_columns = 128;
+  util::Rng rng(21);
+  Matrix a = Matrix::Gaussian(16, 16, 1.0, &rng);
+  Matrix b = Matrix::Gaussian(16, 32, 1.0, &rng);
+  Matrix c, reference;
+  gemm::Gemm(a, b, &c, par);
+  gemm::ReferenceGemm(a, b, &reference);
+  EXPECT_LT(MaxAbsDiff(c, reference), 1e-12);
+}
+
+TEST(GemmTest, PoolParallelForRethrowsChunkExceptions) {
+  // The adapter must honour the ThreadPool error contract: capture chunk
+  // exceptions and rethrow after the barrier, never return silently with
+  // a half-written result.
+  serve::ThreadPool pool(2);
+  nn::gemm::ParallelFor parallel_for = serve::GemmParallelFor(&pool);
+  EXPECT_THROW(parallel_for(4,
+                            [](size_t chunk) {
+                              if (chunk == 1) {
+                                throw std::runtime_error("chunk failure");
+                              }
+                            }),
+               std::runtime_error);
+}
+
+TEST(GemmTest, KernelNameReflectsConfig) {
+  gemm::Config config;  // defaults: blocked, dispatch on
+  std::string name = gemm::KernelName(config);
+  EXPECT_TRUE(name == "blocked-avx2fma" || name == "blocked-generic") << name;
+  EXPECT_EQ(gemm::KernelName(gemm::DefaultConfig()), name);
+}
+
+}  // namespace
+}  // namespace sato::nn
