@@ -32,6 +32,64 @@ struct ServeResult {
   size_t workspace_bytes;  // steady-state scratch across all workers
 };
 
+/// Single-thread wall time of each serving phase over one full batch:
+/// featurization (tokenize-once fast path), the column-wise network
+/// forward pass, and CRF decoding (Viterbi minus the shared forward).
+struct PhaseBreakdown {
+  double featurize_sec;
+  double nn_sec;
+  double crf_sec;
+};
+
+PhaseBreakdown MeasurePhases(const SatoModel& model, const BenchEnv& env,
+                             const features::FeatureScaler& scaler,
+                             const std::vector<Table>& tables, int trials) {
+  SatoPredictor predictor(&model, &env.context, scaler);
+  SatoPredictor::Scratch scratch;
+  nn::Workspace ws;
+
+  // Featurised batch for the network/decoder phases.
+  std::vector<TableExample> examples;
+  examples.reserve(tables.size());
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (tables[i].num_columns() == 0) continue;
+    util::Rng rng(serve::BatchPredictor::TableSeed(1, i));
+    examples.push_back(predictor.Featurize(tables[i], &rng));
+  }
+
+  // Warm-up (scratch/workspace high-water, page faults).
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (tables[i].num_columns() == 0) continue;
+    util::Rng rng(serve::BatchPredictor::TableSeed(1, i));
+    predictor.FeaturizeInto(tables[i], &rng, &scratch);
+  }
+  for (const TableExample& e : examples) model.Predict(e, &ws);
+
+  util::Timer timer;
+  for (int t = 0; t < trials; ++t) {
+    for (size_t i = 0; i < tables.size(); ++i) {
+      if (tables[i].num_columns() == 0) continue;
+      util::Rng rng(serve::BatchPredictor::TableSeed(1, i));
+      predictor.FeaturizeInto(tables[i], &rng, &scratch);
+    }
+  }
+  double featurize = timer.ElapsedSeconds() / trials;
+
+  timer.Reset();
+  for (int t = 0; t < trials; ++t) {
+    for (const TableExample& e : examples) model.PredictProbs(e, &ws);
+  }
+  double nn = timer.ElapsedSeconds() / trials;
+
+  timer.Reset();
+  for (int t = 0; t < trials; ++t) {
+    for (const TableExample& e : examples) model.Predict(e, &ws);
+  }
+  double predict = timer.ElapsedSeconds() / trials;
+
+  return PhaseBreakdown{featurize, nn, std::max(0.0, predict - nn)};
+}
+
 ServeResult MeasureThroughput(const SatoModel& model, const BenchEnv& env,
                               const features::FeatureScaler& scaler,
                               const std::vector<Table>& tables,
@@ -54,7 +112,8 @@ ServeResult MeasureThroughput(const SatoModel& model, const BenchEnv& env,
 }
 
 void WriteJson(const char* path, const BenchEnv& env,
-               const std::vector<ServeResult>& results, size_t model_bytes,
+               const std::vector<ServeResult>& results,
+               const PhaseBreakdown& phases, size_t model_bytes,
                size_t num_tables, size_t num_columns) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -70,6 +129,13 @@ void WriteJson(const char* path, const BenchEnv& env,
                std::thread::hardware_concurrency());
   std::fprintf(f, "  \"model_bytes\": %zu,\n", model_bytes);
   std::fprintf(f, "  \"per_call_model_copies\": 0,\n");
+  double total = phases.featurize_sec + phases.nn_sec + phases.crf_sec;
+  std::fprintf(f,
+               "  \"phase_breakdown\": {\"threads\": 1, "
+               "\"featurize_sec\": %.6f, \"nn_sec\": %.6f, "
+               "\"crf_sec\": %.6f, \"featurize_frac\": %.3f},\n",
+               phases.featurize_sec, phases.nn_sec, phases.crf_sec,
+               total > 0.0 ? phases.featurize_sec / total : 0.0);
   std::fprintf(f, "  \"results\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
     const ServeResult& r = results[i];
@@ -135,8 +201,18 @@ int Run() {
                 static_cast<double>(replica) / (1024.0 * 1024.0));
     results.push_back(r);
   }
-  WriteJson("BENCH_serve.json", env, results, model_bytes, tables.size(),
-            num_columns);
+
+  PhaseBreakdown phases = MeasurePhases(model, env, scaler, tables, trials);
+  double phase_total = phases.featurize_sec + phases.nn_sec + phases.crf_sec;
+  std::printf("phase breakdown (1 thread): featurize %.3fs (%.0f%%), "
+              "nn %.3fs, crf %.3fs\n",
+              phases.featurize_sec,
+              phase_total > 0.0 ? 100.0 * phases.featurize_sec / phase_total
+                                : 0.0,
+              phases.nn_sec, phases.crf_sec);
+
+  WriteJson("BENCH_serve.json", env, results, phases, model_bytes,
+            tables.size(), num_columns);
   return 0;
 }
 

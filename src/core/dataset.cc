@@ -19,18 +19,21 @@ std::vector<std::vector<int>> Dataset::LabelSequences() const {
   return out;
 }
 
-TableExample DatasetBuilder::BuildExample(const Table& table,
-                                          uint64_t seed) const {
+TableExample DatasetBuilder::BuildExample(
+    const Table& table, uint64_t seed,
+    features::FeatureScratch* scratch) const {
   TableExample example;
   example.id = table.id();
   example.labels.reserve(table.num_columns());
-  example.features.reserve(table.num_columns());
   for (const Column& column : table.columns()) {
     example.labels.push_back(*column.type);
-    example.features.push_back(context_->pipeline().Extract(column));
   }
   util::Rng table_rng(seed);
-  example.topic = context_->TopicVector(table, &table_rng);
+  // Tokenize-once fast path: one cache per table feeds the four extractor
+  // kernels and the LDA fold-in; `scratch` is reused across the worker's
+  // tables.
+  context_->FeaturizeTable(table, &table_rng, scratch, &example.features,
+                           &example.topic);
   return example;
 }
 
@@ -52,15 +55,19 @@ Dataset DatasetBuilder::Build(const std::vector<Table>& tables,
   std::vector<TableExample> examples(eligible.size());
   int workers = std::max(1, threads);
   if (workers == 1) {
+    features::FeatureScratch scratch;
     for (size_t j = 0; j < eligible.size(); ++j) {
-      examples[j] = BuildExample(tables[eligible[j]], seeds[eligible[j]]);
+      examples[j] =
+          BuildExample(tables[eligible[j]], seeds[eligible[j]], &scratch);
     }
   } else {
     std::atomic<size_t> next{0};
     auto work = [&] {
+      features::FeatureScratch scratch;  // one per worker thread
       for (size_t j = next.fetch_add(1); j < eligible.size();
            j = next.fetch_add(1)) {
-        examples[j] = BuildExample(tables[eligible[j]], seeds[eligible[j]]);
+        examples[j] =
+            BuildExample(tables[eligible[j]], seeds[eligible[j]], &scratch);
       }
     };
     std::vector<std::thread> pool;

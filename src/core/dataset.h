@@ -45,7 +45,8 @@ class DatasetBuilder {
                 int threads = 1) const;
 
  private:
-  TableExample BuildExample(const Table& table, uint64_t seed) const;
+  TableExample BuildExample(const Table& table, uint64_t seed,
+                            features::FeatureScratch* scratch) const;
 
   const FeatureContext* context_;  // not owned
 };

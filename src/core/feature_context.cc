@@ -48,6 +48,26 @@ std::vector<double> FeatureContext::TopicVector(const Table& table,
   return lda_->InferTopics(topic::TableToDocument(table), rng);
 }
 
+void FeatureContext::FeaturizeTable(
+    const Table& table, util::Rng* rng, features::FeatureScratch* scratch,
+    std::vector<features::ColumnFeatures>* features,
+    std::vector<double>* topic) const {
+  // Growth accounting is layered, not repeated: the cache's own counter
+  // covers Build, ExtractCached covers the kernel buffers, and the check
+  // below covers only the fold-in scratch.
+  scratch->cache.Build(table, embeddings_.get(), tfidf_.get(),
+                       &lda_->vocab());
+  pipeline_->ExtractCached(scratch, features);
+  size_t lda_capacity_before = scratch->lda.CapacityBytes();
+  scratch->lda.ids.clear();
+  scratch->cache.CollectLdaIds(lda_->options().max_doc_tokens,
+                               &scratch->lda.ids);
+  lda_->InferTopicsInto(rng, &scratch->lda, topic);
+  if (scratch->lda.CapacityBytes() > lda_capacity_before) {
+    ++scratch->growth_events;
+  }
+}
+
 void FeatureContext::Save(std::ostream* out) const {
   embeddings_->Save(out);
   tfidf_->Save(out);

@@ -43,6 +43,17 @@ class FeatureContext {
   /// Shared by every column of the table.
   std::vector<double> TopicVector(const Table& table, util::Rng* rng) const;
 
+  /// Tokenize-once fast path for one table: builds the TokenCache in
+  /// `scratch`, runs the four id-based extractor kernels per column into
+  /// `*features`, then folds the cached LDA ids into `*topic` (consuming
+  /// `rng` exactly like TopicVector, so results match the per-column path
+  /// bit for bit). A warm scratch makes the whole call allocation-free;
+  /// scratch->growth_events counts the calls that were not.
+  void FeaturizeTable(const Table& table, util::Rng* rng,
+                      features::FeatureScratch* scratch,
+                      std::vector<features::ColumnFeatures>* features,
+                      std::vector<double>* topic) const;
+
   size_t topic_dim() const { return static_cast<size_t>(lda_->num_topics()); }
 
   /// Persists the pre-trained machinery (embeddings, TF-IDF, LDA).

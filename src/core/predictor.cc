@@ -4,38 +4,61 @@ namespace sato {
 
 TableExample SatoPredictor::Featurize(const Table& table,
                                       util::Rng* rng) const {
-  TableExample example;
+  Scratch scratch;
+  return FeaturizeInto(table, rng, &scratch);  // returns by value via copy
+}
+
+const TableExample& SatoPredictor::FeaturizeInto(const Table& table,
+                                                 util::Rng* rng,
+                                                 Scratch* scratch) const {
+  TableExample& example = scratch->example;
   example.id = table.id();
-  for (const Column& column : table.columns()) {
-    features::ColumnFeatures f = context_->pipeline().Extract(column);
+  // assign() reuses the vectors' existing capacity -- a warm scratch
+  // featurises with zero heap allocation.
+  example.labels.assign(table.num_columns(), 0);  // unused at prediction time
+  context_->FeaturizeTable(table, rng, &scratch->features, &example.features,
+                           &example.topic);
+  for (features::ColumnFeatures& f : example.features) {
     scaler_.Transform(&f);
-    example.features.push_back(std::move(f));
-    example.labels.push_back(0);  // unused at prediction time
   }
-  example.topic = context_->TopicVector(table, rng);
   return example;
 }
 
 std::vector<TypeId> SatoPredictor::PredictTable(const Table& table,
                                                 util::Rng* rng,
-                                                nn::Workspace* ws) const {
-  if (ws != nullptr) return model_->Predict(Featurize(table, rng), ws);
-  nn::Workspace local;
-  return model_->Predict(Featurize(table, rng), &local);
+                                                nn::Workspace* ws,
+                                                Scratch* scratch) const {
+  if (scratch == nullptr) {
+    Scratch local;
+    return PredictTable(table, rng, ws, &local);
+  }
+  const TableExample& example = FeaturizeInto(table, rng, scratch);
+  if (ws != nullptr) return model_->Predict(example, ws);
+  nn::Workspace local_ws;
+  return model_->Predict(example, &local_ws);
 }
 
 std::vector<std::string> SatoPredictor::PredictTypeNames(
-    const Table& table, util::Rng* rng, nn::Workspace* ws) const {
+    const Table& table, util::Rng* rng, nn::Workspace* ws,
+    Scratch* scratch) const {
+  std::vector<TypeId> ids = PredictTable(table, rng, ws, scratch);
   std::vector<std::string> names;
-  for (TypeId id : PredictTable(table, rng, ws)) names.push_back(TypeName(id));
+  names.reserve(ids.size());
+  for (TypeId id : ids) names.push_back(TypeName(id));
   return names;
 }
 
 nn::Matrix SatoPredictor::PredictProbs(const Table& table, util::Rng* rng,
-                                       nn::Workspace* ws) const {
-  if (ws != nullptr) return model_->PredictProbs(Featurize(table, rng), ws);
-  nn::Workspace local;
-  return model_->PredictProbs(Featurize(table, rng), &local);
+                                       nn::Workspace* ws,
+                                       Scratch* scratch) const {
+  if (scratch == nullptr) {
+    Scratch local;
+    return PredictProbs(table, rng, ws, &local);
+  }
+  const TableExample& example = FeaturizeInto(table, rng, scratch);
+  if (ws != nullptr) return model_->PredictProbs(example, ws);
+  nn::Workspace local_ws;
+  return model_->PredictProbs(example, &local_ws);
 }
 
 }  // namespace sato

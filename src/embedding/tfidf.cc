@@ -19,7 +19,7 @@ void TfIdf::Fit(const std::vector<std::vector<std::string>>& documents) {
 
 double TfIdf::Idf(std::string_view token) const {
   size_t df = 0;
-  auto it = document_frequency_.find(std::string(token));
+  auto it = document_frequency_.find(token);
   if (it != document_frequency_.end()) df = it->second;
   return std::log((1.0 + static_cast<double>(num_documents_)) /
                   (1.0 + static_cast<double>(df))) +

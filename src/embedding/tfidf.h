@@ -7,6 +7,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/string_util.h"
+
 namespace sato::embedding {
 
 /// Inverse-document-frequency statistics over a corpus of token documents,
@@ -30,7 +32,11 @@ class TfIdf {
   static TfIdf Load(std::istream* in);
 
  private:
-  std::unordered_map<std::string, size_t> document_frequency_;
+  // Transparent hashing so Idf(string_view) probes without a temporary
+  // std::string key.
+  std::unordered_map<std::string, size_t, util::TransparentStringHash,
+                     std::equal_to<>>
+      document_frequency_;
   size_t num_documents_ = 0;
 };
 

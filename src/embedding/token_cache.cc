@@ -1,0 +1,312 @@
+#include "embedding/token_cache.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace sato::embedding {
+
+namespace {
+
+// Magnitude-bucket tokens for pure-digit runs, shared with TokenizeCell
+// ("<num_1>" .. "<num_12>"; runs longer than 12 digits clamp to 12).
+constexpr size_t kMaxNumDigits = 12;
+
+struct NumTokens {
+  std::string text[kMaxNumDigits];
+  uint64_t hash[kMaxNumDigits];
+  NumTokens() {
+    for (size_t d = 0; d < kMaxNumDigits; ++d) {
+      text[d] = "<num_" + std::to_string(d + 1) + ">";
+      hash[d] = util::Fnv1aHash(text[d]);
+    }
+  }
+};
+
+const NumTokens& GetNumTokens() {
+  static const NumTokens tokens;
+  return tokens;
+}
+
+size_t NextPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+void TokenCache::SetContext(const WordEmbeddings* embeddings,
+                            const TfIdf* tfidf, const Vocabulary* lda_vocab) {
+  size_t dim = embeddings != nullptr ? embeddings->dim() : 0;
+  // Cheap content fingerprint on top of pointer identity: a *new* context
+  // allocated at a recycled address (pointer ABA) would otherwise keep
+  // stale cached ids and dangling embedding-row pointers. Sizes catch the
+  // realistic reload cases; contexts that swap content at the same
+  // address with identical sizes are outside the cache's contract (one
+  // FeatureScratch per context -- see the class comment).
+  uint64_t fingerprint =
+      (embeddings != nullptr ? embeddings->vocab_size() + 1 : 0) ^
+      ((tfidf != nullptr ? tfidf->num_documents() + 1 : 0) << 20) ^
+      ((lda_vocab != nullptr ? lda_vocab->size() + 1 : 0) << 40);
+  if (embeddings != embeddings_ || tfidf != tfidf_ ||
+      lda_vocab != lda_vocab_ || dim != dim_ ||
+      fingerprint != context_fingerprint_ ||
+      // Size bound: drop-and-re-resolve is always correct (entries are
+      // pure functions of the token text) and keeps long-lived workers
+      // bounded on high-cardinality text.
+      DictionaryBytes() > max_dictionary_bytes_) {
+    // Every cached id/idf/OOV row is (or may become) stale. Release the
+    // storage outright: DictionaryBytes() counts capacities, so a
+    // capacity-keeping clear would leave the size bound permanently
+    // exceeded and reset on every Build.
+    std::vector<Token>().swap(dictionary_);
+    dictionary_bytes_ = 0;
+    std::vector<double>().swap(oov_vectors_);
+    oov_data_ = nullptr;
+    std::vector<uint64_t>().swap(token_slots_);  // Reset() re-seeds it
+  }
+  embeddings_ = embeddings;
+  tfidf_ = tfidf;
+  lda_vocab_ = lda_vocab;
+  dim_ = dim;
+  context_fingerprint_ = fingerprint;
+}
+
+void TokenCache::Reset(size_t value_bytes, size_t cell_count) {
+  arena_.clear();
+  if (value_bytes > arena_.capacity()) arena_.reserve(value_bytes);
+  occurrences_.clear();
+  cells_.clear();
+  if (cell_count > cells_.capacity()) cells_.reserve(cell_count);
+  columns_.clear();
+  value_views_.clear();
+  value_counts_.clear();
+  if (token_slots_.empty()) token_slots_.assign(1024, 0);
+}
+
+void TokenCache::FinishBuild(size_t capacity_before) {
+  if (CapacityBytes() > capacity_before) ++growth_events_;
+}
+
+void TokenCache::Build(const Table& table, const WordEmbeddings* embeddings,
+                       const TfIdf* tfidf, const Vocabulary* lda_vocab) {
+  size_t capacity_before = CapacityBytes();
+  SetContext(embeddings, tfidf, lda_vocab);
+
+  size_t value_bytes = 0, cell_count = 0;
+  for (const Column& column : table.columns()) {
+    cell_count += column.values.size();
+    for (const std::string& value : column.values) value_bytes += value.size();
+  }
+  Reset(value_bytes, cell_count);
+  columns_.reserve(table.num_columns());
+  for (const Column& column : table.columns()) AddColumn(column);
+  FinishBuild(capacity_before);
+}
+
+void TokenCache::BuildColumn(const Column& column,
+                             const WordEmbeddings* embeddings,
+                             const TfIdf* tfidf, const Vocabulary* lda_vocab) {
+  size_t capacity_before = CapacityBytes();
+  SetContext(embeddings, tfidf, lda_vocab);
+
+  size_t value_bytes = 0;
+  for (const std::string& value : column.values) value_bytes += value.size();
+  Reset(value_bytes, column.values.size());
+  AddColumn(column);
+  FinishBuild(capacity_before);
+}
+
+void TokenCache::AddColumn(const Column& column) {
+  ColumnSpan span;
+  span.cell_begin = static_cast<uint32_t>(cells_.size());
+  span.value_begin = static_cast<uint32_t>(value_counts_.size());
+
+  // Presize the value interner so it never grows mid-column: clearing is a
+  // generation bump, so re-use costs nothing.
+  size_t want = NextPow2(std::max<size_t>(16, 2 * column.values.size()));
+  if (value_slots_.size() < want) value_slots_.assign(want, 0);
+  ++value_generation_;
+  const size_t vmask = value_slots_.size() - 1;
+
+  for (const std::string& value : column.values) {
+    Cell cell;
+    cell.value = value;
+    TokenizeInto(value, &cell.occ_begin, &cell.occ_end);
+
+    if (value.empty()) {
+      cell.value_slot = kNoValue;
+    } else {
+      // Intern the raw value within this column (uniqueness + entropy).
+      uint64_t h = util::Fnv1aHash(value);
+      size_t pos = static_cast<size_t>(h) & vmask;
+      for (;;) {
+        uint64_t entry = value_slots_[pos];
+        uint32_t idx = static_cast<uint32_t>(entry & 0xffffffffu);
+        if ((entry >> 32) != value_generation_ || idx == 0) {
+          uint32_t slot = static_cast<uint32_t>(value_counts_.size());
+          value_views_.push_back(cell.value);
+          value_counts_.push_back(1.0);
+          value_slots_[pos] =
+              (static_cast<uint64_t>(value_generation_) << 32) |
+              (slot - span.value_begin + 1);
+          cell.value_slot = slot;
+          break;
+        }
+        uint32_t slot = span.value_begin + idx - 1;
+        if (slot < value_views_.size() && value_views_[slot] == cell.value) {
+          value_counts_[slot] += 1.0;
+          cell.value_slot = slot;
+          break;
+        }
+        pos = (pos + 1) & vmask;
+      }
+    }
+    cells_.push_back(cell);
+  }
+
+  span.cell_end = static_cast<uint32_t>(cells_.size());
+  span.value_end = static_cast<uint32_t>(value_counts_.size());
+  columns_.push_back(span);
+}
+
+void TokenCache::TokenizeInto(std::string_view value, uint32_t* occ_begin,
+                              uint32_t* occ_end) {
+  *occ_begin = static_cast<uint32_t>(occurrences_.size());
+  size_t i = 0;
+  const size_t n = value.size();
+  while (i < n) {
+    // Skip to the next alnum run.
+    while (i < n && !std::isalnum(static_cast<unsigned char>(value[i]))) ++i;
+    size_t start = i;
+    bool all_digits = true;
+    while (i < n && std::isalnum(static_cast<unsigned char>(value[i]))) {
+      if (!std::isdigit(static_cast<unsigned char>(value[i]))) {
+        all_digits = false;
+      }
+      ++i;
+    }
+    if (i == start) break;
+
+    uint32_t index;
+    if (all_digits) {
+      size_t digits = std::min(i - start, kMaxNumDigits);
+      const NumTokens& nt = GetNumTokens();
+      index = InternToken(nt.text[digits - 1], nt.hash[digits - 1]);
+    } else {
+      // Lower-case into the arena (capacity was reserved up front, so the
+      // view stays put while we probe the dictionary with it).
+      size_t arena_start = arena_.size();
+      uint64_t h = util::kFnv1aOffset;
+      for (size_t j = start; j < i; ++j) {
+        char c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(value[j])));
+        arena_.push_back(c);
+        h = util::Fnv1aAppend(h, static_cast<unsigned char>(c));
+      }
+      std::string_view text(arena_.data() + arena_start, i - start);
+      index = InternToken(text, h);
+    }
+    occurrences_.push_back(index);
+  }
+  *occ_end = static_cast<uint32_t>(occurrences_.size());
+}
+
+uint32_t TokenCache::InternToken(std::string_view text, uint64_t hash) {
+  if ((dictionary_.size() + 1) * 2 > token_slots_.size()) GrowTokenSlots();
+  const size_t mask = token_slots_.size() - 1;
+  size_t pos = static_cast<size_t>(hash) & mask;
+  for (;;) {
+    uint64_t entry = token_slots_[pos];
+    if (entry == 0) break;  // empty slot: token not in the dictionary yet
+    const Token& t = dictionary_[entry - 1];
+    if (t.hash == hash && t.text == text) {
+      return static_cast<uint32_t>(entry - 1);
+    }
+    pos = (pos + 1) & mask;
+  }
+  return AddDictionaryEntry(text, hash, pos);
+}
+
+uint32_t TokenCache::AddDictionaryEntry(std::string_view text, uint64_t hash,
+                                        size_t slot) {
+  // New distinct token: resolve everything the extractors will ever ask
+  // about it, once per workload.
+  Token t;
+  t.text = std::string(text);
+  t.hash = hash;
+  t.row = nullptr;
+  t.embed_id = -1;
+  t.lda_id = -1;
+  t.idf = tfidf_ != nullptr ? tfidf_->Idf(text) : 0.0;
+  t.oov_slot = -1;
+  if (embeddings_ != nullptr) {
+    if (auto id = embeddings_->vocab().Id(text); id.has_value()) {
+      t.embed_id = *id;
+      t.row = embeddings_->vectors().Row(static_cast<size_t>(*id));
+    } else {
+      t.oov_slot = static_cast<int32_t>(oov_vectors_.size() /
+                                        std::max<size_t>(1, dim_));
+      oov_vectors_.resize(oov_vectors_.size() + dim_);
+      embeddings_->OovVectorInto(
+          hash,
+          oov_vectors_.data() + static_cast<size_t>(t.oov_slot) * dim_);
+      t.row = oov_vectors_.data() + static_cast<size_t>(t.oov_slot) * dim_;
+      if (oov_vectors_.data() != oov_data_) {
+        // The pool re-allocated: re-wire every earlier OOV entry's row
+        // pointer to the new base (rare, amortised by doubling growth).
+        oov_data_ = oov_vectors_.data();
+        for (Token& prev : dictionary_) {
+          if (prev.oov_slot >= 0) {
+            prev.row =
+                oov_data_ + static_cast<size_t>(prev.oov_slot) * dim_;
+          }
+        }
+      }
+    }
+  }
+  if (lda_vocab_ != nullptr) {
+    if (auto id = lda_vocab_->Id(text); id.has_value()) t.lda_id = *id;
+  }
+  uint32_t index = static_cast<uint32_t>(dictionary_.size());
+  dictionary_bytes_ += sizeof(Token) + t.text.capacity();
+  dictionary_.push_back(std::move(t));
+  token_slots_[slot] = index + 1;
+  return index;
+}
+
+void TokenCache::GrowTokenSlots() {
+  size_t want = std::max<size_t>(1024, token_slots_.size() * 2);
+  token_slots_.assign(want, 0);
+  const size_t mask = want - 1;
+  for (size_t i = 0; i < dictionary_.size(); ++i) {
+    size_t pos = static_cast<size_t>(dictionary_[i].hash) & mask;
+    while (token_slots_[pos] != 0) pos = (pos + 1) & mask;
+    token_slots_[pos] = i + 1;
+  }
+}
+
+void TokenCache::CollectLdaIds(size_t max_tokens,
+                               std::vector<TokenId>* out) const {
+  for (uint32_t index : occurrences_) {
+    if (out->size() >= max_tokens) break;
+    TokenId id = dictionary_[index].lda_id;
+    if (id >= 0) out->push_back(id);
+  }
+}
+
+size_t TokenCache::CapacityBytes() const {
+  return arena_.capacity() * sizeof(char) +
+         occurrences_.capacity() * sizeof(uint32_t) +
+         cells_.capacity() * sizeof(Cell) +
+         columns_.capacity() * sizeof(ColumnSpan) +
+         value_views_.capacity() * sizeof(std::string_view) +
+         value_counts_.capacity() * sizeof(double) +
+         dictionary_bytes_ + oov_vectors_.capacity() * sizeof(double) +
+         token_slots_.capacity() * sizeof(uint64_t) +
+         value_slots_.capacity() * sizeof(uint64_t);
+}
+
+}  // namespace sato::embedding

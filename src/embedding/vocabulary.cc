@@ -8,7 +8,12 @@
 namespace sato::embedding {
 
 void Vocabulary::Count(std::string_view token) {
-  ++counts_[std::string(token)];
+  auto it = counts_.find(token);
+  if (it == counts_.end()) {
+    counts_.emplace(std::string(token), 1);
+  } else {
+    ++it->second;
+  }
 }
 
 void Vocabulary::CountAll(const std::vector<std::string>& tokens) {
@@ -38,7 +43,7 @@ void Vocabulary::Finalize(int64_t min_count) {
 }
 
 std::optional<TokenId> Vocabulary::Id(std::string_view token) const {
-  auto it = token_to_id_.find(std::string(token));
+  auto it = token_to_id_.find(token);
   if (it == token_to_id_.end()) return std::nullopt;
   return it->second;
 }

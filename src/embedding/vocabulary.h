@@ -8,6 +8,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/string_util.h"
+
 namespace sato::embedding {
 
 /// Token id within a Vocabulary.
@@ -51,8 +53,15 @@ class Vocabulary {
   bool finalized() const { return finalized_; }
 
  private:
-  std::unordered_map<std::string, int64_t> counts_;
-  std::unordered_map<std::string, TokenId> token_to_id_;
+  // Transparent hashing: Count()/Id() probe with string_view keys directly,
+  // never materialising a temporary std::string per lookup.
+  template <typename V>
+  using StringMap =
+      std::unordered_map<std::string, V, util::TransparentStringHash,
+                         std::equal_to<>>;
+
+  StringMap<int64_t> counts_;
+  StringMap<TokenId> token_to_id_;
   std::vector<std::string> id_to_token_;
   std::vector<int64_t> id_frequency_;
   int64_t total_count_ = 0;

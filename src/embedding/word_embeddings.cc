@@ -22,14 +22,17 @@ WordEmbeddings::WordEmbeddings(Vocabulary vocab, nn::Matrix vectors)
 std::vector<double> WordEmbeddings::Lookup(std::string_view token) const {
   auto id = vocab_.Id(token);
   if (id.has_value()) return vectors_.RowVector(static_cast<size_t>(*id));
+  std::vector<double> v(dim());
+  OovVectorInto(util::Fnv1aHash(token), v.data());
+  return v;
+}
+
+void WordEmbeddings::OovVectorInto(uint64_t token_hash, double* out) const {
   // Deterministic OOV vector from the token hash: a small fixed-scale
   // pseudo-random direction, stable across runs.
-  std::vector<double> v(dim());
-  uint64_t h = util::Fnv1aHash(token);
-  util::Rng rng(h);
+  util::Rng rng(token_hash);
   double scale = 0.1;
-  for (double& x : v) x = rng.Normal(0.0, scale);
-  return v;
+  for (size_t i = 0; i < dim(); ++i) out[i] = rng.Normal(0.0, scale);
 }
 
 std::vector<double> WordEmbeddings::Average(

@@ -35,6 +35,12 @@ class WordEmbeddings {
   /// matching scale.
   std::vector<double> Lookup(std::string_view token) const;
 
+  /// Writes the deterministic OOV vector for a token hash
+  /// (util::Fnv1aHash of the token) into `out[0..dim)`. This is the single
+  /// definition of the OOV embedding; Lookup and the TokenCache OOV pool
+  /// both draw from it, so the two paths agree bit for bit.
+  void OovVectorInto(uint64_t token_hash, double* out) const;
+
   /// True if the token is in-vocabulary.
   bool Contains(std::string_view token) const {
     return vocab_.Id(token).has_value();

@@ -1,0 +1,33 @@
+#ifndef SATO_FEATURES_COLUMN_FEATURES_H_
+#define SATO_FEATURES_COLUMN_FEATURES_H_
+
+#include <string>
+#include <vector>
+
+namespace sato::features {
+
+/// Feature groups in the order the models consume them. `kTopic` is
+/// produced by the topic module, not by the feature pipeline, but lives in
+/// the same enum so permutation-importance code (Fig 9) can treat all
+/// groups uniformly.
+enum class FeatureGroup { kChar = 0, kWord = 1, kPara = 2, kStat = 3, kTopic = 4 };
+
+/// Printable name of a feature group ("char", "word", "par", "rest",
+/// "topic" -- the labels of Fig 9).
+std::string FeatureGroupName(FeatureGroup group);
+
+/// Per-column features, kept per group so subnetwork routing and group
+/// shuffling stay trivial.
+struct ColumnFeatures {
+  std::vector<double> char_features;
+  std::vector<double> word_features;
+  std::vector<double> para_features;
+  std::vector<double> stat_features;
+
+  const std::vector<double>& group(FeatureGroup g) const;
+  std::vector<double>& group(FeatureGroup g);
+};
+
+}  // namespace sato::features
+
+#endif  // SATO_FEATURES_COLUMN_FEATURES_H_

@@ -2,9 +2,64 @@
 
 #include <cmath>
 
+#include "embedding/token_cache.h"
+#include "features/feature_scratch.h"
+
 namespace sato::features {
 
-std::vector<double> ParagraphFeatureExtractor::Extract(
+void ParagraphFeatureExtractor::ExtractInto(const embedding::TokenCache& cache,
+                                            size_t column,
+                                            FeatureScratch* scratch,
+                                            std::vector<double>* out) const {
+  const size_t d = cache.embedding_dim();
+  out->assign(dim(), 0.0);
+  const auto& span = cache.column_span(column);
+  if (span.cell_end == span.cell_begin) return;
+  const std::vector<uint32_t>& occ = cache.occurrences();
+  const uint32_t occ_begin = cache.cell(span.cell_begin).occ_begin;
+  const uint32_t occ_end = cache.cell(span.cell_end - 1).occ_end;
+  const size_t num_tokens = occ_end - occ_begin;
+  if (num_tokens == 0) return;
+
+  // Term frequencies per dictionary token index within this column; the
+  // touched list resets only the entries this column used.
+  if (scratch->tf.size() < cache.dictionary_size()) {
+    scratch->tf.resize(cache.dictionary_size(), 0.0);
+  }
+  scratch->touched.clear();
+  for (uint32_t o = occ_begin; o < occ_end; ++o) {
+    uint32_t u = occ[o];
+    if (scratch->tf[u] == 0.0) scratch->touched.push_back(u);
+    scratch->tf[u] += 1.0;
+  }
+
+  double* o_ = out->data();
+  double inv_len = 1.0 / static_cast<double>(num_tokens);
+  double total_weight = 0.0;
+  for (uint32_t o = occ_begin; o < occ_end; ++o) {
+    uint32_t u = occ[o];
+    // Same per-occurrence weight as the reference: tf * inv_len * idf,
+    // with tf and idf resolved by token id instead of string hashing.
+    double w = scratch->tf[u] * inv_len * cache.token(u).idf;
+    const double* row = cache.EmbeddingRow(u);
+    for (size_t j = 0; j < d; ++j) o_[j] += w * row[j];
+    total_weight += w;
+  }
+  for (uint32_t u : scratch->touched) scratch->tf[u] = 0.0;
+
+  if (total_weight > 0.0) {
+    for (size_t j = 0; j < d; ++j) o_[j] /= total_weight;
+  }
+  double norm = 0.0;
+  for (size_t j = 0; j < d; ++j) norm += o_[j] * o_[j];
+  norm = std::sqrt(norm);
+  if (norm > 0.0) {
+    for (size_t j = 0; j < d; ++j) o_[j] /= norm;
+  }
+  o_[d] = norm;
+}
+
+std::vector<double> ParagraphFeatureExtractor::ReferenceExtract(
     const Column& column) const {
   const size_t d = embeddings_->dim();
   std::vector<std::string> tokens;

@@ -7,13 +7,24 @@
 #include "embedding/word_embeddings.h"
 #include "table/table.h"
 
+namespace sato::embedding {
+class TokenCache;
+}
+
 namespace sato::features {
+
+struct FeatureScratch;
 
 /// Paragraph-vector features (the Sherlock "Para" group): the whole column
 /// is treated as one document and embedded as the TF-IDF-weighted average
 /// of its token vectors (a standard stand-in for par2vec; substitution
 /// documented in DESIGN.md §1). One extra scalar carries the document norm
 /// before normalisation.
+///
+/// ExtractInto is the serving fast path: term frequencies are counted per
+/// unique token id and idf weights come pre-resolved from the TokenCache,
+/// so no token strings are hashed or copied. ReferenceExtract keeps the
+/// original implementation as the parity baseline.
 class ParagraphFeatureExtractor {
  public:
   ParagraphFeatureExtractor(const embedding::WordEmbeddings* embeddings,
@@ -23,7 +34,13 @@ class ParagraphFeatureExtractor {
   /// embedding_dim + 1.
   size_t dim() const { return embeddings_->dim() + 1; }
 
-  std::vector<double> Extract(const Column& column) const;
+  /// Fast path: features of cache column `column` written into `*out`
+  /// (resized to dim()); allocation-free once `scratch` is warm.
+  void ExtractInto(const embedding::TokenCache& cache, size_t column,
+                   FeatureScratch* scratch, std::vector<double>* out) const;
+
+  /// Reference implementation (parity baseline).
+  std::vector<double> ReferenceExtract(const Column& column) const;
 
  private:
   const embedding::WordEmbeddings* embeddings_;  // not owned

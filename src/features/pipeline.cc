@@ -34,12 +34,54 @@ std::vector<double>& ColumnFeatures::group(FeatureGroup g) {
       static_cast<const ColumnFeatures*>(this)->group(g));
 }
 
+void FeaturePipeline::ExtractColumnCached(size_t column,
+                                          FeatureScratch* scratch,
+                                          ColumnFeatures* out) const {
+  char_.ExtractInto(scratch->cache, column, scratch, &out->char_features);
+  word_.ExtractInto(scratch->cache, column, scratch, &out->word_features);
+  para_.ExtractInto(scratch->cache, column, scratch, &out->para_features);
+  stat_.ExtractInto(scratch->cache, column, scratch, &out->stat_features);
+}
+
+void FeaturePipeline::ExtractCached(FeatureScratch* scratch,
+                                    std::vector<ColumnFeatures>* out) const {
+  size_t capacity_before = scratch->CapacityBytes();
+  // Resize through the scratch's recycle pool: a plain resize would free
+  // per-column buffers on shrink and re-allocate them on the next larger
+  // table. Steady state is pure moves.
+  size_t n = scratch->cache.num_columns();
+  while (out->size() > n) {
+    scratch->column_pool.push_back(std::move(out->back()));
+    out->pop_back();
+  }
+  while (out->size() < n) {
+    if (!scratch->column_pool.empty()) {
+      out->push_back(std::move(scratch->column_pool.back()));
+      scratch->column_pool.pop_back();
+    } else {
+      out->emplace_back();
+    }
+  }
+  for (size_t c = 0; c < n; ++c) {
+    ExtractColumnCached(c, scratch, &(*out)[c]);
+  }
+  if (scratch->CapacityBytes() > capacity_before) ++scratch->growth_events;
+}
+
 ColumnFeatures FeaturePipeline::Extract(const Column& column) const {
+  FeatureScratch scratch;
+  scratch.cache.BuildColumn(column, embeddings_, tfidf_, nullptr);
   ColumnFeatures f;
-  f.char_features = char_.Extract(column);
-  f.word_features = word_.Extract(column);
-  f.para_features = para_.Extract(column);
-  f.stat_features = stat_.Extract(column);
+  ExtractColumnCached(0, &scratch, &f);
+  return f;
+}
+
+ColumnFeatures FeaturePipeline::ExtractReference(const Column& column) const {
+  ColumnFeatures f;
+  f.char_features = char_.ReferenceExtract(column);
+  f.word_features = word_.ReferenceExtract(column);
+  f.para_features = para_.ReferenceExtract(column);
+  f.stat_features = stat_.ReferenceExtract(column);
   return f;
 }
 

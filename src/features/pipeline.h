@@ -6,8 +6,11 @@
 #include <vector>
 
 #include "embedding/tfidf.h"
+#include "embedding/token_cache.h"
 #include "embedding/word_embeddings.h"
 #include "features/char_features.h"
+#include "features/column_features.h"
+#include "features/feature_scratch.h"
 #include "features/para_features.h"
 #include "features/stat_features.h"
 #include "features/word_features.h"
@@ -15,36 +18,39 @@
 
 namespace sato::features {
 
-/// Feature groups in the order the models consume them. `kTopic` is
-/// produced by the topic module, not by this pipeline, but lives in the
-/// same enum so permutation-importance code (Fig 9) can treat all groups
-/// uniformly.
-enum class FeatureGroup { kChar = 0, kWord = 1, kPara = 2, kStat = 3, kTopic = 4 };
-
-/// Printable name of a feature group ("char", "word", "par", "rest",
-/// "topic" -- the labels of Fig 9).
-std::string FeatureGroupName(FeatureGroup group);
-
-/// Per-column features, kept per group so subnetwork routing and group
-/// shuffling stay trivial.
-struct ColumnFeatures {
-  std::vector<double> char_features;
-  std::vector<double> word_features;
-  std::vector<double> para_features;
-  std::vector<double> stat_features;
-
-  const std::vector<double>& group(FeatureGroup g) const;
-  std::vector<double>& group(FeatureGroup g);
-};
-
 /// Runs the four Sherlock-style extractors over columns.
+///
+/// Two routes produce identical features (parity enforced to 1e-12 by
+/// tests/features_test.cc):
+///  * the tokenize-once fast path -- build a TokenCache for the table
+///    (once), then ExtractCached() runs the four id-based kernels per
+///    column through a caller-owned FeatureScratch. Warm steady state
+///    allocates nothing beyond the output vectors' first growth.
+///  * the Reference* path -- the original per-column extractors, each
+///    re-tokenising its input; kept for parity testing and benchmarking
+///    (the same pattern as nn::gemm's Reference* kernels).
+/// Extract(column) is the per-column convenience API; it routes through
+/// the fast path with a transient cache.
 class FeaturePipeline {
  public:
   FeaturePipeline(const embedding::WordEmbeddings* embeddings,
                   const embedding::TfIdf* tfidf)
-      : word_(embeddings), para_(embeddings, tfidf) {}
+      : embeddings_(embeddings), tfidf_(tfidf),
+        word_(embeddings), para_(embeddings, tfidf) {}
 
+  /// Fast path over a cache built by `scratch->cache.Build(...)` (or
+  /// BuildColumn): extracts all cached columns into `*out`, reusing the
+  /// output's existing per-column vectors.
+  void ExtractCached(FeatureScratch* scratch,
+                     std::vector<ColumnFeatures>* out) const;
+
+  /// Per-column convenience: tokenizes `column` into a transient cache and
+  /// runs the fast kernels. Hot loops should hold a FeatureScratch and use
+  /// ExtractCached instead.
   ColumnFeatures Extract(const Column& column) const;
+
+  /// Reference path: the original extractors, one tokenisation each.
+  ColumnFeatures ExtractReference(const Column& column) const;
 
   size_t char_dim() const { return char_.dim(); }
   size_t word_dim() const { return word_.dim(); }
@@ -56,7 +62,15 @@ class FeaturePipeline {
     return char_dim() + word_dim() + para_dim() + stat_dim();
   }
 
+  const embedding::WordEmbeddings* embeddings() const { return embeddings_; }
+  const embedding::TfIdf* tfidf() const { return tfidf_; }
+
  private:
+  void ExtractColumnCached(size_t column, FeatureScratch* scratch,
+                           ColumnFeatures* out) const;
+
+  const embedding::WordEmbeddings* embeddings_;  // not owned
+  const embedding::TfIdf* tfidf_;                // not owned
   CharFeatureExtractor char_;
   WordFeatureExtractor word_;
   ParagraphFeatureExtractor para_;

@@ -1,10 +1,13 @@
 #include "features/stat_features.h"
 
 #include <algorithm>
+#include <array>
 #include <cctype>
 #include <cmath>
 #include <unordered_map>
 
+#include "embedding/token_cache.h"
+#include "features/feature_scratch.h"
 #include "util/math_util.h"
 #include "util/string_util.h"
 
@@ -32,9 +35,207 @@ double SignedLog(double v) {
   return v >= 0.0 ? std::log1p(v) : -std::log1p(-v);
 }
 
+// util::Median semantics without the by-value copy: `buf` is consumed.
+double MedianInPlace(std::vector<double>* buf) {
+  if (buf->empty()) return 0.0;
+  size_t mid = buf->size() / 2;
+  std::nth_element(buf->begin(), buf->begin() + mid, buf->end());
+  double hi = (*buf)[mid];
+  if (buf->size() % 2 == 1) return hi;
+  double lo = *std::max_element(buf->begin(), buf->begin() + mid);
+  return 0.5 * (lo + hi);
+}
+
+// Whitespace-delimited word count: util::SplitWhitespace(v).size() without
+// materialising the pieces.
+double WordCount(std::string_view v) {
+  size_t i = 0, words = 0;
+  while (i < v.size()) {
+    while (i < v.size() && std::isspace(static_cast<unsigned char>(v[i]))) ++i;
+    size_t start = i;
+    while (i < v.size() && !std::isspace(static_cast<unsigned char>(v[i]))) ++i;
+    if (i > start) ++words;
+  }
+  return static_cast<double>(words);
+}
+
+// Shared per-value character scan (flags + digit/alpha tallies). Both
+// paths call this, so their per-value statistics agree bit for bit.
+struct ValueScan {
+  bool has_digit = false, has_alpha = false, has_punct = false,
+       has_space = false, has_lower = false;
+  size_t digits = 0, alphas = 0;
+};
+
+// Bytes that can occur in a string ParseNumeric might accept: digits,
+// whitespace, sign/decimal/separator/decoration characters, and the
+// letters strtod itself can consume (hex digits, 0x/p exponents, e/E,
+// inf/infinity, nan). The one strtod construct that can contain OTHER
+// bytes is the nan(n-char-seq) tail, which requires a '(' -- so a value
+// with a disallowed byte and no '(' anywhere is guaranteed to parse as
+// nullopt: the cleaning step never removes such a byte, and strtod stops
+// at it, leaving *end != '\0'.
+const std::array<bool, 256>& MaybeNumericLut() {
+  static const std::array<bool, 256> lut = [] {
+    std::array<bool, 256> t{};
+    auto allow = [&t](std::string_view chars) {
+      for (char c : chars) t[static_cast<unsigned char>(c)] = true;
+    };
+    allow("0123456789");
+    allow(" \t\n\v\f\r");
+    allow("+-.,$%()_");
+    allow("abcdefinptxy");
+    allow("ABCDEFINPTXY");
+    return t;
+  }();
+  return lut;
+}
+
+// Per-value character scan (flags + digit/alpha tallies) plus the
+// maybe-numeric hint in the same pass. Both extraction paths share this
+// scan, so their per-value statistics agree bit for bit; only the fast
+// path consumes the hint.
+ValueScan ScanValueWithNumericHint(std::string_view v, bool* maybe_numeric) {
+  const std::array<bool, 256>& numeric_lut = MaybeNumericLut();
+  bool all_allowed = true;
+  bool force_slow = false;
+  ValueScan s;
+  for (char c : v) {
+    unsigned char u = static_cast<unsigned char>(c);
+    all_allowed = all_allowed && numeric_lut[u];
+    // '(' may open a strtod nan(n-char-seq) tail; an embedded NUL makes
+    // strtod stop early and *succeed* on the prefix. Either way the LUT
+    // cannot prove "not numeric", so force the slow path.
+    force_slow = force_slow || c == '(' || c == '\0';
+    if (std::isdigit(u)) { s.has_digit = true; ++s.digits; }
+    else if (std::isalpha(u)) {
+      s.has_alpha = true;
+      ++s.alphas;
+      if (std::islower(u)) s.has_lower = true;
+    } else if (std::isspace(u)) s.has_space = true;
+    else s.has_punct = true;
+  }
+  *maybe_numeric = all_allowed || force_slow;
+  return s;
+}
+
+ValueScan ScanValue(std::string_view v) {
+  bool ignored;
+  return ScanValueWithNumericHint(v, &ignored);
+}
+
 }  // namespace
 
-std::vector<double> StatFeatureExtractor::Extract(const Column& column) const {
+void StatFeatureExtractor::ExtractInto(const embedding::TokenCache& cache,
+                                       size_t column, FeatureScratch* scratch,
+                                       std::vector<double>* out) const {
+  out->assign(kDim, 0.0);
+  double* o = out->data();
+  const auto& span = cache.column_span(column);
+  size_t total = span.cell_end - span.cell_begin;
+  o[0] = std::log1p(static_cast<double>(total));
+  if (total == 0) return;
+
+  size_t empty = 0;
+  std::vector<double>& lengths = scratch->lengths;
+  std::vector<double>& numerics = scratch->numerics;
+  std::vector<double>& word_counts = scratch->word_counts;
+  lengths.clear();
+  numerics.clear();
+  word_counts.clear();
+  if (lengths.capacity() < total) lengths.reserve(total);
+  if (numerics.capacity() < total) numerics.reserve(total);
+  if (word_counts.capacity() < total) word_counts.reserve(total);
+
+  double with_digit = 0, with_alpha = 0, all_caps = 0, capitalized = 0;
+  double with_punct = 0, with_space = 0;
+  double digit_frac_sum = 0, alpha_frac_sum = 0;
+  size_t non_empty = 0;
+
+  for (uint32_t ci = span.cell_begin; ci < span.cell_end; ++ci) {
+    std::string_view v = cache.cell(ci).value;
+    if (v.empty()) {
+      ++empty;
+      continue;
+    }
+    ++non_empty;
+    lengths.push_back(static_cast<double>(v.size()));
+    bool maybe_numeric = false;
+    ValueScan s = ScanValueWithNumericHint(v, &maybe_numeric);
+    if (maybe_numeric) {  // skip trim/clean/strtod for obvious text
+      auto numeric = util::ParseNumeric(v, &scratch->numeric_buf);
+      if (numeric.has_value()) numerics.push_back(*numeric);
+    }
+    word_counts.push_back(WordCount(v));
+
+    if (s.has_digit) ++with_digit;
+    if (s.has_alpha) ++with_alpha;
+    if (s.has_alpha && !s.has_lower) ++all_caps;
+    if (std::isupper(static_cast<unsigned char>(v[0]))) ++capitalized;
+    if (s.has_punct) ++with_punct;
+    if (s.has_space) ++with_space;
+    digit_frac_sum +=
+        static_cast<double>(s.digits) / static_cast<double>(v.size());
+    alpha_frac_sum +=
+        static_cast<double>(s.alphas) / static_cast<double>(v.size());
+  }
+
+  double inv_total = 1.0 / static_cast<double>(total);
+  o[1] = static_cast<double>(empty) * inv_total;
+  if (non_empty == 0) return;
+  double inv_ne = 1.0 / static_cast<double>(non_empty);
+
+  o[2] = static_cast<double>(numerics.size()) * inv_ne;
+  o[3] = util::Mean(lengths);
+  o[4] = util::StdDev(lengths);
+  o[5] = lengths.empty() ? 0.0 : *std::min_element(lengths.begin(), lengths.end());
+  o[6] = lengths.empty() ? 0.0 : *std::max_element(lengths.begin(), lengths.end());
+  scratch->median_buf.assign(lengths.begin(), lengths.end());
+  o[7] = MedianInPlace(&scratch->median_buf);
+  // Distinct non-empty values, pre-counted by the cache in
+  // first-occurrence order.
+  size_t num_unique = span.value_end - span.value_begin;
+  o[8] = static_cast<double>(num_unique) * inv_ne;
+
+  if (!numerics.empty()) {
+    o[9] = SignedLog(util::Mean(numerics));
+    o[10] = std::log1p(util::StdDev(numerics));
+    o[11] = SignedLog(*std::min_element(numerics.begin(), numerics.end()));
+    o[12] = SignedLog(*std::max_element(numerics.begin(), numerics.end()));
+    scratch->median_buf.assign(numerics.begin(), numerics.end());
+    o[13] = SignedLog(MedianInPlace(&scratch->median_buf));
+    o[14] = util::Skewness(numerics);
+    o[15] = util::Kurtosis(numerics);
+  }
+
+  o[16] = with_digit * inv_ne;
+  o[17] = with_alpha * inv_ne;
+  o[18] = all_caps * inv_ne;
+  o[19] = capitalized * inv_ne;
+  o[20] = util::Mean(word_counts);
+  o[21] = word_counts.empty()
+              ? 0.0
+              : *std::max_element(word_counts.begin(), word_counts.end());
+  o[22] = with_punct * inv_ne;
+  o[23] = with_space * inv_ne;
+
+  // Normalised entropy of the empirical value distribution; counts come
+  // from the cache's per-column interner, in first-occurrence order (the
+  // same order the reference path now uses).
+  scratch->entropy_counts.assign(
+      cache.value_counts().begin() + span.value_begin,
+      cache.value_counts().begin() + span.value_end);
+  double h = util::Entropy(scratch->entropy_counts);
+  double h_max =
+      num_unique > 1 ? std::log(static_cast<double>(num_unique)) : 1.0;
+  o[24] = h / h_max;
+
+  o[25] = digit_frac_sum * inv_ne;
+  o[26] = alpha_frac_sum * inv_ne;
+}
+
+std::vector<double> StatFeatureExtractor::ReferenceExtract(
+    const Column& column) const {
   std::vector<double> out(kDim, 0.0);
   const auto& values = column.values;
   size_t total = values.size();
@@ -43,7 +244,10 @@ std::vector<double> StatFeatureExtractor::Extract(const Column& column) const {
 
   size_t empty = 0;
   std::vector<double> lengths, numerics, word_counts;
-  std::unordered_map<std::string, size_t> value_counts;
+  // Unique-value counts in first-occurrence order (deterministic entropy
+  // summation, matching the fast path).
+  std::unordered_map<std::string_view, size_t> value_index;
+  std::vector<double> counts;
   double with_digit = 0, with_alpha = 0, all_caps = 0, capitalized = 0;
   double with_punct = 0, with_space = 0;
   double digit_frac_sum = 0, alpha_frac_sum = 0;
@@ -55,34 +259,26 @@ std::vector<double> StatFeatureExtractor::Extract(const Column& column) const {
       continue;
     }
     ++non_empty;
-    ++value_counts[v];
+    auto [it, inserted] = value_index.try_emplace(v, counts.size());
+    if (inserted) {
+      counts.push_back(1.0);
+    } else {
+      counts[it->second] += 1.0;
+    }
     lengths.push_back(static_cast<double>(v.size()));
     auto numeric = util::ParseNumeric(v);
     if (numeric.has_value()) numerics.push_back(*numeric);
-    word_counts.push_back(
-        static_cast<double>(util::SplitWhitespace(v).size()));
+    word_counts.push_back(WordCount(v));
 
-    bool has_digit = false, has_alpha = false, has_punct = false,
-         has_space = false, has_lower = false;
-    size_t digits = 0, alphas = 0;
-    for (char c : v) {
-      unsigned char u = static_cast<unsigned char>(c);
-      if (std::isdigit(u)) { has_digit = true; ++digits; }
-      else if (std::isalpha(u)) {
-        has_alpha = true;
-        ++alphas;
-        if (std::islower(u)) has_lower = true;
-      } else if (std::isspace(u)) has_space = true;
-      else has_punct = true;
-    }
-    if (has_digit) ++with_digit;
-    if (has_alpha) ++with_alpha;
-    if (has_alpha && !has_lower) ++all_caps;
+    ValueScan s = ScanValue(v);
+    if (s.has_digit) ++with_digit;
+    if (s.has_alpha) ++with_alpha;
+    if (s.has_alpha && !s.has_lower) ++all_caps;
     if (std::isupper(static_cast<unsigned char>(v[0]))) ++capitalized;
-    if (has_punct) ++with_punct;
-    if (has_space) ++with_space;
-    digit_frac_sum += static_cast<double>(digits) / static_cast<double>(v.size());
-    alpha_frac_sum += static_cast<double>(alphas) / static_cast<double>(v.size());
+    if (s.has_punct) ++with_punct;
+    if (s.has_space) ++with_space;
+    digit_frac_sum += static_cast<double>(s.digits) / static_cast<double>(v.size());
+    alpha_frac_sum += static_cast<double>(s.alphas) / static_cast<double>(v.size());
   }
 
   double inv_total = 1.0 / static_cast<double>(total);
@@ -96,7 +292,7 @@ std::vector<double> StatFeatureExtractor::Extract(const Column& column) const {
   out[5] = lengths.empty() ? 0.0 : *std::min_element(lengths.begin(), lengths.end());
   out[6] = lengths.empty() ? 0.0 : *std::max_element(lengths.begin(), lengths.end());
   out[7] = util::Median(lengths);
-  out[8] = static_cast<double>(value_counts.size()) * inv_ne;
+  out[8] = static_cast<double>(counts.size()) * inv_ne;
 
   if (!numerics.empty()) {
     out[9] = SignedLog(util::Mean(numerics));
@@ -120,9 +316,6 @@ std::vector<double> StatFeatureExtractor::Extract(const Column& column) const {
   out[23] = with_space * inv_ne;
 
   // Normalised entropy of the empirical value distribution.
-  std::vector<double> counts;
-  counts.reserve(value_counts.size());
-  for (const auto& [v, c] : value_counts) counts.push_back(static_cast<double>(c));
   double h = util::Entropy(counts);
   double h_max = counts.size() > 1 ? std::log(static_cast<double>(counts.size())) : 1.0;
   out[24] = h / h_max;

@@ -5,19 +5,37 @@
 
 #include "table/table.h"
 
+namespace sato::embedding {
+class TokenCache;
+}
+
 namespace sato::features {
+
+struct FeatureScratch;
 
 /// Global column statistics (the Sherlock "Stat" group). Exactly 27
 /// features, matching the paper's count (§3.1: "the Stat feature set, which
 /// consists of only 27 features"); this group is concatenated to the primary
 /// network input directly, without a compression subnetwork.
+///
+/// ExtractInto is the serving fast path: it reads the TokenCache's cell
+/// views and per-column unique-value counts, scans each value once, and
+/// reuses caller scratch for every sequence (no per-column map or vector
+/// allocation). ReferenceExtract keeps the original implementation as the
+/// parity baseline.
 class StatFeatureExtractor {
  public:
   static constexpr size_t kDim = 27;
 
   size_t dim() const { return kDim; }
 
-  std::vector<double> Extract(const Column& column) const;
+  /// Fast path: features of cache column `column` written into `*out`
+  /// (resized to dim()); allocation-free once `scratch` is warm.
+  void ExtractInto(const embedding::TokenCache& cache, size_t column,
+                   FeatureScratch* scratch, std::vector<double>* out) const;
+
+  /// Reference implementation (parity baseline).
+  std::vector<double> ReferenceExtract(const Column& column) const;
 
   /// Names of the 27 statistics, aligned with Extract's output order
   /// (useful for debugging and ablation reports).

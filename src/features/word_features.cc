@@ -3,11 +3,66 @@
 #include <algorithm>
 #include <cmath>
 
+#include "embedding/token_cache.h"
+#include "features/feature_scratch.h"
+
 namespace sato::features {
 
-std::vector<double> WordFeatureExtractor::Extract(const Column& column) const {
+void WordFeatureExtractor::ExtractInto(const embedding::TokenCache& cache,
+                                       size_t column, FeatureScratch* scratch,
+                                       std::vector<double>* out) const {
+  const size_t d = cache.embedding_dim();
+  scratch->mean.assign(d, 0.0);
+  scratch->sum_sq.assign(d, 0.0);
+  scratch->acc.assign(d, 0.0);
+  double* mean = scratch->mean.data();
+  double* sum_sq = scratch->sum_sq.data();
+  double* acc = scratch->acc.data();
+
+  double in_vocab = 0.0, total_tokens = 0.0;
+  size_t n = 0;
+  const auto& span = cache.column_span(column);
+  const std::vector<uint32_t>& occ = cache.occurrences();
+  for (uint32_t ci = span.cell_begin; ci < span.cell_end; ++ci) {
+    const auto& cell = cache.cell(ci);
+    size_t count = cell.occ_end - cell.occ_begin;
+    if (count == 0) continue;  // empty value or no alnum token
+    ++n;
+    // Per-cell mean embedding, accumulated by token id from the flat
+    // matrix rows (same summation order as the reference Average()).
+    std::fill(acc, acc + d, 0.0);
+    for (uint32_t o = cell.occ_begin; o < cell.occ_end; ++o) {
+      uint32_t unique = occ[o];
+      const double* row = cache.EmbeddingRow(unique);
+      for (size_t i = 0; i < d; ++i) acc[i] += row[i];
+      total_tokens += 1.0;
+      if (cache.token(unique).embed_id >= 0) in_vocab += 1.0;
+    }
+    double cnt = static_cast<double>(count);
+    for (size_t i = 0; i < d; ++i) {
+      double v = acc[i] / cnt;
+      mean[i] += v;
+      sum_sq[i] += v * v;
+    }
+  }
+  out->assign(dim(), 0.0);
+  if (n == 0) return;
+  double inv_n = 1.0 / static_cast<double>(n);
+  double* o = out->data();
+  for (size_t i = 0; i < d; ++i) {
+    double m = mean[i] * inv_n;
+    double var = std::max(0.0, sum_sq[i] * inv_n - m * m);
+    o[i] = m;
+    o[d + i] = std::sqrt(var);
+  }
+  o[2 * d] = total_tokens > 0.0 ? in_vocab / total_tokens : 0.0;
+  o[2 * d + 1] = total_tokens * inv_n;
+}
+
+std::vector<double> WordFeatureExtractor::ReferenceExtract(
+    const Column& column) const {
   const size_t d = embeddings_->dim();
-  std::vector<double> mean(d, 0.0), sum_sq(d, 0.0);
+  std::vector<double> mean(d, 0.0), sum_sq(d, 0.0), acc(d), oov(d);
   double in_vocab = 0.0, total_tokens = 0.0;
   size_t n = 0;
   for (const std::string& value : column.values) {
@@ -15,14 +70,28 @@ std::vector<double> WordFeatureExtractor::Extract(const Column& column) const {
     auto tokens = embedding::TokenizeCell(value);
     if (tokens.empty()) continue;
     ++n;
-    std::vector<double> v = embeddings_->Average(tokens);
-    for (size_t i = 0; i < d; ++i) {
-      mean[i] += v[i];
-      sum_sq[i] += v[i] * v[i];
-    }
+    // Single pass per token: one vocabulary probe serves both the
+    // embedding lookup and the coverage count (the original code hashed
+    // every token twice -- Average() then Contains()).
+    std::fill(acc.begin(), acc.end(), 0.0);
     for (const auto& t : tokens) {
       total_tokens += 1.0;
-      if (embeddings_->Contains(t)) in_vocab += 1.0;
+      auto id = embeddings_->vocab().Id(t);
+      const double* row;
+      if (id.has_value()) {
+        in_vocab += 1.0;
+        row = embeddings_->vectors().Row(static_cast<size_t>(*id));
+      } else {
+        embeddings_->OovVectorInto(util::Fnv1aHash(t), oov.data());
+        row = oov.data();
+      }
+      for (size_t i = 0; i < d; ++i) acc[i] += row[i];
+    }
+    double cnt = static_cast<double>(tokens.size());
+    for (size_t i = 0; i < d; ++i) {
+      double v = acc[i] / cnt;
+      mean[i] += v;
+      sum_sq[i] += v * v;
     }
   }
   std::vector<double> out(dim(), 0.0);

@@ -6,13 +6,26 @@
 #include "embedding/word_embeddings.h"
 #include "table/table.h"
 
+namespace sato::embedding {
+class TokenCache;
+}
+
 namespace sato::features {
+
+struct FeatureScratch;
 
 /// Word-embedding features (the Sherlock "Word" group): each cell value is
 /// tokenised and embedded (mean of token vectors); the per-value embeddings
 /// are aggregated across the column into a per-dimension mean and standard
 /// deviation, plus two coverage scalars (in-vocabulary token fraction and
 /// mean token count).
+///
+/// ExtractInto is the serving fast path: it accumulates straight from the
+/// flat embedding-matrix rows (or the cache's per-table OOV pool) by token
+/// id, with no per-token or per-cell vector allocation. ReferenceExtract
+/// keeps the original tokenize-per-cell implementation as the parity
+/// baseline; it resolves each token's vocabulary id once (embedding lookup
+/// and coverage counting share the single hash probe).
 class WordFeatureExtractor {
  public:
   explicit WordFeatureExtractor(const embedding::WordEmbeddings* embeddings)
@@ -21,7 +34,13 @@ class WordFeatureExtractor {
   /// 2 * embedding_dim + 2.
   size_t dim() const { return 2 * embeddings_->dim() + 2; }
 
-  std::vector<double> Extract(const Column& column) const;
+  /// Fast path: features of cache column `column` written into `*out`
+  /// (resized to dim()); allocation-free once `scratch` is warm.
+  void ExtractInto(const embedding::TokenCache& cache, size_t column,
+                   FeatureScratch* scratch, std::vector<double>* out) const;
+
+  /// Reference implementation (parity baseline).
+  std::vector<double> ReferenceExtract(const Column& column) const;
 
  private:
   const embedding::WordEmbeddings* embeddings_;  // not owned

@@ -16,9 +16,11 @@ BatchPredictor::BatchPredictor(const SatoModel& model,
     : options_(options),
       predictor_(&model, context, std::move(scaler)),
       pool_(options.num_threads) {
-  // One scratch workspace per worker; the model itself is shared and
-  // never copied (the inference path is const and re-entrant).
+  // One scratch workspace and one featurization scratch per worker; the
+  // model itself is shared and never copied (the inference path is const
+  // and re-entrant).
   workspaces_.resize(pool_.num_threads());
+  scratches_.resize(pool_.num_threads());
 }
 
 uint64_t BatchPredictor::TableSeed(uint64_t base_seed, size_t table_index) {
@@ -41,8 +43,9 @@ std::vector<std::vector<TypeId>> BatchPredictor::PredictTables(
       try {
         if (tables[i].num_columns() == 0) return;  // empty prediction
         util::Rng rng(TableSeed(options_.seed, i));
-        results[i] =
-            predictor_.PredictTable(tables[i], &rng, &workspaces_[worker]);
+        results[i] = predictor_.PredictTable(tables[i], &rng,
+                                             &workspaces_[worker],
+                                             &scratches_[worker]);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
@@ -68,7 +71,16 @@ std::vector<std::vector<std::string>> BatchPredictor::PredictTypeNames(
 size_t BatchPredictor::WorkspaceBytes() const {
   size_t bytes = 0;
   for (const nn::Workspace& ws : workspaces_) bytes += ws.PooledBytes();
+  for (const SatoPredictor::Scratch& s : scratches_) bytes += s.CapacityBytes();
   return bytes;
+}
+
+size_t BatchPredictor::FeaturizeGrowthEvents() const {
+  size_t events = 0;
+  for (const SatoPredictor::Scratch& s : scratches_) {
+    events += s.growth_events();
+  }
+  return events;
 }
 
 }  // namespace sato::serve

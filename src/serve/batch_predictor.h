@@ -71,14 +71,21 @@ class BatchPredictor {
   /// The shared model all workers read -- exactly one, never cloned.
   const SatoModel& model() const { return predictor_.model(); }
 
-  /// Bytes of scratch currently pooled across all worker workspaces (the
-  /// steady-state serving overhead that replaced per-worker replicas).
+  /// Bytes of scratch currently pooled across all worker workspaces and
+  /// featurization scratches (the steady-state serving overhead that
+  /// replaced per-worker replicas).
   size_t WorkspaceBytes() const;
+
+  /// Featurization-scratch growth events summed over all workers. Constant
+  /// once the batch mix is warm: steady-state featurization allocates
+  /// nothing (asserted by tests/serve_test.cc).
+  size_t FeaturizeGrowthEvents() const;
 
  private:
   BatchPredictorOptions options_;
   SatoPredictor predictor_;               // drives the shared const model
   std::vector<nn::Workspace> workspaces_; // one per worker thread
+  std::vector<SatoPredictor::Scratch> scratches_;  // one per worker thread
   ThreadPool pool_;
 };
 

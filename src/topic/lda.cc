@@ -96,12 +96,13 @@ LdaModel LdaModel::Train(const std::vector<std::vector<std::string>>& documents,
     }
   }
 
-  // Estimate phi from the final counts.
-  model.phi_.assign(static_cast<size_t>(k), std::vector<double>(v, 0.0));
+  // Estimate phi from the final counts (flat row-major [K x V]).
+  model.phi_.assign(static_cast<size_t>(k) * v, 0.0);
   for (int t = 0; t < k; ++t) {
     double denom = static_cast<double>(n_k[static_cast<size_t>(t)]) + v_beta;
+    double* row = model.phi_.data() + static_cast<size_t>(t) * v;
     for (size_t w = 0; w < v; ++w) {
-      model.phi_[static_cast<size_t>(t)][w] =
+      row[w] =
           (static_cast<double>(n_kw[static_cast<size_t>(t) * v + w]) + beta) /
           denom;
     }
@@ -111,7 +112,99 @@ LdaModel LdaModel::Train(const std::vector<std::vector<std::string>>& documents,
 
 std::vector<double> LdaModel::InferTopics(
     const std::vector<std::string>& document, util::Rng* rng) const {
+  LdaScratch scratch;
+  scratch.ids = Encode(vocab_, document, options_.max_doc_tokens);
+  std::vector<double> theta;
+  InferTopicsInto(rng, &scratch, &theta);
+  return theta;
+}
+
+void LdaModel::InferTopicsInto(util::Rng* rng, LdaScratch* scratch,
+                               std::vector<double>* theta) const {
   const int k = options_.num_topics;
+  const size_t ku = static_cast<size_t>(k);
+  const size_t v = vocab_.size();
+  theta->assign(ku, 1.0 / static_cast<double>(k));
+  const std::vector<TokenId>& ids = scratch->ids;
+  if (ids.empty()) return;
+
+  // Deduplicate the document's terms and gather their phi columns into
+  // contiguous K-vectors: the Gibbs inner loop then reads one contiguous
+  // column instead of striding across the whole [K x V] table per token.
+  if (scratch->word_slot.size() < v) scratch->word_slot.assign(v, -1);
+  scratch->unique_words.clear();
+  scratch->occ_slot.resize(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    size_t w = static_cast<size_t>(ids[i]);
+    if (scratch->word_slot[w] < 0) {
+      scratch->word_slot[w] =
+          static_cast<int32_t>(scratch->unique_words.size());
+      scratch->unique_words.push_back(ids[i]);
+    }
+    scratch->occ_slot[i] = scratch->word_slot[w];
+  }
+  scratch->phi_cols.resize(scratch->unique_words.size() * ku);
+  for (size_t u = 0; u < scratch->unique_words.size(); ++u) {
+    size_t w = static_cast<size_t>(scratch->unique_words[u]);
+    double* col = scratch->phi_cols.data() + u * ku;
+    for (size_t t = 0; t < ku; ++t) col[t] = phi_[t * v + w];
+  }
+
+  // Fold-in Gibbs; identical draw order and weights to
+  // ReferenceInferTopics, so results are bit-for-bit the same. The
+  // sampling step is fused: one pass builds the cumulative weights
+  // cum[t] = p[0] + ... + p[t] with exactly the additions Rng::Categorical
+  // performs (its total pass and its walk accumulate the same p[t] in the
+  // same order), one Uniform() draw lands at the same stream position, and
+  // lower_bound finds the first t with u <= cum[t] -- the index the
+  // reference's early-exit walk returns.
+  scratch->z.resize(ids.size());
+  scratch->n_dk.assign(ku, 0.0);
+  double* n_dk = scratch->n_dk.data();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    int t = static_cast<int>(rng->UniformInt(0, k - 1));
+    scratch->z[i] = t;
+    n_dk[static_cast<size_t>(t)] += 1.0;
+  }
+  scratch->p.resize(ku);
+  double* cum = scratch->p.data();
+  const double alpha = options_.alpha;
+  for (int iter = 0; iter < options_.infer_iterations; ++iter) {
+    for (size_t i = 0; i < ids.size(); ++i) {
+      int old_topic = scratch->z[i];
+      n_dk[static_cast<size_t>(old_topic)] -= 1.0;
+      const double* col =
+          scratch->phi_cols.data() +
+          static_cast<size_t>(scratch->occ_slot[i]) * ku;
+      double acc = 0.0;
+      for (size_t t = 0; t < ku; ++t) {
+        acc += (n_dk[t] + alpha) * col[t];
+        cum[t] = acc;
+      }
+      double u = rng->Uniform() * acc;
+      const double* hit = std::lower_bound(cum, cum + ku, u);
+      int new_topic =
+          hit == cum + ku ? k - 1 : static_cast<int>(hit - cum);
+      scratch->z[i] = new_topic;
+      n_dk[static_cast<size_t>(new_topic)] += 1.0;
+    }
+  }
+  double denom = static_cast<double>(ids.size()) +
+                 static_cast<double>(k) * alpha;
+  for (size_t t = 0; t < ku; ++t) {
+    (*theta)[t] = (n_dk[t] + alpha) / denom;
+  }
+
+  // Un-touch the word->slot table for the next document (O(doc), not O(V)).
+  for (TokenId w : scratch->unique_words) {
+    scratch->word_slot[static_cast<size_t>(w)] = -1;
+  }
+}
+
+std::vector<double> LdaModel::ReferenceInferTopics(
+    const std::vector<std::string>& document, util::Rng* rng) const {
+  const int k = options_.num_topics;
+  const size_t v = vocab_.size();
   std::vector<double> theta(static_cast<size_t>(k),
                             1.0 / static_cast<double>(k));
   std::vector<TokenId> ids = Encode(vocab_, document, options_.max_doc_tokens);
@@ -134,7 +227,7 @@ std::vector<double> LdaModel::InferTopics(
       for (int t = 0; t < k; ++t) {
         p[static_cast<size_t>(t)] =
             (static_cast<double>(n_dk[static_cast<size_t>(t)]) + alpha) *
-            phi_[static_cast<size_t>(t)][w];
+            phi_[static_cast<size_t>(t) * v + w];
       }
       int new_topic = static_cast<int>(rng->Categorical(p));
       z[i] = new_topic;
@@ -152,10 +245,11 @@ std::vector<double> LdaModel::InferTopics(
 
 std::vector<std::pair<std::string, double>> LdaModel::TopWords(
     int topic, size_t k) const {
-  const auto& row = phi_[static_cast<size_t>(topic)];
+  const size_t v = vocab_.size();
+  const double* row = PhiRow(topic);
   std::vector<std::pair<std::string, double>> scored;
-  scored.reserve(row.size());
-  for (size_t w = 0; w < row.size(); ++w) {
+  scored.reserve(v);
+  for (size_t w = 0; w < v; ++w) {
     scored.emplace_back(vocab_.Token(static_cast<TokenId>(w)), row[w]);
   }
   std::partial_sort(scored.begin(), scored.begin() + std::min(k, scored.size()),
@@ -180,10 +274,9 @@ void LdaModel::Save(std::ostream* out) const {
     int64_t freq = vocab_.Frequency(static_cast<TokenId>(i));
     out->write(reinterpret_cast<const char*>(&freq), sizeof(freq));
   }
-  for (const auto& row : phi_) {
-    out->write(reinterpret_cast<const char*>(row.data()),
-               static_cast<std::streamsize>(row.size() * sizeof(double)));
-  }
+  // Flat [K x V] phi: byte-identical to the previous row-by-row format.
+  out->write(reinterpret_cast<const char*>(phi_.data()),
+             static_cast<std::streamsize>(phi_.size() * sizeof(double)));
 }
 
 LdaModel LdaModel::Load(std::istream* in) {
@@ -207,11 +300,9 @@ LdaModel LdaModel::Load(std::istream* in) {
   if (model.vocab_.size() != v) {
     throw std::runtime_error("LdaModel::Load: vocabulary mismatch");
   }
-  model.phi_.assign(k, std::vector<double>(v, 0.0));
-  for (auto& row : model.phi_) {
-    in->read(reinterpret_cast<char*>(row.data()),
-             static_cast<std::streamsize>(row.size() * sizeof(double)));
-  }
+  model.phi_.assign(k * v, 0.0);
+  in->read(reinterpret_cast<char*>(model.phi_.data()),
+           static_cast<std::streamsize>(model.phi_.size() * sizeof(double)));
   if (!*in) throw std::runtime_error("LdaModel::Load: truncated stream");
   return model;
 }

@@ -24,10 +24,44 @@ struct LdaOptions {
   size_t max_doc_tokens = 512; ///< truncate very large documents
 };
 
+/// Reusable scratch state for the fold-in fast path (InferTopicsInto).
+/// One per worker; every buffer is recycled across calls, so steady-state
+/// inference allocates nothing (growth is observable via CapacityBytes).
+struct LdaScratch {
+  std::vector<embedding::TokenId> ids;  ///< encoded document (caller fills)
+  std::vector<int> z;                   ///< per-token topic assignment
+  std::vector<double> n_dk;             ///< document-topic counts (integral
+                                        ///< values, stored as double so the
+                                        ///< sampling loop skips conversions)
+  std::vector<double> p;                ///< cumulative sampling weights (K)
+  std::vector<double> phi_cols;         ///< gathered phi columns [unique x K]
+  std::vector<int32_t> word_slot;       ///< vocab-sized word -> unique slot
+  std::vector<embedding::TokenId> unique_words;  ///< distinct ids this doc
+  std::vector<int32_t> occ_slot;        ///< per-token unique-slot index
+
+  /// Total heap capacity currently held (for zero-allocation assertions).
+  size_t CapacityBytes() const {
+    return ids.capacity() * sizeof(embedding::TokenId) +
+           z.capacity() * sizeof(int) + n_dk.capacity() * sizeof(double) +
+           p.capacity() * sizeof(double) +
+           phi_cols.capacity() * sizeof(double) +
+           word_slot.capacity() * sizeof(int32_t) +
+           unique_words.capacity() * sizeof(embedding::TokenId) +
+           occ_slot.capacity() * sizeof(int32_t);
+  }
+};
+
 /// LDA trained with collapsed Gibbs sampling; inference for unseen
 /// documents uses fold-in Gibbs against the frozen topic-word distribution.
 /// This is Sato's "table intent estimator" (§3.2): tables are documents,
 /// the inferred topic mixture is the table topic vector.
+///
+/// The topic-word distribution is stored as one flat row-major [K x V]
+/// array (phi()). The serving fold-in additionally gathers the phi columns
+/// of the document's *deduplicated* terms into contiguous K-vectors, so
+/// the Gibbs inner loop walks contiguous memory instead of striding across
+/// K separately-allocated rows. Draw order and weights are identical to
+/// ReferenceInferTopics, so predictions are unchanged bit for bit.
 class LdaModel {
  public:
   /// Trains a model on tokenised documents.
@@ -36,9 +70,22 @@ class LdaModel {
 
   /// Infers the topic mixture theta (length num_topics, sums to 1) for an
   /// unseen document. Documents with no in-vocabulary token get the uniform
-  /// mixture.
+  /// mixture. Routes through the flat-phi fast path with transient scratch.
   std::vector<double> InferTopics(const std::vector<std::string>& document,
                                   util::Rng* rng) const;
+
+  /// The original ragged-phi fold-in, preserved verbatim as the parity
+  /// baseline (same pattern as nn::gemm's Reference* kernels).
+  std::vector<double> ReferenceInferTopics(
+      const std::vector<std::string>& document, util::Rng* rng) const;
+
+  /// Fold-in fast path over an already-encoded document: `scratch->ids`
+  /// must hold the in-vocabulary token ids in document order, truncated to
+  /// options().max_doc_tokens (see TokenCache::CollectLdaIds). Writes
+  /// theta into `*theta` (resized to num_topics). Draws from `rng` in the
+  /// exact order of ReferenceInferTopics.
+  void InferTopicsInto(util::Rng* rng, LdaScratch* scratch,
+                       std::vector<double>* theta) const;
 
   int num_topics() const { return options_.num_topics; }
   const embedding::Vocabulary& vocab() const { return vocab_; }
@@ -48,8 +95,14 @@ class LdaModel {
   std::vector<std::pair<std::string, double>> TopWords(int topic,
                                                        size_t k) const;
 
-  /// Per-topic word distribution phi[k][w]; rows sum to 1.
-  const std::vector<std::vector<double>>& phi() const { return phi_; }
+  /// Flat row-major topic-word distribution: phi()[k * vocab().size() + w];
+  /// rows sum to 1.
+  const std::vector<double>& phi() const { return phi_; }
+
+  /// Row k of phi (vocab().size() doubles).
+  const double* PhiRow(int topic) const {
+    return phi_.data() + static_cast<size_t>(topic) * vocab_.size();
+  }
 
   void Save(std::ostream* out) const;
   static LdaModel Load(std::istream* in);
@@ -59,7 +112,7 @@ class LdaModel {
 
   LdaOptions options_;
   embedding::Vocabulary vocab_;
-  std::vector<std::vector<double>> phi_;  // K x V
+  std::vector<double> phi_;  // flat row-major [K x V]
 };
 
 }  // namespace sato::topic

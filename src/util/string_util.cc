@@ -67,11 +67,21 @@ bool EndsWith(std::string_view s, std::string_view suffix) {
 }
 
 std::optional<double> ParseNumeric(std::string_view s) {
-  std::string t = Trim(s);
+  std::string scratch;
+  return ParseNumeric(s, &scratch);
+}
+
+std::optional<double> ParseNumeric(std::string_view s, std::string* scratch) {
+  // Trim in place on the view (no copy).
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  std::string_view t = s.substr(b, e - b);
   if (t.empty()) return std::nullopt;
   // Strip thousands separators, but only when they look like separators
   // (between digits), to avoid treating CSV-like content as numeric.
-  std::string cleaned;
+  std::string& cleaned = *scratch;
+  cleaned.clear();
   cleaned.reserve(t.size());
   for (size_t i = 0; i < t.size(); ++i) {
     if (t[i] == ',') {
@@ -115,11 +125,8 @@ std::string Capitalize(std::string_view s) {
 }
 
 uint64_t Fnv1aHash(std::string_view s) {
-  uint64_t h = 1469598103934665603ull;
-  for (unsigned char c : s) {
-    h ^= c;
-    h *= 1099511628211ull;
-  }
+  uint64_t h = kFnv1aOffset;
+  for (unsigned char c : s) h = Fnv1aAppend(h, c);
   return h;
 }
 

@@ -1,12 +1,27 @@
 #ifndef SATO_UTIL_STRING_UTIL_H_
 #define SATO_UTIL_STRING_UTIL_H_
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace sato::util {
+
+/// Transparent (heterogeneous) string hasher for unordered containers:
+/// lets a `std::unordered_map<std::string, V, TransparentStringHash,
+/// std::equal_to<>>` be probed with a `std::string_view` without
+/// materialising a temporary `std::string` key at the call site.
+struct TransparentStringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+  size_t operator()(const std::string& s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
 
 /// ASCII lower-casing (the corpus is ASCII by construction).
 std::string ToLower(std::string_view s);
@@ -34,6 +49,12 @@ bool EndsWith(std::string_view s, std::string_view suffix);
 /// string is not numeric.
 std::optional<double> ParseNumeric(std::string_view s);
 
+/// ParseNumeric with a caller-provided work buffer for the cleaned copy the
+/// parser needs (strtod wants NUL termination). Steady-state callers reuse
+/// the buffer's capacity, so the featurization hot path stays allocation
+/// free. Results are identical to ParseNumeric.
+std::optional<double> ParseNumeric(std::string_view s, std::string* scratch);
+
 /// True if the whole string parses as a number (after ParseNumeric rules).
 bool IsNumeric(std::string_view s);
 
@@ -43,6 +64,15 @@ std::string ReplaceAll(std::string s, std::string_view from,
 
 /// Capitalises the first letter, lower-cases the rest ("warSAW" -> "Warsaw").
 std::string Capitalize(std::string_view s);
+
+/// FNV-1a constants and single-byte step, exposed so incremental hashers
+/// (e.g. the TokenCache tokenizer, which hashes while lower-casing) stay
+/// bit-identical to Fnv1aHash by construction.
+inline constexpr uint64_t kFnv1aOffset = 1469598103934665603ull;
+inline constexpr uint64_t kFnv1aPrime = 1099511628211ull;
+inline constexpr uint64_t Fnv1aAppend(uint64_t h, unsigned char c) {
+  return (h ^ c) * kFnv1aPrime;
+}
 
 /// Stable 64-bit FNV-1a hash, used for feature hashing and OOV embeddings.
 uint64_t Fnv1aHash(std::string_view s);

@@ -422,6 +422,58 @@ TEST_F(CoreIntegrationTest, PredictorMatchesDatasetPath) {
   }
 }
 
+TEST_F(CoreIntegrationTest, FeaturizeIntoMatchesFeaturizeAndReusesScratch) {
+  util::Rng rng(47);
+  SatoModel model(SatoVariant::kFull, Dims(), context_->topic_dim(), *config_,
+                  &rng);
+
+  corpus::CorpusOptions copts;
+  copts.num_tables = 30;
+  copts.seed = 57;
+  corpus::CorpusGenerator gen(copts);
+  auto tables = gen.Generate();
+
+  DatasetBuilder builder(context_);
+  util::Rng rng2(3);
+  Dataset fit = builder.Build(tables, &rng2);
+  auto scaler = StandardizeSplits(&fit, nullptr);
+  SatoPredictor predictor(&model, context_, scaler);
+
+  // Same features and topic vector through the transient path and the
+  // scratch-reusing path, for every table.
+  SatoPredictor::Scratch scratch;
+  for (const Table& t : tables) {
+    if (t.num_columns() == 0) continue;
+    util::Rng r1(11), r2(11);
+    TableExample transient = predictor.Featurize(t, &r1);
+    const TableExample& reused = predictor.FeaturizeInto(t, &r2, &scratch);
+    ASSERT_EQ(transient.features.size(), reused.features.size());
+    EXPECT_EQ(transient.topic, reused.topic) << t.id();
+    for (size_t c = 0; c < transient.features.size(); ++c) {
+      EXPECT_EQ(transient.features[c].char_features,
+                reused.features[c].char_features);
+      EXPECT_EQ(transient.features[c].word_features,
+                reused.features[c].word_features);
+      EXPECT_EQ(transient.features[c].para_features,
+                reused.features[c].para_features);
+      EXPECT_EQ(transient.features[c].stat_features,
+                reused.features[c].stat_features);
+    }
+  }
+
+  // Steady state: a second pass over the same tables grows nothing
+  // (the scratch-pool counter is the zero-allocation contract).
+  size_t growth_before = scratch.growth_events();
+  size_t capacity_before = scratch.CapacityBytes();
+  for (const Table& t : tables) {
+    if (t.num_columns() == 0) continue;
+    util::Rng r(11);
+    predictor.FeaturizeInto(t, &r, &scratch);
+  }
+  EXPECT_EQ(scratch.growth_events(), growth_before);
+  EXPECT_EQ(scratch.CapacityBytes(), capacity_before);
+}
+
 TEST_F(CoreIntegrationTest, PredictorTypeNamesAreCanonical) {
   util::Rng rng(43);
   SatoConfig quick = *config_;

@@ -1,19 +1,61 @@
 // Tests for the Sherlock-style feature extractors (Char/Word/Para/Stat),
-// the pipeline, and the train-set feature scaler.
+// the pipeline (tokenize-once fast path vs Reference* parity), the
+// zero-allocation steady-state guarantee, and the train-set feature scaler.
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <new>
 #include <sstream>
 
 #include <gtest/gtest.h>
 
+#include "corpus/generator.h"
 #include "embedding/tfidf.h"
+#include "embedding/token_cache.h"
 #include "embedding/vocabulary.h"
 #include "embedding/word_embeddings.h"
 #include "features/char_features.h"
+#include "features/feature_scratch.h"
 #include "features/para_features.h"
 #include "features/pipeline.h"
 #include "features/stat_features.h"
 #include "features/word_features.h"
+#include "topic/table_document.h"
+#include "util/rng.h"
+
+// Global allocation counter: the steady-state test asserts a literal zero
+// heap allocations across a warm featurization pass, not just stable
+// scratch capacities. GCC's allocator-pairing analysis cannot see that
+// these replacements route consistently through malloc/free, so its
+// mismatch warning is a false positive here; noinline keeps the pairing
+// opaque at call sites.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+namespace {
+std::atomic<uint64_t> g_heap_allocations{0};
+}  // namespace
+
+__attribute__((noinline)) void* operator new(std::size_t size) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size != 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+__attribute__((noinline)) void* operator new[](std::size_t size) {
+  return ::operator new(size);
+}
+__attribute__((noinline)) void operator delete(void* p) noexcept {
+  std::free(p);
+}
+__attribute__((noinline)) void operator delete[](void* p) noexcept {
+  std::free(p);
+}
+__attribute__((noinline)) void operator delete(void* p, std::size_t) noexcept {
+  std::free(p);
+}
+__attribute__((noinline)) void operator delete[](void* p,
+                                                 std::size_t) noexcept {
+  std::free(p);
+}
 
 namespace sato::features {
 namespace {
@@ -46,15 +88,15 @@ TEST(CharFeaturesTest, DimensionMatchesAlphabet) {
 
 TEST(CharFeaturesTest, CountsAreCaseInsensitive) {
   CharFeatureExtractor ex;
-  auto a = ex.Extract(MakeColumn({"AAA"}));
-  auto b = ex.Extract(MakeColumn({"aaa"}));
+  auto a = ex.ReferenceExtract(MakeColumn({"AAA"}));
+  auto b = ex.ReferenceExtract(MakeColumn({"aaa"}));
   EXPECT_EQ(a, b);
 }
 
 TEST(CharFeaturesTest, MeanCountForKnownInput) {
   CharFeatureExtractor ex;
   // 'a' appears 2x in first value, 0x in second.
-  auto f = ex.Extract(MakeColumn({"aa", "bb"}));
+  auto f = ex.ReferenceExtract(MakeColumn({"aa", "bb"}));
   size_t a_slot = CharFeatureExtractor::Alphabet().find('a');
   size_t base = a_slot * CharFeatureExtractor::kStatsPerChar;
   EXPECT_DOUBLE_EQ(f[base + 0], 1.0);   // mean
@@ -65,9 +107,9 @@ TEST(CharFeaturesTest, MeanCountForKnownInput) {
 
 TEST(CharFeaturesTest, EmptyColumnIsZeroVector) {
   CharFeatureExtractor ex;
-  auto f = ex.Extract(MakeColumn({}));
+  auto f = ex.ReferenceExtract(MakeColumn({}));
   for (double v : f) EXPECT_DOUBLE_EQ(v, 0.0);
-  auto g = ex.Extract(MakeColumn({"", ""}));
+  auto g = ex.ReferenceExtract(MakeColumn({"", ""}));
   for (double v : g) EXPECT_DOUBLE_EQ(v, 0.0);
 }
 
@@ -80,8 +122,8 @@ TEST(CharFeaturesTest, DigitsAndPunctuationCovered) {
 
 TEST(CharFeaturesTest, DistinguishesCodesFromWords) {
   CharFeatureExtractor ex;
-  auto code = ex.Extract(MakeColumn({"AB-1234", "XY-5678"}));
-  auto word = ex.Extract(MakeColumn({"Warsaw", "London"}));
+  auto code = ex.ReferenceExtract(MakeColumn({"AB-1234", "XY-5678"}));
+  auto word = ex.ReferenceExtract(MakeColumn({"Warsaw", "London"}));
   EXPECT_NE(code, word);
 }
 
@@ -96,7 +138,7 @@ TEST(WordFeaturesTest, DimIs2DPlus2) {
 TEST(WordFeaturesTest, MeanEmbeddingForUniformColumn) {
   auto emb = TinyEmbeddings();
   WordFeatureExtractor ex(&emb);
-  auto f = ex.Extract(MakeColumn({"warsaw", "warsaw"}));
+  auto f = ex.ReferenceExtract(MakeColumn({"warsaw", "warsaw"}));
   EXPECT_DOUBLE_EQ(f[0], 1.0);  // mean dim0 = warsaw[0]
   EXPECT_DOUBLE_EQ(f[1], 0.0);
   EXPECT_DOUBLE_EQ(f[2], 0.0);  // std dim0
@@ -107,14 +149,14 @@ TEST(WordFeaturesTest, MeanEmbeddingForUniformColumn) {
 TEST(WordFeaturesTest, CoverageDropsForOovTokens) {
   auto emb = TinyEmbeddings();
   WordFeatureExtractor ex(&emb);
-  auto f = ex.Extract(MakeColumn({"warsaw", "zanzibar"}));
+  auto f = ex.ReferenceExtract(MakeColumn({"warsaw", "zanzibar"}));
   EXPECT_DOUBLE_EQ(f[2 * emb.dim()], 0.5);
 }
 
 TEST(WordFeaturesTest, EmptyColumnIsZero) {
   auto emb = TinyEmbeddings();
   WordFeatureExtractor ex(&emb);
-  auto f = ex.Extract(MakeColumn({"", ""}));
+  auto f = ex.ReferenceExtract(MakeColumn({"", ""}));
   for (double v : f) EXPECT_DOUBLE_EQ(v, 0.0);
 }
 
@@ -125,7 +167,7 @@ TEST(ParaFeaturesTest, UnitNormPlusNormScalar) {
   embedding::TfIdf tfidf;
   tfidf.Fit({{"warsaw"}, {"london"}});
   ParagraphFeatureExtractor ex(&emb, &tfidf);
-  auto f = ex.Extract(MakeColumn({"warsaw london", "warsaw"}));
+  auto f = ex.ReferenceExtract(MakeColumn({"warsaw london", "warsaw"}));
   double norm = 0.0;
   for (size_t i = 0; i + 1 < f.size(); ++i) norm += f[i] * f[i];
   EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-9);
@@ -137,7 +179,7 @@ TEST(ParaFeaturesTest, EmptyColumnZero) {
   embedding::TfIdf tfidf;
   tfidf.Fit({{"x"}});
   ParagraphFeatureExtractor ex(&emb, &tfidf);
-  auto f = ex.Extract(MakeColumn({}));
+  auto f = ex.ReferenceExtract(MakeColumn({}));
   for (double v : f) EXPECT_DOUBLE_EQ(v, 0.0);
 }
 
@@ -147,19 +189,19 @@ TEST(StatFeaturesTest, Exactly27Features) {
   StatFeatureExtractor ex;
   EXPECT_EQ(ex.dim(), 27u);
   EXPECT_EQ(StatFeatureExtractor::FeatureNames().size(), 27u);
-  EXPECT_EQ(ex.Extract(MakeColumn({"a"})).size(), 27u);
+  EXPECT_EQ(ex.ReferenceExtract(MakeColumn({"a"})).size(), 27u);
 }
 
 TEST(StatFeaturesTest, FractionsForMixedColumn) {
   StatFeatureExtractor ex;
-  auto f = ex.Extract(MakeColumn({"12", "abc", "", "45"}));
+  auto f = ex.ReferenceExtract(MakeColumn({"12", "abc", "", "45"}));
   EXPECT_DOUBLE_EQ(f[1], 0.25);          // frac empty (1 of 4)
   EXPECT_DOUBLE_EQ(f[2], 2.0 / 3.0);     // frac numeric of non-empty
 }
 
 TEST(StatFeaturesTest, LengthStatistics) {
   StatFeatureExtractor ex;
-  auto f = ex.Extract(MakeColumn({"ab", "abcd"}));
+  auto f = ex.ReferenceExtract(MakeColumn({"ab", "abcd"}));
   EXPECT_DOUBLE_EQ(f[3], 3.0);  // mean length
   EXPECT_DOUBLE_EQ(f[5], 2.0);  // min
   EXPECT_DOUBLE_EQ(f[6], 4.0);  // max
@@ -168,8 +210,8 @@ TEST(StatFeaturesTest, LengthStatistics) {
 
 TEST(StatFeaturesTest, UniquenessAndEntropy) {
   StatFeatureExtractor ex;
-  auto uniform = ex.Extract(MakeColumn({"a", "b", "c", "d"}));
-  auto constant = ex.Extract(MakeColumn({"a", "a", "a", "a"}));
+  auto uniform = ex.ReferenceExtract(MakeColumn({"a", "b", "c", "d"}));
+  auto constant = ex.ReferenceExtract(MakeColumn({"a", "a", "a", "a"}));
   EXPECT_DOUBLE_EQ(uniform[8], 1.0);   // all unique
   EXPECT_DOUBLE_EQ(constant[8], 0.25);
   EXPECT_GT(uniform[24], constant[24]);  // entropy higher when diverse
@@ -177,21 +219,21 @@ TEST(StatFeaturesTest, UniquenessAndEntropy) {
 
 TEST(StatFeaturesTest, NumericMomentsOnLogScale) {
   StatFeatureExtractor ex;
-  auto f = ex.Extract(MakeColumn({"10", "100", "1000"}));
+  auto f = ex.ReferenceExtract(MakeColumn({"10", "100", "1000"}));
   EXPECT_NEAR(f[11], std::log1p(10.0), 1e-12);    // min (log)
   EXPECT_NEAR(f[12], std::log1p(1000.0), 1e-12);  // max (log)
 }
 
 TEST(StatFeaturesTest, CapsAndCapitalizedFractions) {
   StatFeatureExtractor ex;
-  auto f = ex.Extract(MakeColumn({"USA", "Warsaw", "paris", "UK"}));
+  auto f = ex.ReferenceExtract(MakeColumn({"USA", "Warsaw", "paris", "UK"}));
   EXPECT_DOUBLE_EQ(f[18], 0.5);   // all-caps: USA, UK
   EXPECT_DOUBLE_EQ(f[19], 0.75);  // capitalized first letter
 }
 
 TEST(StatFeaturesTest, EmptyColumnOnlyCountFeature) {
   StatFeatureExtractor ex;
-  auto f = ex.Extract(MakeColumn({}));
+  auto f = ex.ReferenceExtract(MakeColumn({}));
   EXPECT_DOUBLE_EQ(f[0], std::log1p(0.0));
   for (size_t i = 1; i < f.size(); ++i) EXPECT_DOUBLE_EQ(f[i], 0.0);
 }
@@ -294,6 +336,182 @@ TEST(ScalerTest, SaveBeforeFitThrows) {
   FeatureScaler scaler;
   std::stringstream ss;
   EXPECT_THROW(scaler.Save(&ss), std::logic_error);
+}
+
+// ---------------------------------------------- fast path vs reference ----
+
+// Shared corpus + embedding fixture for the tokenize-once fast path: real
+// generated tables, a frequency-cut vocabulary (so OOV tokens exist) with
+// deterministic Gaussian vectors, and tf-idf statistics over the corpus.
+class FastPathParityTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus::CorpusOptions copts;
+    copts.num_tables = 40;
+    copts.seed = 91;
+    corpus::CorpusGenerator gen(copts);
+    tables_ = new std::vector<Table>(gen.Generate());
+
+    embedding::Vocabulary vocab;
+    for (const Table& t : *tables_) {
+      for (const Column& c : t.columns()) {
+        for (const std::string& v : c.values) {
+          vocab.CountAll(embedding::TokenizeCell(v));
+        }
+      }
+    }
+    vocab.Finalize(/*min_count=*/2);  // singletons become OOV
+    util::Rng rng(7);
+    nn::Matrix vectors = nn::Matrix::Gaussian(vocab.size(), 8, 1.0, &rng);
+    embeddings_ = new embedding::WordEmbeddings(std::move(vocab),
+                                                std::move(vectors));
+    tfidf_ = new embedding::TfIdf();
+    tfidf_->Fit(topic::TablesToDocuments(*tables_));
+    pipeline_ = new FeaturePipeline(embeddings_, tfidf_);
+  }
+
+  static void TearDownTestSuite() {
+    delete pipeline_;
+    delete tfidf_;
+    delete embeddings_;
+    delete tables_;
+  }
+
+  static void ExpectGroupNear(const std::vector<double>& fast,
+                              const std::vector<double>& ref,
+                              const char* group, const std::string& id,
+                              size_t column) {
+    ASSERT_EQ(fast.size(), ref.size()) << group << " " << id << ":" << column;
+    for (size_t i = 0; i < fast.size(); ++i) {
+      if (!std::isfinite(ref[i])) {
+        // inf/nan features (e.g. numeric moments of an inf-valued column):
+        // the two paths must produce the same non-finite value.
+        EXPECT_TRUE((std::isnan(fast[i]) && std::isnan(ref[i])) ||
+                    fast[i] == ref[i])
+            << group << "[" << i << "] " << id << ":" << column << " fast="
+            << fast[i] << " ref=" << ref[i];
+        continue;
+      }
+      EXPECT_NEAR(fast[i], ref[i], 1e-12)
+          << group << "[" << i << "] " << id << ":" << column;
+    }
+  }
+
+  static void ExpectTableParity(const Table& table) {
+    FeatureScratch scratch;
+    std::vector<ColumnFeatures> fast;
+    scratch.cache.Build(table, embeddings_, tfidf_, nullptr);
+    pipeline_->ExtractCached(&scratch, &fast);
+    ASSERT_EQ(fast.size(), table.num_columns());
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      ColumnFeatures ref = pipeline_->ExtractReference(table.column(c));
+      ExpectGroupNear(fast[c].char_features, ref.char_features, "char",
+                      table.id(), c);
+      ExpectGroupNear(fast[c].word_features, ref.word_features, "word",
+                      table.id(), c);
+      ExpectGroupNear(fast[c].para_features, ref.para_features, "para",
+                      table.id(), c);
+      ExpectGroupNear(fast[c].stat_features, ref.stat_features, "stat",
+                      table.id(), c);
+    }
+  }
+
+  static std::vector<Table>* tables_;
+  static embedding::WordEmbeddings* embeddings_;
+  static embedding::TfIdf* tfidf_;
+  static FeaturePipeline* pipeline_;
+};
+
+std::vector<Table>* FastPathParityTest::tables_ = nullptr;
+embedding::WordEmbeddings* FastPathParityTest::embeddings_ = nullptr;
+embedding::TfIdf* FastPathParityTest::tfidf_ = nullptr;
+FeaturePipeline* FastPathParityTest::pipeline_ = nullptr;
+
+TEST_F(FastPathParityTest, MatchesReferenceOnGeneratedCorpus) {
+  for (const Table& table : *tables_) ExpectTableParity(table);
+}
+
+TEST_F(FastPathParityTest, MatchesReferenceOnEdgeColumns) {
+  Table edge("edge");
+  edge.AddColumn(MakeColumn({}));                      // no values at all
+  edge.AddColumn(MakeColumn({"", "", ""}));            // only empty cells
+  edge.AddColumn(MakeColumn({"zzzqqq", "xxyyzz kqjx"}));  // all-OOV tokens
+  edge.AddColumn(MakeColumn({"--- !!", "...", "()"}));    // no alnum tokens
+  edge.AddColumn(MakeColumn({"42", "1,777,972", "7"}));   // numeric buckets
+  edge.AddColumn(MakeColumn({"Warsaw", "", "USA", "Warsaw", ""}));
+  // strtod corner cases the Stat maybe-numeric prefilter must not skip:
+  // inf/nan spellings and nan(n-char-seq) tails whose bytes lie outside
+  // the prefilter's allowed set.
+  edge.AddColumn(MakeColumn({"inf", "-Infinity", "nan", "nan(gz)",
+                             "NAN(q_1)", "(510) 555", "0x1Ap2"}));
+  ExpectTableParity(edge);
+}
+
+TEST_F(FastPathParityTest, PerColumnConvenienceMatchesReference) {
+  const Table& table = (*tables_)[0];
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    ColumnFeatures fast = pipeline_->Extract(table.column(c));
+    ColumnFeatures ref = pipeline_->ExtractReference(table.column(c));
+    ExpectGroupNear(fast.char_features, ref.char_features, "char",
+                    table.id(), c);
+    ExpectGroupNear(fast.word_features, ref.word_features, "word",
+                    table.id(), c);
+    ExpectGroupNear(fast.para_features, ref.para_features, "para",
+                    table.id(), c);
+    ExpectGroupNear(fast.stat_features, ref.stat_features, "stat",
+                    table.id(), c);
+  }
+}
+
+TEST_F(FastPathParityTest, TokenCacheAgreesWithTokenizeCell) {
+  const Table& table = (*tables_)[1];
+  embedding::TokenCache cache;
+  cache.Build(table, embeddings_, tfidf_, nullptr);
+  size_t cell_index = 0;
+  for (const Column& column : table.columns()) {
+    for (const std::string& value : column.values) {
+      const auto& cell = cache.cell(cell_index++);
+      auto expected = embedding::TokenizeCell(value);
+      ASSERT_EQ(cell.occ_end - cell.occ_begin, expected.size()) << value;
+      for (size_t i = 0; i < expected.size(); ++i) {
+        uint32_t unique = cache.occurrences()[cell.occ_begin + i];
+        const auto& token = cache.token(unique);
+        EXPECT_EQ(token.text, expected[i]);
+        // Pre-resolved idf and embedding row agree with the string paths.
+        EXPECT_DOUBLE_EQ(token.idf, tfidf_->Idf(expected[i]));
+        std::vector<double> looked_up = embeddings_->Lookup(expected[i]);
+        const double* row = cache.EmbeddingRow(unique);
+        for (size_t j = 0; j < looked_up.size(); ++j) {
+          EXPECT_DOUBLE_EQ(row[j], looked_up[j]) << expected[i];
+        }
+        EXPECT_EQ(token.embed_id >= 0, embeddings_->Contains(expected[i]));
+      }
+    }
+  }
+}
+
+TEST_F(FastPathParityTest, SteadyStateExtractionAllocatesNothing) {
+  FeatureScratch scratch;
+  std::vector<ColumnFeatures> out;
+  // Warm-up: two passes so every buffer (including the column recycle
+  // pool) reaches its high-water capacity.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const Table& table : *tables_) {
+      scratch.cache.Build(table, embeddings_, tfidf_, nullptr);
+      pipeline_->ExtractCached(&scratch, &out);
+    }
+  }
+  size_t growth_before = scratch.TotalGrowthEvents();
+  size_t capacity_before = scratch.CapacityBytes();
+  uint64_t allocs_before = g_heap_allocations.load();
+  for (const Table& table : *tables_) {
+    scratch.cache.Build(table, embeddings_, tfidf_, nullptr);
+    pipeline_->ExtractCached(&scratch, &out);
+  }
+  uint64_t allocs = g_heap_allocations.load() - allocs_before;
+  EXPECT_EQ(allocs, 0u) << "warm featurization pass touched the heap";
+  EXPECT_EQ(scratch.TotalGrowthEvents(), growth_before);
+  EXPECT_EQ(scratch.CapacityBytes(), capacity_before);
 }
 
 TEST(ScalerTest, DimensionMismatchDetected) {

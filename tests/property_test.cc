@@ -280,11 +280,13 @@ TEST_P(LdaInvariantTest, DistributionsNormalisedForAnySeed) {
   opts.train_iterations = 20;
   opts.min_count = 1;
   topic::LdaModel lda = topic::LdaModel::Train(docs, opts, &rng);
-  for (const auto& row : lda.phi()) {
+  const size_t v = lda.vocab().size();
+  for (int t = 0; t < lda.num_topics(); ++t) {
+    const double* row = lda.PhiRow(t);
     double sum = 0.0;
-    for (double p : row) {
-      EXPECT_GE(p, 0.0);
-      sum += p;
+    for (size_t w = 0; w < v; ++w) {
+      EXPECT_GE(row[w], 0.0);
+      sum += row[w];
     }
     EXPECT_NEAR(sum, 1.0, 1e-9);
   }

@@ -203,6 +203,25 @@ TEST_F(BatchPredictorTest, RepeatedBatchesAreIdentical) {
   EXPECT_EQ(first, second);
 }
 
+TEST_F(BatchPredictorTest, SteadyStateFeaturizationDoesNotGrowScratch) {
+  SatoModel model = MakeModel(SatoVariant::kFull, 17);
+  serve::BatchPredictorOptions options;
+  // One worker so every table lands on the same scratch: with dynamic
+  // scheduling a multi-worker run could legitimately route the largest
+  // table to a not-yet-warm worker.
+  options.num_threads = 1;
+  options.seed = 5;
+  serve::BatchPredictor batch(model, context_, *scaler_, options);
+  batch.PredictTables(*tables_);  // warm-up: scratches reach high water
+  batch.PredictTables(*tables_);
+  size_t growth_before = batch.FeaturizeGrowthEvents();
+  size_t bytes_before = batch.WorkspaceBytes();
+  batch.PredictTables(*tables_);
+  // Warm steady state: per-worker featurization scratch stops growing.
+  EXPECT_EQ(batch.FeaturizeGrowthEvents(), growth_before);
+  EXPECT_EQ(batch.WorkspaceBytes(), bytes_before);
+}
+
 TEST_F(BatchPredictorTest, PredictTypeNamesMatchesIds) {
   SatoModel model = MakeModel(SatoVariant::kFull, 17);
   serve::BatchPredictorOptions options;

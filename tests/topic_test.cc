@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "corpus/generator.h"
+#include "embedding/token_cache.h"
 #include "topic/analysis.h"
 #include "topic/lda.h"
 #include "topic/table_document.h"
@@ -37,11 +38,14 @@ LdaOptions SmallLda(int topics) {
 TEST(LdaTest, PhiRowsAreDistributions) {
   util::Rng rng(1);
   LdaModel lda = LdaModel::Train(TwoThemeCorpus(30), SmallLda(4), &rng);
-  for (const auto& row : lda.phi()) {
+  const size_t v = lda.vocab().size();
+  ASSERT_EQ(lda.phi().size(), static_cast<size_t>(lda.num_topics()) * v);
+  for (int t = 0; t < lda.num_topics(); ++t) {
+    const double* row = lda.PhiRow(t);
     double sum = 0.0;
-    for (double p : row) {
-      EXPECT_GE(p, 0.0);
-      sum += p;
+    for (size_t w = 0; w < v; ++w) {
+      EXPECT_GE(row[w], 0.0);
+      sum += row[w];
     }
     EXPECT_NEAR(sum, 1.0, 1e-9);
   }
@@ -128,6 +132,81 @@ TEST(LdaTest, MaxDocTokensTruncates) {
   double sum = 0.0;
   for (double p : theta) sum += p;
   EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+// ------------------------------------------- flat-phi fold-in fast path ----
+
+TEST(LdaFastPathTest, InferTopicsMatchesReferenceExactly) {
+  util::Rng rng(17);
+  LdaModel lda = LdaModel::Train(TwoThemeCorpus(30), SmallLda(4), &rng);
+  std::vector<std::vector<std::string>> docs = {
+      {"goal", "match", "league", "goal"},
+      {"election", "goal", "zzz", "vote", "vote"},
+      {"zzz", "qqq"},  // all OOV -> uniform
+      {},
+  };
+  for (const auto& doc : docs) {
+    util::Rng r1(99), r2(99);
+    // Identical draw order and weights: bit-for-bit equality, not just
+    // closeness.
+    EXPECT_EQ(lda.InferTopics(doc, &r1), lda.ReferenceInferTopics(doc, &r2));
+  }
+}
+
+TEST(LdaFastPathTest, CacheDrivenFoldInMatchesReferenceOnTables) {
+  corpus::CorpusOptions opts;
+  opts.num_tables = 30;
+  opts.seed = 23;
+  corpus::CorpusGenerator gen(opts);
+  auto tables = gen.Generate();
+
+  util::Rng rng(29);
+  LdaOptions lda_opts = SmallLda(6);
+  lda_opts.min_count = 2;         // some corpus tokens are OOV for the LDA
+  lda_opts.max_doc_tokens = 16;   // most tables exceed this -> truncation
+  LdaModel lda = LdaModel::Train(TablesToDocuments(tables), lda_opts, &rng);
+
+  embedding::TokenCache cache;
+  LdaScratch scratch;
+  std::vector<double> theta;
+  for (const Table& t : tables) {
+    cache.Build(t, nullptr, nullptr, &lda.vocab());
+    scratch.ids.clear();
+    cache.CollectLdaIds(lda.options().max_doc_tokens, &scratch.ids);
+    util::Rng r1(101), r2(101);
+    lda.InferTopicsInto(&r1, &scratch, &theta);
+    EXPECT_EQ(theta, lda.ReferenceInferTopics(TableToDocument(t), &r2))
+        << t.id();
+  }
+}
+
+TEST(LdaFastPathTest, SteadyStateFoldInDoesNotGrowScratch) {
+  corpus::CorpusOptions opts;
+  opts.num_tables = 20;
+  opts.seed = 31;
+  corpus::CorpusGenerator gen(opts);
+  auto tables = gen.Generate();
+  util::Rng rng(37);
+  LdaModel lda = LdaModel::Train(TablesToDocuments(tables), SmallLda(4), &rng);
+
+  embedding::TokenCache cache;
+  LdaScratch scratch;
+  std::vector<double> theta;
+  auto run_pass = [&] {
+    for (const Table& t : tables) {
+      cache.Build(t, nullptr, nullptr, &lda.vocab());
+      scratch.ids.clear();
+      cache.CollectLdaIds(lda.options().max_doc_tokens, &scratch.ids);
+      util::Rng r(7);
+      lda.InferTopicsInto(&r, &scratch, &theta);
+    }
+  };
+  run_pass();  // warm-up
+  size_t capacity_before = scratch.CapacityBytes() + cache.CapacityBytes();
+  size_t growth_before = cache.growth_events();
+  run_pass();
+  EXPECT_EQ(scratch.CapacityBytes() + cache.CapacityBytes(), capacity_before);
+  EXPECT_EQ(cache.growth_events(), growth_before);
 }
 
 // ------------------------------------------------------ table documents ----
