@@ -1,6 +1,9 @@
-// Throughput benchmark for the serving subsystem: batch prediction over
-// synthetic corpus tables at increasing worker counts, reported as
-// tables/s and columns/s with the speedup over the single-thread run.
+// Throughput benchmark for the serving subsystem: offline batch
+// prediction over synthetic corpus tables at increasing worker counts
+// (tables/s, columns/s, speedup over the single-thread run), plus an
+// online mode that drives the PredictionService with closed-loop
+// simulated clients and reports request latency percentiles, the achieved
+// micro-batch sizes, and the rejected-request count.
 //
 // The model is architecture-complete but untrained (training changes the
 // weights, not the FLOPs), so the numbers isolate the featurise +
@@ -19,6 +22,7 @@
 #include "bench/bench_common.h"
 #include "core/predictor.h"
 #include "serve/batch_predictor.h"
+#include "serve/prediction_service.h"
 #include "util/timer.h"
 
 namespace sato::bench {
@@ -90,6 +94,65 @@ PhaseBreakdown MeasurePhases(const SatoModel& model, const BenchEnv& env,
   return PhaseBreakdown{featurize, nn, std::max(0.0, predict - nn)};
 }
 
+/// One online measurement: closed-loop clients against the
+/// PredictionService (each client submits its next table only after its
+/// previous response arrived), so offered concurrency == `clients`.
+struct OnlineResult {
+  size_t clients;
+  size_t workers;
+  size_t max_batch_size;
+  uint64_t max_queue_delay_us;
+  size_t requests;
+  double seconds;
+  double tables_per_sec;
+  serve::ServiceStats stats;  // latency percentiles, histogram, rejects
+};
+
+OnlineResult MeasureOnline(const SatoModel& model, const BenchEnv& env,
+                           const features::FeatureScaler& scaler,
+                           const std::vector<Table>& tables, size_t clients,
+                           size_t workers, int trials) {
+  serve::PredictionServiceOptions options;
+  options.num_threads = workers;
+  options.max_batch_size = 8;
+  options.max_queue_delay_nanos = 200'000;  // 200 us flush deadline
+  options.queue_capacity = 1024;
+  serve::PredictionService service(model, &env.context, scaler, options);
+
+  auto run_closed_loop = [&] {
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        for (size_t i = c; i < tables.size(); i += clients) {
+          service.Submit(tables[i], serve::BatchPredictor::TableSeed(1, i))
+              .Get();
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  };
+
+  run_closed_loop();        // warm-up (first-touch, scratch high-water)
+  service.ResetStats();     // keep warm-up samples out of the percentiles
+
+  util::Timer timer;
+  for (int t = 0; t < trials; ++t) run_closed_loop();
+  double seconds = timer.ElapsedSeconds();
+
+  OnlineResult result;
+  result.clients = clients;
+  result.workers = workers;
+  result.max_batch_size = options.max_batch_size;
+  result.max_queue_delay_us = options.max_queue_delay_nanos / 1000;
+  result.requests = tables.size() * static_cast<size_t>(trials);
+  result.seconds = seconds;
+  result.tables_per_sec = static_cast<double>(result.requests) / seconds;
+  service.Shutdown();
+  result.stats = service.Stats();
+  return result;
+}
+
 ServeResult MeasureThroughput(const SatoModel& model, const BenchEnv& env,
                               const features::FeatureScaler& scaler,
                               const std::vector<Table>& tables,
@@ -113,8 +176,8 @@ ServeResult MeasureThroughput(const SatoModel& model, const BenchEnv& env,
 
 void WriteJson(const char* path, const BenchEnv& env,
                const std::vector<ServeResult>& results,
-               const PhaseBreakdown& phases, size_t model_bytes,
-               size_t num_tables, size_t num_columns) {
+               const PhaseBreakdown& phases, const OnlineResult& online,
+               size_t model_bytes, size_t num_tables, size_t num_columns) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "bench_serve: cannot write %s\n", path);
@@ -136,6 +199,32 @@ void WriteJson(const char* path, const BenchEnv& env,
                "\"crf_sec\": %.6f, \"featurize_frac\": %.3f},\n",
                phases.featurize_sec, phases.nn_sec, phases.crf_sec,
                total > 0.0 ? phases.featurize_sec / total : 0.0);
+  // Online serving datapoint: latency percentiles (ms), the achieved
+  // micro-batch size histogram (index s = batches of size s+1), and the
+  // rejected-request count from the closed-loop client run.
+  std::fprintf(f,
+               "  \"online\": {\"clients\": %zu, \"worker_threads\": %zu, "
+               "\"max_batch_size\": %zu, \"max_queue_delay_us\": %llu, "
+               "\"requests\": %zu, \"rejected\": %llu, \"batches\": %llu,\n",
+               online.clients, online.workers, online.max_batch_size,
+               static_cast<unsigned long long>(online.max_queue_delay_us),
+               online.requests,
+               static_cast<unsigned long long>(online.stats.rejected),
+               static_cast<unsigned long long>(online.stats.batches));
+  std::fprintf(f,
+               "    \"latency_ms\": {\"p50\": %.4f, \"p95\": %.4f, "
+               "\"p99\": %.4f},\n",
+               static_cast<double>(online.stats.latency_p50_nanos) / 1e6,
+               static_cast<double>(online.stats.latency_p95_nanos) / 1e6,
+               static_cast<double>(online.stats.latency_p99_nanos) / 1e6);
+  std::fprintf(f, "    \"batch_size_histogram\": [");
+  for (size_t s = 1; s < online.stats.batch_size_histogram.size(); ++s) {
+    std::fprintf(f, "%s%llu", s == 1 ? "" : ", ",
+                 static_cast<unsigned long long>(
+                     online.stats.batch_size_histogram[s]));
+  }
+  std::fprintf(f, "],\n");
+  std::fprintf(f, "    \"tables_per_sec\": %.2f},\n", online.tables_per_sec);
   std::fprintf(f, "  \"results\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
     const ServeResult& r = results[i];
@@ -211,7 +300,33 @@ int Run() {
                                 : 0.0,
               phases.nn_sec, phases.crf_sec);
 
-  WriteJson("BENCH_serve.json", env, results, phases, model_bytes,
+  // Online mode: the PredictionService under closed-loop load, workers
+  // matched to the hardware.
+  size_t online_workers =
+      std::max<size_t>(1, std::thread::hardware_concurrency());
+  OnlineResult online = MeasureOnline(model, env, scaler, tables,
+                                      /*clients=*/4, online_workers, trials);
+  std::printf("online (%zu clients, %zu workers, batch<=%zu, deadline "
+              "%lluus): %.1f tables/sec, p50 %.3fms p95 %.3fms p99 %.3fms, "
+              "%llu rejected\n",
+              online.clients, online.workers, online.max_batch_size,
+              static_cast<unsigned long long>(online.max_queue_delay_us),
+              online.tables_per_sec,
+              static_cast<double>(online.stats.latency_p50_nanos) / 1e6,
+              static_cast<double>(online.stats.latency_p95_nanos) / 1e6,
+              static_cast<double>(online.stats.latency_p99_nanos) / 1e6,
+              static_cast<unsigned long long>(online.stats.rejected));
+  std::printf("online batch sizes:");
+  for (size_t s = 1; s < online.stats.batch_size_histogram.size(); ++s) {
+    if (online.stats.batch_size_histogram[s] == 0) continue;
+    std::printf(" %zux%llu", s,
+                static_cast<unsigned long long>(
+                    online.stats.batch_size_histogram[s]));
+  }
+  std::printf("  (%llu batches)\n",
+              static_cast<unsigned long long>(online.stats.batches));
+
+  WriteJson("BENCH_serve.json", env, results, phases, online, model_bytes,
             tables.size(), num_columns);
   return 0;
 }

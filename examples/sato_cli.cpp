@@ -7,6 +7,8 @@
 //                                           ignored for prediction)
 //   sato_cli eval <bundle>                  evaluate the bundle on a freshly
 //                                           generated held-out corpus
+//   sato_cli serve-sim <bundle>             drive the online PredictionService
+//                                           with closed-loop simulated clients
 //   sato_cli types                          list the supported types
 //
 // Options for `train`: --tables N, --topics K, --epochs E, --variant
@@ -14,12 +16,20 @@
 //
 // `predict` and `eval` accept --jobs N to decode tables on N worker
 // threads through the BatchPredictor; output is identical for any N.
+//
+// `serve-sim` accepts --jobs N (prediction workers), --clients C
+// (concurrent closed-loop clients), --batch B (max micro-batch size),
+// --delay-us D (micro-batch flush deadline) and --capacity Q (admission
+// bound). It reports latency percentiles and the achieved batch-size
+// histogram, then audits every response against a sequential
+// SatoPredictor run -- the online determinism contract.
 
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/dataset.h"
@@ -31,6 +41,7 @@
 #include "corpus/generator.h"
 #include "eval/model_eval.h"
 #include "serve/batch_predictor.h"
+#include "serve/prediction_service.h"
 #include "util/timer.h"
 
 using namespace sato;
@@ -44,6 +55,9 @@ int Usage() {
                "                 [--variant base|notopic|nostruct|full] [--seed S]\n"
                "  sato_cli predict <bundle> [--jobs N] <table.csv>...\n"
                "  sato_cli eval <bundle> [--tables N] [--seed S] [--jobs N]\n"
+               "  sato_cli serve-sim <bundle> [--tables N] [--seed S] [--jobs N]\n"
+               "                 [--clients C] [--batch B] [--delay-us D]\n"
+               "                 [--capacity Q]\n"
                "  sato_cli types\n");
   return 2;
 }
@@ -54,6 +68,10 @@ struct Flags {
   int epochs = 25;
   uint64_t seed = 7;
   int jobs = 1;
+  int clients = 4;        // serve-sim: concurrent closed-loop clients
+  int batch = 8;          // serve-sim: max micro-batch size
+  int delay_us = 500;     // serve-sim: micro-batch flush deadline
+  int capacity = 1024;    // serve-sim: bounded admission queue
   SatoVariant variant = SatoVariant::kFull;
 };
 
@@ -88,6 +106,26 @@ bool ParseFlags(int argc, char** argv, int start, Flags* flags,
       if (v == nullptr) return false;
       flags->jobs = std::atoi(v);
       if (flags->jobs < 1) return false;
+    } else if (arg == "--clients") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      flags->clients = std::atoi(v);
+      if (flags->clients < 1) return false;
+    } else if (arg == "--batch") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      flags->batch = std::atoi(v);
+      if (flags->batch < 1) return false;
+    } else if (arg == "--delay-us") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      flags->delay_us = std::atoi(v);
+      if (flags->delay_us < 0) return false;
+    } else if (arg == "--capacity") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      flags->capacity = std::atoi(v);
+      if (flags->capacity < 1) return false;
     } else if (arg == "--variant") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -277,6 +315,95 @@ int CmdEval(const std::string& bundle_path, const Flags& flags) {
   return 0;
 }
 
+// Closed-loop load simulation against the online serving frontend: each of
+// --clients threads owns an interleaved slice of the corpus and submits its
+// next table only after the previous response arrived, so the offered
+// concurrency is exactly --clients. Afterwards every response is audited
+// against a sequential SatoPredictor run with the same per-request seed --
+// the determinism-under-batching contract, end to end on a real clock.
+int CmdServeSim(const std::string& bundle_path, const Flags& flags) {
+  LoadedSato sato = LoadBundleOrDie(bundle_path);
+  corpus::CorpusOptions copts;
+  copts.num_tables = std::max<size_t>(flags.tables / 4, 100);
+  copts.seed = flags.seed + 515151;  // disjoint from any training seed
+  corpus::CorpusGenerator generator(copts);
+  auto tables = corpus::FilterMultiColumn(generator.Generate());
+
+  serve::PredictionServiceOptions options;
+  options.num_threads = static_cast<size_t>(flags.jobs);
+  options.max_batch_size = static_cast<size_t>(flags.batch);
+  options.max_queue_delay_nanos =
+      static_cast<uint64_t>(flags.delay_us) * 1000ULL;
+  options.queue_capacity = static_cast<size_t>(flags.capacity);
+  serve::PredictionService service(*sato.model, sato.context.get(),
+                                   sato.scaler, options);
+
+  constexpr uint64_t kSimSeed = 1;
+  const size_t num_clients = static_cast<size_t>(flags.clients);
+  std::vector<serve::PredictionResult> responses(tables.size());
+  util::Timer timer;
+  std::vector<std::thread> clients;
+  clients.reserve(num_clients);
+  for (size_t c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t i = c; i < tables.size(); i += num_clients) {
+        serve::PredictionHandle handle = service.Submit(
+            tables[i], serve::BatchPredictor::TableSeed(kSimSeed, i));
+        responses[i] = handle.Get();
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  double seconds = timer.ElapsedSeconds();
+  service.Shutdown();
+  serve::ServiceStats stats = service.Stats();
+
+  // Determinism audit: every kOk response must be byte-identical to the
+  // sequential predictor with the same seed.
+  size_t mismatches = 0;
+  size_t ok = 0;
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (responses[i].status != serve::RequestStatus::kOk) continue;
+    ++ok;
+    util::Rng rng(serve::BatchPredictor::TableSeed(kSimSeed, i));
+    if (responses[i].type_ids != sato.predictor->PredictTable(tables[i], &rng)) {
+      ++mismatches;
+    }
+  }
+
+  std::printf("serve-sim: %zu tables, %zu clients, %d workers, batch<=%d, "
+              "deadline %dus, capacity %d\n",
+              tables.size(), num_clients, flags.jobs, flags.batch,
+              flags.delay_us, flags.capacity);
+  std::printf("  completed %llu (ok %zu), rejected %llu, throughput %.1f "
+              "tables/sec\n",
+              static_cast<unsigned long long>(stats.completed), ok,
+              static_cast<unsigned long long>(stats.rejected),
+              static_cast<double>(stats.completed) / seconds);
+  std::printf("  latency p50 %.3fms  p95 %.3fms  p99 %.3fms\n",
+              static_cast<double>(stats.latency_p50_nanos) / 1e6,
+              static_cast<double>(stats.latency_p95_nanos) / 1e6,
+              static_cast<double>(stats.latency_p99_nanos) / 1e6);
+  std::printf("  batch sizes:");
+  for (size_t s = 1; s < stats.batch_size_histogram.size(); ++s) {
+    if (stats.batch_size_histogram[s] == 0) continue;
+    std::printf(" %zux%llu", s,
+                static_cast<unsigned long long>(stats.batch_size_histogram[s]));
+  }
+  std::printf("  (%llu batches)\n",
+              static_cast<unsigned long long>(stats.batches));
+  if (mismatches != 0) {
+    std::printf("  determinism check FAILED: %zu/%zu responses differ from "
+                "the sequential predictor\n",
+                mismatches, ok);
+    return 1;
+  }
+  std::printf("  determinism check OK: %zu/%zu responses byte-identical to "
+              "the sequential predictor\n",
+              ok, ok);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -302,6 +429,12 @@ int main(int argc, char** argv) {
     Flags flags;
     if (!ParseFlags(argc, argv, 3, &flags)) return Usage();
     return CmdEval(argv[2], flags);
+  }
+  if (command == "serve-sim") {
+    if (argc < 3) return Usage();
+    Flags flags;
+    if (!ParseFlags(argc, argv, 3, &flags)) return Usage();
+    return CmdServeSim(argv[2], flags);
   }
   return Usage();
 }

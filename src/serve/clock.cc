@@ -1,0 +1,93 @@
+#include "serve/clock.h"
+
+#include <algorithm>
+
+namespace sato::serve {
+
+// ------------------------------------------------------------ SteadyClock ----
+
+uint64_t SteadyClock::NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - base_)
+          .count());
+}
+
+bool SteadyClock::WaitUntil(std::condition_variable& cv,
+                            std::unique_lock<std::mutex>& lock,
+                            uint64_t deadline_nanos,
+                            std::function<bool()> pred) {
+  return cv.wait_until(lock, base_ + std::chrono::nanoseconds(deadline_nanos),
+                       std::move(pred));
+}
+
+// -------------------------------------------------------------- FakeClock ----
+
+uint64_t FakeClock::NowNanos() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return now_nanos_;
+}
+
+bool FakeClock::WaitUntil(std::condition_variable& cv,
+                          std::unique_lock<std::mutex>& lock,
+                          uint64_t deadline_nanos, std::function<bool()> pred) {
+  const Waiter waiter{lock.mutex(), &cv};
+  Register(waiter);
+  for (;;) {
+    if (pred()) {
+      Unregister(waiter);
+      return true;
+    }
+    if (NowNanos() >= deadline_nanos) {
+      Unregister(waiter);
+      return pred();
+    }
+    cv.wait(lock);
+  }
+}
+
+void FakeClock::AdvanceNanos(uint64_t nanos) {
+  std::vector<Waiter> waiters;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    now_nanos_ += nanos;
+    waiters = waiters_;
+  }
+  // Lock-then-unlock each waiter's mutex before notifying: a waiter that
+  // already read the old time is necessarily parked in cv.wait (it held
+  // the mutex from the check until the wait), so the notification cannot
+  // be lost. The clock's own mutex is never held here, so there is no
+  // lock-order cycle with WaitUntil's Register/Unregister.
+  for (const Waiter& waiter : waiters) {
+    { std::lock_guard<std::mutex> sync(*waiter.mutex); }
+    waiter.cv->notify_all();
+  }
+}
+
+size_t FakeClock::waiter_count() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return waiters_.size();
+}
+
+void FakeClock::AwaitWaiters(size_t n) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  waiters_changed_.wait(lock, [&] { return waiters_.size() >= n; });
+}
+
+void FakeClock::Register(const Waiter& waiter) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  waiters_.push_back(waiter);
+  waiters_changed_.notify_all();
+}
+
+void FakeClock::Unregister(const Waiter& waiter) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = std::find_if(waiters_.begin(), waiters_.end(),
+                         [&](const Waiter& w) {
+                           return w.mutex == waiter.mutex && w.cv == waiter.cv;
+                         });
+  if (it != waiters_.end()) waiters_.erase(it);
+  waiters_changed_.notify_all();
+}
+
+}  // namespace sato::serve

@@ -9,10 +9,12 @@ namespace sato::serve {
 
 nn::gemm::ParallelFor GemmParallelFor(ThreadPool* pool) {
   return [pool](size_t count, const std::function<void(size_t)>& fn) {
-    // Tasks must capture their own errors (Submit contract): collect the
-    // first exception and rethrow it after the barrier, like the
-    // BatchPredictor does -- a swallowed error would silently leave the
-    // failed chunk's output columns as uninitialized memory.
+    // Capture chunk errors locally rather than leaning on the pool's own
+    // first-escape capture: the pool's slot is shared by every submitter
+    // (its Wait() rethrows whichever task escaped first, possibly from an
+    // unrelated batch), while an error here must be attributed to THIS
+    // barrier -- a lost one would silently leave the failed chunk's
+    // output columns as uninitialized memory.
     std::mutex error_mutex;
     std::exception_ptr first_error;
     // `fn` and the locals outlive the tasks: Wait() returns only after

@@ -1,0 +1,305 @@
+#include "serve/prediction_service.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace sato::serve {
+
+namespace internal {
+
+/// Shared state behind one PredictionHandle: the request while pending,
+/// the result once resolved. The table and seed are immutable after
+/// Submit; `done`/`result` are guarded by `mutex`.
+struct RequestState {
+  Table table;
+  uint64_t seed = 0;
+  uint64_t submit_nanos = 0;
+  uint64_t deadline_nanos = 0;
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  PredictionResult result;
+};
+
+}  // namespace internal
+
+namespace {
+
+void Resolve(const std::shared_ptr<internal::RequestState>& state,
+             PredictionResult result) {
+  {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    state->result = std::move(result);
+    state->done = true;
+  }
+  state->cv.notify_all();
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample vector.
+uint64_t Percentile(const std::vector<uint64_t>& sorted, uint64_t q) {
+  if (sorted.empty()) return 0;
+  size_t rank = (q * sorted.size() + 99) / 100;  // ceil(q/100 * n)
+  if (rank == 0) rank = 1;
+  return sorted[std::min(rank, sorted.size()) - 1];
+}
+
+PredictionServiceOptions Sanitize(PredictionServiceOptions options) {
+  options.num_threads = std::max<size_t>(1, options.num_threads);
+  options.max_batch_size = std::max<size_t>(1, options.max_batch_size);
+  options.queue_capacity = std::max<size_t>(1, options.queue_capacity);
+  return options;
+}
+
+}  // namespace
+
+const char* RequestStatusName(RequestStatus status) {
+  switch (status) {
+    case RequestStatus::kOk: return "ok";
+    case RequestStatus::kRejected: return "rejected";
+    case RequestStatus::kShutdown: return "shutdown";
+    case RequestStatus::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+// ------------------------------------------------------- PredictionHandle ----
+
+const PredictionResult& PredictionHandle::Get() const {
+  if (state_ == nullptr) {
+    throw std::logic_error("PredictionHandle::Get on an empty handle");
+  }
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock, [this] { return state_->done; });
+  return state_->result;
+}
+
+bool PredictionHandle::Done() const {
+  if (state_ == nullptr) {
+    throw std::logic_error("PredictionHandle::Done on an empty handle");
+  }
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->done;
+}
+
+// ------------------------------------------------------ PredictionService ----
+
+PredictionService::PredictionService(const SatoModel& model,
+                                     const FeatureContext* context,
+                                     features::FeatureScaler scaler,
+                                     const PredictionServiceOptions& options)
+    : options_(Sanitize(options)),
+      own_clock_(options.clock != nullptr ? nullptr : new SteadyClock),
+      clock_(options.clock != nullptr ? options.clock : own_clock_.get()),
+      predictor_(&model, context, std::move(scaler)),
+      workspaces_(options_.num_threads),
+      scratches_(options_.num_threads),
+      batch_size_histogram_(options_.max_batch_size + 1, 0),
+      pool_(options_.num_threads),
+      batcher_([this] { BatcherLoop(); }) {
+  // Reserved up front so recording a latency sample never allocates --
+  // the completion path must not be able to throw between a prediction
+  // and resolving its handle.
+  latencies_.reserve(kLatencyWindow);
+}
+
+PredictionService::~PredictionService() { Shutdown(); }
+
+PredictionHandle PredictionService::Submit(const Table& table,
+                                           uint64_t seed) {
+  // Admission decision first, table copy second: a rejected request must
+  // not pay O(table) work -- overload is exactly when that matters.
+  RequestStatus admission = RequestStatus::kOk;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++submitted_;
+    if (stop_) {
+      admission = RequestStatus::kShutdown;
+      ++rejected_shutdown_;
+    } else if (outstanding_ >= options_.queue_capacity) {
+      admission = RequestStatus::kRejected;
+      ++rejected_;
+    } else {
+      ++outstanding_;  // reserve the admission slot before unlocking
+    }
+  }
+  if (admission != RequestStatus::kOk) {
+    auto state = std::make_shared<internal::RequestState>();
+    PredictionResult result;
+    result.status = admission;
+    Resolve(state, std::move(result));
+    return PredictionHandle(std::move(state));
+  }
+
+  std::shared_ptr<internal::RequestState> state;
+  try {
+    state = std::make_shared<internal::RequestState>();
+    state->table = table;  // the only O(table) cost, outside the lock
+  } catch (...) {
+    // The copy failed (e.g. bad_alloc): give the reserved slot back so
+    // capacity is not leaked, then let the caller see the error.
+    std::lock_guard<std::mutex> lock(mutex_);
+    --outstanding_;
+    --submitted_;  // this request never happened, keep accepted==completed
+    throw;
+  }
+  state->seed = seed;
+  bool enqueued = true;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) {
+      // Shutdown won the race while we copied: the batcher may already
+      // have drained and exited, so enqueueing now would strand the
+      // request. Give the slot back and resolve kShutdown.
+      --outstanding_;
+      ++rejected_shutdown_;
+      enqueued = false;
+    } else {
+      state->submit_nanos = clock_->NowNanos();
+      state->deadline_nanos =
+          state->submit_nanos + options_.max_queue_delay_nanos;
+      pending_.push_back(state);
+    }
+  }
+  if (!enqueued) {
+    PredictionResult result;
+    result.status = RequestStatus::kShutdown;
+    Resolve(state, std::move(result));
+    return PredictionHandle(std::move(state));
+  }
+  queue_cv_.notify_all();
+  return PredictionHandle(std::move(state));
+}
+
+void PredictionService::BatcherLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    queue_cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+    if (pending_.empty()) {
+      if (stop_) return;  // drained; Shutdown joins us next
+      continue;
+    }
+    // Deadline-driven coalescing: flush when the batch fills, when the
+    // oldest pending request's deadline arrives, or at shutdown --
+    // whichever comes first. A full batch never waits.
+    const uint64_t deadline = pending_.front()->deadline_nanos;
+    clock_->WaitUntil(queue_cv_, lock, deadline, [this] {
+      return stop_ || pending_.size() >= options_.max_batch_size;
+    });
+
+    const size_t batch_size =
+        std::min(pending_.size(), options_.max_batch_size);
+    std::vector<std::shared_ptr<internal::RequestState>> batch;
+    batch.reserve(batch_size);
+    for (size_t i = 0; i < batch_size; ++i) {
+      batch.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+    }
+    ++batches_;
+    ++batch_size_histogram_[batch_size];
+
+    lock.unlock();
+    for (auto& request : batch) {
+      pool_.Submit([this, state = std::move(request)](size_t worker) {
+        ExecuteRequest(state, worker);
+      });
+    }
+    lock.lock();
+  }
+}
+
+void PredictionService::ExecuteRequest(
+    const std::shared_ptr<internal::RequestState>& state, size_t worker) {
+  PredictionResult result;
+  result.status = RequestStatus::kOk;
+  try {
+    if (state->table.num_columns() > 0) {
+      // The caller-supplied seed is the ONLY stochastic input: prediction
+      // is a pure function of (table, seed), never of batching/workers.
+      util::Rng rng(state->seed);
+      result.type_ids = predictor_.PredictTable(
+          state->table, &rng, &workspaces_[worker], &scratches_[worker]);
+    }
+  } catch (...) {
+    result.status = RequestStatus::kFailed;
+    result.error = std::current_exception();
+    result.type_ids.clear();
+  }
+  try {
+    result.latency_nanos = clock_->NowNanos() - state->submit_nanos;
+  } catch (...) {
+    // An injected clock threw: the sample is lost, the request is not --
+    // nothing below this line may prevent Resolve from running (an escape
+    // here would strand Get() callers forever and detonate the pool's
+    // Wait() rethrow inside our destructor).
+    result.latency_nanos = 0;
+  }
+  {
+    // Completion frees an admission slot *before* the handle resolves, so
+    // a caller woken by Get() observes the slot available.
+    std::lock_guard<std::mutex> lock(mutex_);
+    --outstanding_;
+    ++completed_;
+    // Sliding window: bounded memory and a bounded Stats() sort, however
+    // long the service runs.
+    if (latencies_.size() < kLatencyWindow) {
+      latencies_.push_back(result.latency_nanos);
+    } else {
+      latencies_[latency_next_] = result.latency_nanos;
+      latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+    }
+  }
+  Resolve(state, std::move(result));
+}
+
+void PredictionService::Shutdown() {
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  if (batcher_.joinable()) batcher_.join();
+  // The batcher flushed every admitted request before exiting; the pool
+  // barrier makes their completion visible to us.
+  pool_.Wait();
+}
+
+ServiceStats PredictionService::Stats() const {
+  ServiceStats stats;
+  std::vector<uint64_t> latencies;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats.submitted = submitted_;
+    stats.rejected = rejected_;
+    stats.rejected_shutdown = rejected_shutdown_;
+    stats.accepted = submitted_ - rejected_ - rejected_shutdown_;
+    stats.completed = completed_;
+    stats.outstanding = outstanding_;
+    stats.batches = batches_;
+    stats.batch_size_histogram = batch_size_histogram_;
+    latencies = latencies_;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  stats.latency_p50_nanos = Percentile(latencies, 50);
+  stats.latency_p95_nanos = Percentile(latencies, 95);
+  stats.latency_p99_nanos = Percentile(latencies, 99);
+  return stats;
+}
+
+void PredictionService::ResetStats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  submitted_ = outstanding_;  // still-live admissions (includes pending)
+  completed_ = 0;
+  rejected_ = 0;
+  rejected_shutdown_ = 0;
+  batches_ = 0;
+  std::fill(batch_size_histogram_.begin(), batch_size_histogram_.end(), 0);
+  latencies_.clear();
+  latency_next_ = 0;
+}
+
+}  // namespace sato::serve

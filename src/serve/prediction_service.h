@@ -1,0 +1,222 @@
+#ifndef SATO_SERVE_PREDICTION_SERVICE_H_
+#define SATO_SERVE_PREDICTION_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/feature_context.h"
+#include "core/predictor.h"
+#include "core/sato_model.h"
+#include "features/pipeline.h"
+#include "nn/workspace.h"
+#include "serve/clock.h"
+#include "serve/thread_pool.h"
+#include "table/table.h"
+
+namespace sato::serve {
+
+/// Terminal state of one submitted request.
+enum class RequestStatus : uint8_t {
+  kOk = 0,        ///< prediction completed; PredictionResult::type_ids valid
+  kRejected = 1,  ///< bounded admission queue was full at Submit time
+  kShutdown = 2,  ///< submitted after Shutdown() began
+  kFailed = 3,    ///< prediction threw; PredictionResult::error holds it
+};
+
+/// Stable human-readable name ("ok", "rejected", ...).
+const char* RequestStatusName(RequestStatus status);
+
+struct PredictionResult {
+  RequestStatus status = RequestStatus::kShutdown;
+  /// Predicted semantic type ids, one per column (empty unless kOk).
+  std::vector<TypeId> type_ids;
+  /// Submit -> completion on the service clock (0 for rejected requests).
+  uint64_t latency_nanos = 0;
+  /// The escaped exception when status == kFailed, else null.
+  std::exception_ptr error;
+};
+
+namespace internal {
+struct RequestState;
+}  // namespace internal
+
+/// Future-like handle returned by PredictionService::Submit. Copyable and
+/// cheap (a shared pointer); valid even after the service shuts down or is
+/// destroyed, because the result lives in shared state.
+class PredictionHandle {
+ public:
+  /// Empty handle; Get()/Done() throw std::logic_error until assigned.
+  PredictionHandle() = default;
+
+  /// Blocks until the request reaches a terminal state.
+  const PredictionResult& Get() const;
+
+  /// Non-blocking: true once the request reached a terminal state.
+  bool Done() const;
+
+  bool valid() const { return state_ != nullptr; }
+
+ private:
+  friend class PredictionService;
+  explicit PredictionHandle(std::shared_ptr<internal::RequestState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<internal::RequestState> state_;
+};
+
+struct PredictionServiceOptions {
+  /// Prediction worker threads (the ThreadPool). Clamped to >= 1.
+  size_t num_threads = 1;
+
+  /// A micro-batch flushes immediately once this many requests are
+  /// pending -- a full batch never waits on the deadline. Clamped to >= 1.
+  size_t max_batch_size = 32;
+
+  /// How long the oldest pending request may wait before its (possibly
+  /// partial) micro-batch flushes. A lone request flushes exactly when its
+  /// submit time plus this delay is reached on the service clock.
+  uint64_t max_queue_delay_nanos = 1'000'000;  // 1 ms
+
+  /// Bounded admission: Submit rejects (status kRejected) while this many
+  /// admitted requests have not yet completed. Clamped to >= 1.
+  size_t queue_capacity = 1024;
+
+  /// Time source for deadlines and latency stats. Borrowed; must outlive
+  /// the service. nullptr -> the service owns a SteadyClock (real time).
+  Clock* clock = nullptr;
+};
+
+/// Snapshot of per-service counters (see PredictionService::Stats).
+/// Latency percentiles use the nearest-rank definition over a sliding
+/// window of the most recent PredictionService::kLatencyWindow completed
+/// requests (so a long-running service reports recent behaviour in O(1)
+/// memory); 0 when nothing completed yet.
+struct ServiceStats {
+  uint64_t submitted = 0;          ///< every Submit call
+  uint64_t accepted = 0;           ///< admitted into the queue
+  uint64_t completed = 0;          ///< reached kOk or kFailed
+  uint64_t rejected = 0;           ///< kRejected (admission queue full)
+  uint64_t rejected_shutdown = 0;  ///< kShutdown (submitted after Shutdown)
+  uint64_t outstanding = 0;        ///< admitted, not yet completed
+  uint64_t batches = 0;            ///< micro-batches dispatched
+  /// batch_size_histogram[s] = number of dispatched micro-batches of size
+  /// s, for s in [0, max_batch_size] (index 0 is always 0).
+  std::vector<uint64_t> batch_size_histogram;
+  uint64_t latency_p50_nanos = 0;
+  uint64_t latency_p95_nanos = 0;
+  uint64_t latency_p99_nanos = 0;
+};
+
+/// Online serving frontend: callers Submit() single tables from any thread
+/// and get a future-like handle; a batcher thread coalesces pending
+/// requests into micro-batches under a max-batch-size / max-queue-delay
+/// deadline and dispatches them onto the shared ThreadPool + per-worker
+/// Workspace/FeatureScratch machinery. Steady-state serving therefore
+/// allocates nothing inside featurization or the network and shares the
+/// ONE immutable model, exactly like BatchPredictor.
+///
+/// Determinism under batching: each request decodes with an Rng seeded by
+/// its caller-supplied seed and nothing else, so the prediction is a pure
+/// function of (table, seed) -- byte-identical to a sequential
+/// SatoPredictor::PredictTable with util::Rng(seed), regardless of how
+/// requests coalesce into batches, which worker runs them, or the worker
+/// count (asserted by tests/service_test.cc). Callers who need distinct
+/// per-request streams from one base seed should derive them with
+/// BatchPredictor::TableSeed(base, i) -- the same splitmix64 seed-stream
+/// contract the offline path uses.
+///
+/// Backpressure: admission is bounded by queue_capacity outstanding
+/// requests; overflow Submits resolve immediately with kRejected (never a
+/// hang), and admission resumes as outstanding requests complete.
+///
+/// Shutdown() stops admission (further Submits resolve kShutdown),
+/// flushes and drains every admitted request, then joins the batcher and
+/// waits for the pool. The destructor calls it.
+class PredictionService {
+ public:
+  /// Borrows `model` and `context` (and options.clock when set); all must
+  /// outlive the service. No model state is copied.
+  PredictionService(const SatoModel& model, const FeatureContext* context,
+                    features::FeatureScaler scaler,
+                    const PredictionServiceOptions& options);
+
+  /// Shuts down (drains admitted requests) if Shutdown was not called.
+  ~PredictionService();
+
+  PredictionService(const PredictionService&) = delete;
+  PredictionService& operator=(const PredictionService&) = delete;
+
+  /// Enqueues one table for prediction. Never blocks: returns an already
+  /// resolved handle (kRejected / kShutdown) when admission fails. An
+  /// empty table resolves kOk with no type ids.
+  ///
+  /// The table is copied only after admission succeeds (and outside the
+  /// service lock), so an overloaded service sheds rejected requests in
+  /// O(1) -- backpressure caps submitter-side work too.
+  PredictionHandle Submit(const Table& table, uint64_t seed);
+
+  /// Graceful drain; idempotent and safe to call concurrently. After it
+  /// returns, every previously admitted request is resolved and further
+  /// Submits resolve kShutdown.
+  void Shutdown();
+
+  /// Consistent snapshot of the counters and latency percentiles.
+  ServiceStats Stats() const;
+
+  /// Zeroes the cumulative counters, histogram and latency samples (not
+  /// the admission state). Benchmarks call this after warm-up.
+  void ResetStats();
+
+  size_t num_threads() const { return pool_.num_threads(); }
+  const PredictionServiceOptions& options() const { return options_; }
+
+  /// Latency samples kept for the percentile window: once more requests
+  /// than this have completed, the oldest samples are overwritten.
+  static constexpr size_t kLatencyWindow = 1 << 16;
+
+  /// The shared model every worker reads -- exactly one, never cloned.
+  const SatoModel& model() const { return predictor_.model(); }
+
+ private:
+  void BatcherLoop();
+  void ExecuteRequest(const std::shared_ptr<internal::RequestState>& state,
+                      size_t worker);
+
+  PredictionServiceOptions options_;      // sanitized copy
+  std::unique_ptr<SteadyClock> own_clock_;  // set when options.clock == null
+  Clock* clock_;                          // the clock actually used
+  SatoPredictor predictor_;               // drives the shared const model
+  std::vector<nn::Workspace> workspaces_;            // one per worker
+  std::vector<SatoPredictor::Scratch> scratches_;    // one per worker
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;  // batcher parks here; Submit/Shutdown wake it
+  std::deque<std::shared_ptr<internal::RequestState>> pending_;
+  bool stop_ = false;
+  uint64_t submitted_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t rejected_shutdown_ = 0;
+  uint64_t outstanding_ = 0;
+  uint64_t batches_ = 0;
+  std::vector<uint64_t> batch_size_histogram_;
+  std::vector<uint64_t> latencies_;  // ring of the last kLatencyWindow samples
+  size_t latency_next_ = 0;          // ring cursor once the window is full
+
+  std::mutex shutdown_mutex_;  // serialises concurrent Shutdown calls
+
+  // Declared last so the pool drains and the batcher joins before any
+  // state above is destroyed (the destructor shuts down first anyway).
+  ThreadPool pool_;
+  std::thread batcher_;
+};
+
+}  // namespace sato::serve
+
+#endif  // SATO_SERVE_PREDICTION_SERVICE_H_

@@ -34,6 +34,10 @@ void ThreadPool::Submit(std::function<void(size_t)> task) {
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::WorkerLoop(size_t worker_index) {
@@ -46,14 +50,17 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    std::exception_ptr error;
     try {
       task(worker_index);
     } catch (...) {
-      // Tasks are required to capture their own errors (see Submit); an
-      // escape here must not kill the worker or wedge Wait().
+      // An escape must not kill the worker or wedge Wait(); capture the
+      // first one so Wait() can surface it (see Submit).
+      error = std::current_exception();
     }
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !first_error_) first_error_ = std::move(error);
       if (--in_flight_ == 0) all_done_.notify_all();
     }
   }

@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -33,12 +34,17 @@ class ThreadPool {
 
   /// Enqueues a task. Never blocks; the queue is unbounded.
   ///
-  /// Tasks must handle their own errors (e.g. capture an exception_ptr,
-  /// as the BatchPredictor does): an exception escaping a task is
-  /// swallowed by the worker so the pool keeps draining, and is lost.
+  /// An exception escaping a task does not kill the worker or wedge the
+  /// pool: the first escaped exception_ptr is captured and rethrown by
+  /// the next Wait() (later escapes before that Wait are dropped).
+  /// Callers that need per-batch attribution still capture their own
+  /// errors inside the task, as the BatchPredictor and GemmParallelFor do.
   void Submit(std::function<void(size_t worker)> task);
 
-  /// Blocks until all submitted tasks have completed.
+  /// Blocks until all submitted tasks have completed, then rethrows the
+  /// first exception that escaped a task since the previous Wait()
+  /// (clearing it, so the next cycle starts clean). An escaped error
+  /// never Wait()ed on is dropped at destruction.
   void Wait();
 
   size_t num_threads() const { return workers_.size(); }
@@ -51,6 +57,7 @@ class ThreadPool {
   std::condition_variable all_done_;
   std::deque<std::function<void(size_t)>> queue_;
   size_t in_flight_ = 0;  // queued + currently executing
+  std::exception_ptr first_error_;  // first task escape since the last Wait
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

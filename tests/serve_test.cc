@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -77,6 +78,37 @@ TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
   serve::ThreadPool pool(2);
   pool.Wait();  // must not hang
   SUCCEED();
+}
+
+// Regression: an exception escaping a task used to be swallowed by the
+// worker and lost. The pool must capture the first escape and rethrow it
+// on Wait() -- and still drain the rest of the queue.
+TEST(ThreadPoolTest, WaitRethrowsAnEscapedTaskException) {
+  serve::ThreadPool pool(2);
+  std::atomic<int> survivors{0};
+  for (int i = 0; i < 4; ++i) {
+    pool.Submit([](size_t) { throw std::runtime_error("task escape"); });
+    pool.Submit([&survivors](size_t) { survivors.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  EXPECT_EQ(survivors.load(), 4);  // the escapes did not kill the workers
+}
+
+TEST(ThreadPoolTest, FirstEscapedExceptionWinsAndWaitClearsIt) {
+  serve::ThreadPool pool(1);  // one worker: submission order = run order
+  pool.Submit([](size_t) { throw std::runtime_error("first"); });
+  pool.Submit([](size_t) { throw std::runtime_error("second"); });
+  try {
+    pool.Wait();
+    FAIL() << "Wait() must rethrow the captured exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+  // The rethrow consumed the error: the next cycle starts clean.
+  std::atomic<int> counter{0};
+  pool.Submit([&counter](size_t) { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
 }
 
 // ------------------------------------------------------- table seeding ----

@@ -1,0 +1,450 @@
+// Concurrency battery for the online serving frontend
+// (serve::PredictionService): multi-producer determinism under micro-
+// batching, fake-clock deadline behaviour (no real sleeps anywhere in this
+// suite), backpressure on the bounded admission queue, and graceful
+// shutdown semantics.
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+#include "core/dataset.h"
+#include "core/feature_context.h"
+#include "core/predictor.h"
+#include "core/sato_model.h"
+#include "corpus/generator.h"
+#include "serve/batch_predictor.h"
+#include "serve/clock.h"
+#include "serve/prediction_service.h"
+#include "table/table.h"
+#include "util/rng.h"
+
+namespace sato {
+namespace {
+
+using serve::FakeClock;
+using serve::PredictionHandle;
+using serve::PredictionService;
+using serve::PredictionServiceOptions;
+using serve::RequestStatus;
+
+constexpr uint64_t kMillisecond = 1'000'000;  // service clocks run in nanos
+
+// Shares one small corpus + feature context across every service test;
+// models are untrained (random but seed-deterministic weights), which
+// exercises the identical prediction path at a fraction of the cost.
+class PredictionServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus::CorpusOptions copts;
+    copts.num_tables = 80;
+    copts.singleton_prob = 0.2;
+    copts.seed = 71;
+    corpus::CorpusGenerator gen(copts);
+    tables_ = new std::vector<Table>(gen.Generate());
+    auto reference = gen.GenerateWith(100, 4242);
+
+    config_ = new SatoConfig();
+    config_->num_topics = 8;
+    util::Rng rng(19);
+    context_ =
+        new FeatureContext(FeatureContext::Build(reference, *config_, &rng));
+
+    DatasetBuilder builder(context_);
+    Dataset train = builder.Build(*tables_, &rng);
+    scaler_ = new features::FeatureScaler(StandardizeSplits(&train, nullptr));
+  }
+
+  static void TearDownTestSuite() {
+    delete scaler_;
+    delete context_;
+    delete config_;
+    delete tables_;
+  }
+
+  static SatoModel MakeModel(uint64_t seed) {
+    ColumnwiseModel::Dims dims;
+    dims.char_dim = context_->pipeline().char_dim();
+    dims.word_dim = context_->pipeline().word_dim();
+    dims.para_dim = context_->pipeline().para_dim();
+    dims.stat_dim = context_->pipeline().stat_dim();
+    util::Rng rng(seed);
+    return SatoModel(SatoVariant::kFull, dims, context_->topic_dim(), *config_,
+                     &rng);
+  }
+
+  /// The determinism oracle: a sequential SatoPredictor run over `table`
+  /// with the request's own seed -- what every service response must be
+  /// byte-identical to, regardless of batching, scheduling or workers.
+  static std::vector<TypeId> Sequential(const SatoModel& model,
+                                        const Table& table, uint64_t seed) {
+    SatoPredictor predictor(&model, context_, *scaler_);
+    util::Rng rng(seed);
+    return predictor.PredictTable(table, &rng);
+  }
+
+  static PredictionServiceOptions FakeClockOptions(FakeClock* clock) {
+    PredictionServiceOptions options;
+    options.num_threads = 1;
+    options.max_batch_size = 8;
+    options.max_queue_delay_nanos = kMillisecond;
+    options.clock = clock;
+    return options;
+  }
+
+  static std::vector<Table>* tables_;
+  static SatoConfig* config_;
+  static FeatureContext* context_;
+  static features::FeatureScaler* scaler_;
+};
+
+std::vector<Table>* PredictionServiceTest::tables_ = nullptr;
+SatoConfig* PredictionServiceTest::config_ = nullptr;
+FeatureContext* PredictionServiceTest::context_ = nullptr;
+features::FeatureScaler* PredictionServiceTest::scaler_ = nullptr;
+
+// ------------------------------------------- multi-producer determinism ----
+
+// N client threads submit M requests each (random tables, per-request
+// splitmix64 seed streams) against every worker-count x batch-size
+// combination; every response must be byte-identical to the sequential
+// oracle. This is the determinism-under-batching contract: the coalescing
+// decisions differ wildly across these configs, the outputs may not.
+TEST_F(PredictionServiceTest, StressMatchesSequentialAcrossWorkersAndBatches) {
+  constexpr size_t kClients = 4;
+  constexpr size_t kPerClient = 10;
+  constexpr size_t kTotal = kClients * kPerClient;
+  constexpr uint64_t kBase = 77;
+  const SatoModel model = MakeModel(17);
+
+  // Fixed randomized workload: request r predicts a random corpus table
+  // with the seed stream TableSeed(kBase, r).
+  util::Rng pick(9001);
+  std::vector<size_t> table_of(kTotal);
+  std::vector<std::vector<TypeId>> expected(kTotal);
+  for (size_t r = 0; r < kTotal; ++r) {
+    table_of[r] = static_cast<size_t>(
+        pick.UniformInt(0, static_cast<int64_t>(tables_->size()) - 1));
+    expected[r] = Sequential(model, (*tables_)[table_of[r]],
+                             serve::BatchPredictor::TableSeed(kBase, r));
+  }
+
+  for (size_t workers : {1u, 2u, 8u}) {
+    for (size_t batch : {1u, 4u, 32u}) {
+      PredictionServiceOptions options;
+      options.num_threads = workers;
+      options.max_batch_size = batch;
+      options.max_queue_delay_nanos = 200'000;  // 200 us, real clock
+      PredictionService service(model, context_, *scaler_, options);
+
+      std::vector<PredictionHandle> handles(kTotal);
+      std::vector<std::thread> clients;
+      clients.reserve(kClients);
+      for (size_t c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+          for (size_t j = 0; j < kPerClient; ++j) {
+            const size_t r = c * kPerClient + j;
+            handles[r] =
+                service.Submit((*tables_)[table_of[r]],
+                               serve::BatchPredictor::TableSeed(kBase, r));
+          }
+        });
+      }
+      for (auto& client : clients) client.join();
+
+      for (size_t r = 0; r < kTotal; ++r) {
+        const serve::PredictionResult& result = handles[r].Get();
+        ASSERT_EQ(result.status, RequestStatus::kOk)
+            << "workers " << workers << " batch " << batch << " request " << r;
+        EXPECT_EQ(result.type_ids, expected[r])
+            << "workers " << workers << " batch " << batch << " request " << r;
+      }
+      service.Shutdown();
+
+      const serve::ServiceStats stats = service.Stats();
+      EXPECT_EQ(stats.accepted, kTotal);
+      EXPECT_EQ(stats.completed, kTotal);
+      EXPECT_EQ(stats.rejected, 0u);
+      EXPECT_EQ(stats.outstanding, 0u);
+      // The histogram accounts for every request, in batches <= the cap.
+      uint64_t requests_in_batches = 0;
+      uint64_t batch_count = 0;
+      ASSERT_EQ(stats.batch_size_histogram.size(), batch + 1);
+      for (size_t s = 0; s < stats.batch_size_histogram.size(); ++s) {
+        requests_in_batches += s * stats.batch_size_histogram[s];
+        batch_count += stats.batch_size_histogram[s];
+      }
+      EXPECT_EQ(requests_in_batches, kTotal);
+      EXPECT_EQ(batch_count, stats.batches);
+      EXPECT_EQ(stats.batch_size_histogram[0], 0u);
+    }
+  }
+}
+
+// ------------------------------------------------- fake-clock deadlines ----
+
+// A lone request flushes exactly when its deadline is reached on the
+// injected clock: one nanosecond short leaves it queued, the final
+// nanosecond releases it. Its measured latency is then exactly the
+// max-queue-delay, which pins the latency stats as well.
+TEST_F(PredictionServiceTest, LoneRequestFlushesExactlyAtTheDeadline) {
+  const SatoModel model = MakeModel(23);
+  FakeClock clock;
+  PredictionService service(model, context_, *scaler_,
+                            FakeClockOptions(&clock));
+
+  PredictionHandle handle = service.Submit((*tables_)[0], 5);
+  clock.AwaitWaiters(1);  // the batcher reached its deadline wait
+
+  clock.AdvanceNanos(kMillisecond - 1);
+  EXPECT_FALSE(handle.Done());  // one nanosecond short: still queued
+
+  clock.AdvanceNanos(1);  // exactly the deadline
+  const serve::PredictionResult& result = handle.Get();
+  EXPECT_EQ(result.status, RequestStatus::kOk);
+  EXPECT_EQ(result.type_ids, Sequential(model, (*tables_)[0], 5));
+  EXPECT_EQ(result.latency_nanos, kMillisecond);
+
+  const serve::ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.batch_size_histogram[1], 1u);
+  EXPECT_EQ(stats.latency_p50_nanos, kMillisecond);
+  EXPECT_EQ(stats.latency_p95_nanos, kMillisecond);
+  EXPECT_EQ(stats.latency_p99_nanos, kMillisecond);
+}
+
+// A full batch flushes immediately: the clock never advances, yet all
+// max_batch_size requests complete -- with zero queueing latency on the
+// service clock, and as one batch in the histogram.
+TEST_F(PredictionServiceTest, FullBatchFlushesImmediatelyWithoutWaiting) {
+  const SatoModel model = MakeModel(23);
+  FakeClock clock;
+  PredictionServiceOptions options = FakeClockOptions(&clock);
+  options.max_batch_size = 4;
+  options.num_threads = 2;
+  options.max_queue_delay_nanos = 1'000'000'000;  // irrelevantly far away
+  PredictionService service(model, context_, *scaler_, options);
+
+  std::vector<PredictionHandle> handles;
+  for (size_t i = 0; i < 4; ++i) {
+    handles.push_back(service.Submit(
+        (*tables_)[i], serve::BatchPredictor::TableSeed(3, i)));
+  }
+  for (size_t i = 0; i < 4; ++i) {
+    const serve::PredictionResult& result = handles[i].Get();
+    EXPECT_EQ(result.status, RequestStatus::kOk);
+    EXPECT_EQ(result.type_ids,
+              Sequential(model, (*tables_)[i],
+                         serve::BatchPredictor::TableSeed(3, i)));
+    EXPECT_EQ(result.latency_nanos, 0u);  // time never moved
+  }
+
+  const serve::ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.batch_size_histogram[4], 1u);
+  EXPECT_EQ(stats.latency_p99_nanos, 0u);
+}
+
+// After Shutdown() no deadline wait survives: the fake clock has no
+// registered waiters, advancing time fires nothing, and new submissions
+// are turned away with kShutdown.
+TEST_F(PredictionServiceTest, NoTimerFiresAfterShutdown) {
+  const SatoModel model = MakeModel(23);
+  FakeClock clock;
+  PredictionService service(model, context_, *scaler_,
+                            FakeClockOptions(&clock));
+
+  PredictionHandle queued = service.Submit((*tables_)[1], 9);
+  clock.AwaitWaiters(1);
+  service.Shutdown();  // drains: the queued request completes
+
+  EXPECT_EQ(queued.Get().status, RequestStatus::kOk);
+  EXPECT_EQ(queued.Get().type_ids, Sequential(model, (*tables_)[1], 9));
+  EXPECT_EQ(clock.waiter_count(), 0u);
+
+  const serve::ServiceStats before = service.Stats();
+  clock.AdvanceNanos(100 * kMillisecond);  // nothing is listening
+  const serve::ServiceStats after = service.Stats();
+  EXPECT_EQ(after.batches, before.batches);
+  EXPECT_EQ(after.completed, before.completed);
+
+  PredictionHandle late = service.Submit((*tables_)[1], 9);
+  EXPECT_TRUE(late.Done());  // resolved immediately, no hang
+  EXPECT_EQ(late.Get().status, RequestStatus::kShutdown);
+  EXPECT_TRUE(late.Get().type_ids.empty());
+  EXPECT_EQ(service.Stats().rejected_shutdown, 1u);
+}
+
+// ------------------------------------------------------- backpressure ----
+
+// Filling the bounded admission queue rejects overflow immediately (never
+// a hang or a crash), and completing the queued requests frees admission
+// slots again.
+TEST_F(PredictionServiceTest, OverflowIsRejectedAndDrainingResumesAdmission) {
+  const SatoModel model = MakeModel(31);
+  FakeClock clock;
+  PredictionServiceOptions options = FakeClockOptions(&clock);
+  options.max_batch_size = 16;   // larger than capacity: nothing flushes early
+  options.queue_capacity = 3;
+  PredictionService service(model, context_, *scaler_, options);
+
+  std::vector<PredictionHandle> admitted;
+  for (size_t i = 0; i < 3; ++i) {
+    admitted.push_back(service.Submit(
+        (*tables_)[i], serve::BatchPredictor::TableSeed(11, i)));
+  }
+
+  PredictionHandle overflow = service.Submit((*tables_)[3], 1);
+  EXPECT_TRUE(overflow.Done());  // resolved at Submit, no hang
+  EXPECT_EQ(overflow.Get().status, RequestStatus::kRejected);
+  EXPECT_TRUE(overflow.Get().type_ids.empty());
+  EXPECT_EQ(overflow.Get().latency_nanos, 0u);
+
+  serve::ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.outstanding, 3u);
+
+  // Drain: the deadline releases the partial batch; every admitted
+  // request completes correctly despite the overflow in between.
+  clock.AdvanceNanos(kMillisecond);
+  for (size_t i = 0; i < 3; ++i) {
+    const serve::PredictionResult& result = admitted[i].Get();
+    EXPECT_EQ(result.status, RequestStatus::kOk);
+    EXPECT_EQ(result.type_ids,
+              Sequential(model, (*tables_)[i],
+                         serve::BatchPredictor::TableSeed(11, i)));
+  }
+
+  // Admission has resumed: the next submit is queued, not rejected.
+  PredictionHandle resumed = service.Submit((*tables_)[4], 2);
+  EXPECT_FALSE(resumed.Done());
+  clock.AdvanceNanos(kMillisecond);
+  EXPECT_EQ(resumed.Get().status, RequestStatus::kOk);
+  EXPECT_EQ(resumed.Get().type_ids, Sequential(model, (*tables_)[4], 2));
+  EXPECT_EQ(service.Stats().rejected, 1u);  // the one overflow, no more
+}
+
+// Shutdown with requests still coalescing: every queued request completes
+// (with the correct bytes), and submissions after shutdown are rejected.
+TEST_F(PredictionServiceTest, ShutdownWhileQueuedCompletesQueuedRequests) {
+  constexpr size_t kQueued = 6;
+  const SatoModel model = MakeModel(31);
+  FakeClock clock;
+  PredictionServiceOptions options = FakeClockOptions(&clock);
+  options.max_batch_size = 64;  // never fills: requests sit on the deadline
+  options.num_threads = 2;
+  PredictionService service(model, context_, *scaler_, options);
+
+  std::vector<PredictionHandle> handles;
+  for (size_t i = 0; i < kQueued; ++i) {
+    handles.push_back(service.Submit(
+        (*tables_)[i], serve::BatchPredictor::TableSeed(13, i)));
+  }
+  clock.AwaitWaiters(1);  // all six are pending in the batcher
+  service.Shutdown();
+
+  for (size_t i = 0; i < kQueued; ++i) {
+    const serve::PredictionResult& result = handles[i].Get();
+    EXPECT_EQ(result.status, RequestStatus::kOk) << "request " << i;
+    EXPECT_EQ(result.type_ids,
+              Sequential(model, (*tables_)[i],
+                         serve::BatchPredictor::TableSeed(13, i)))
+        << "request " << i;
+  }
+  EXPECT_EQ(service.Stats().completed, kQueued);
+
+  PredictionHandle late = service.Submit((*tables_)[0], 1);
+  EXPECT_EQ(late.Get().status, RequestStatus::kShutdown);
+}
+
+// --------------------------------------------------------- small edges ----
+
+TEST_F(PredictionServiceTest, EmptyTableResolvesOkWithNoTypes) {
+  const SatoModel model = MakeModel(23);
+  FakeClock clock;
+  PredictionServiceOptions options = FakeClockOptions(&clock);
+  options.max_batch_size = 1;  // flushes immediately
+  PredictionService service(model, context_, *scaler_, options);
+
+  PredictionHandle handle = service.Submit(Table(), 7);
+  const serve::PredictionResult& result = handle.Get();
+  EXPECT_EQ(result.status, RequestStatus::kOk);
+  EXPECT_TRUE(result.type_ids.empty());
+}
+
+TEST_F(PredictionServiceTest, DestructorDrainsAdmittedRequests) {
+  const SatoModel model = MakeModel(23);
+  std::vector<PredictionHandle> handles;
+  {
+    PredictionServiceOptions options;  // real SteadyClock
+    options.num_threads = 2;
+    options.max_batch_size = 4;
+    options.max_queue_delay_nanos = 50 * kMillisecond;
+    PredictionService service(model, context_, *scaler_, options);
+    for (size_t i = 0; i < 6; ++i) {
+      handles.push_back(service.Submit(
+          (*tables_)[i], serve::BatchPredictor::TableSeed(29, i)));
+    }
+    // No Shutdown() call: the destructor must drain, well before the
+    // 50 ms deadline would have flushed the trailing partial batch.
+  }
+  for (size_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(handles[i].Done());
+    EXPECT_EQ(handles[i].Get().status, RequestStatus::kOk);
+    EXPECT_EQ(handles[i].Get().type_ids,
+              Sequential(model, (*tables_)[i],
+                         serve::BatchPredictor::TableSeed(29, i)));
+  }
+}
+
+TEST_F(PredictionServiceTest, ShutdownIsIdempotent) {
+  const SatoModel model = MakeModel(23);
+  PredictionServiceOptions options;
+  PredictionService service(model, context_, *scaler_, options);
+  service.Shutdown();
+  service.Shutdown();  // must not hang, crash, or double-join
+  SUCCEED();
+}
+
+TEST(PredictionHandleTest, EmptyHandleThrows) {
+  PredictionHandle handle;
+  EXPECT_FALSE(handle.valid());
+  EXPECT_THROW(handle.Get(), std::logic_error);
+  EXPECT_THROW(handle.Done(), std::logic_error);
+}
+
+TEST(RequestStatusTest, NamesAreStable) {
+  EXPECT_STREQ(serve::RequestStatusName(RequestStatus::kOk), "ok");
+  EXPECT_STREQ(serve::RequestStatusName(RequestStatus::kRejected), "rejected");
+  EXPECT_STREQ(serve::RequestStatusName(RequestStatus::kShutdown), "shutdown");
+  EXPECT_STREQ(serve::RequestStatusName(RequestStatus::kFailed), "failed");
+}
+
+// --------------------------------------------------- fake clock basics ----
+
+TEST(FakeClockTest, AdvanceMovesTimeMonotonically) {
+  FakeClock clock;
+  EXPECT_EQ(clock.NowNanos(), 0u);
+  clock.AdvanceNanos(5);
+  clock.AdvanceNanos(7);
+  EXPECT_EQ(clock.NowNanos(), 12u);
+  EXPECT_EQ(clock.waiter_count(), 0u);
+}
+
+TEST(FakeClockTest, WaitUntilReturnsImmediatelyPastDeadline) {
+  FakeClock clock;
+  clock.AdvanceNanos(100);
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::unique_lock<std::mutex> lock(mutex);
+  // Deadline already reached: must not block even with a false predicate.
+  EXPECT_FALSE(clock.WaitUntil(cv, lock, 50, [] { return false; }));
+  EXPECT_TRUE(clock.WaitUntil(cv, lock, 50, [] { return true; }));
+  EXPECT_EQ(clock.waiter_count(), 0u);
+}
+
+}  // namespace
+}  // namespace sato
