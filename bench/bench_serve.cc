@@ -15,13 +15,16 @@
 // serving perf trajectory is machine-readable across commits.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "core/predictor.h"
 #include "serve/batch_predictor.h"
+#include "serve/model_registry.h"
 #include "serve/prediction_service.h"
 #include "util/timer.h"
 
@@ -153,6 +156,102 @@ OnlineResult MeasureOnline(const SatoModel& model, const BenchEnv& env,
   return result;
 }
 
+/// Hot-swap measurement: the same closed loop as MeasureOnline, but every
+/// `swap_every`-th submission publishes a new registry version (same
+/// weights -- swaps isolate the registry/pinning overhead, not model
+/// quality). Reports publish latency, how many responses straddled a swap
+/// (came back on a different version than was current at submit time),
+/// and the latency percentiles under swapping, to compare against the
+/// swap-free online run.
+struct SwapResult {
+  size_t clients;
+  size_t workers;
+  size_t swap_every;
+  size_t requests;
+  double seconds;
+  double tables_per_sec;
+  uint64_t versions_published;
+  uint64_t swaps_observed;     // micro-batches that picked up a new version
+  uint64_t straddled;          // responses on a version != submit-time one
+  double publish_p50_us;
+  double publish_max_us;
+  serve::ServiceStats stats;
+};
+
+SwapResult MeasureSwap(const SatoModel& model, const BenchEnv& env,
+                       const features::FeatureScaler& scaler,
+                       const std::vector<Table>& tables, size_t clients,
+                       size_t workers, size_t swap_every, int trials) {
+  serve::ModelRegistry registry;
+  registry.PublishBorrowed(model, &env.context, scaler, "bench-v1");
+
+  serve::PredictionServiceOptions options;
+  options.num_threads = workers;
+  options.max_batch_size = 8;
+  options.max_queue_delay_nanos = 200'000;
+  options.queue_capacity = 1024;
+  serve::PredictionService service(&registry, options);
+
+  std::atomic<uint64_t> submitted{0};
+  std::atomic<uint64_t> straddled{0};
+  std::mutex publish_mutex;
+  std::vector<double> publish_us;
+
+  auto run_closed_loop = [&](bool measure) {
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        for (size_t i = c; i < tables.size(); i += clients) {
+          if (++submitted % swap_every == 0) {
+            util::Timer publish_timer;
+            registry.PublishBorrowed(model, &env.context, scaler);
+            if (measure) {
+              double us = publish_timer.ElapsedSeconds() * 1e6;
+              std::lock_guard<std::mutex> lock(publish_mutex);
+              publish_us.push_back(us);
+            }
+          }
+          uint64_t at_submit = registry.current_version();
+          serve::PredictionResult r =
+              service.Submit(tables[i], serve::BatchPredictor::TableSeed(1, i))
+                  .Get();
+          if (measure && r.status == serve::RequestStatus::kOk &&
+              r.model_version != at_submit) {
+            straddled.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  };
+
+  run_closed_loop(false);  // warm-up
+  service.ResetStats();
+
+  util::Timer timer;
+  for (int t = 0; t < trials; ++t) run_closed_loop(true);
+  double seconds = timer.ElapsedSeconds();
+  service.Shutdown();
+
+  std::sort(publish_us.begin(), publish_us.end());
+  SwapResult result;
+  result.clients = clients;
+  result.workers = workers;
+  result.swap_every = swap_every;
+  result.requests = tables.size() * static_cast<size_t>(trials);
+  result.seconds = seconds;
+  result.tables_per_sec = static_cast<double>(result.requests) / seconds;
+  result.versions_published = registry.current_version();
+  result.stats = service.Stats();
+  result.swaps_observed = result.stats.model_swaps;
+  result.straddled = straddled.load();
+  result.publish_p50_us =
+      publish_us.empty() ? 0.0 : publish_us[publish_us.size() / 2];
+  result.publish_max_us = publish_us.empty() ? 0.0 : publish_us.back();
+  return result;
+}
+
 ServeResult MeasureThroughput(const SatoModel& model, const BenchEnv& env,
                               const features::FeatureScaler& scaler,
                               const std::vector<Table>& tables,
@@ -177,7 +276,8 @@ ServeResult MeasureThroughput(const SatoModel& model, const BenchEnv& env,
 void WriteJson(const char* path, const BenchEnv& env,
                const std::vector<ServeResult>& results,
                const PhaseBreakdown& phases, const OnlineResult& online,
-               size_t model_bytes, size_t num_tables, size_t num_columns) {
+               const SwapResult& swap, size_t model_bytes, size_t num_tables,
+               size_t num_columns) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "bench_serve: cannot write %s\n", path);
@@ -225,6 +325,32 @@ void WriteJson(const char* path, const BenchEnv& env,
   }
   std::fprintf(f, "],\n");
   std::fprintf(f, "    \"tables_per_sec\": %.2f},\n", online.tables_per_sec);
+  // Hot-swap datapoint: registry publish latency, responses that straddled
+  // a swap (in flight across a Publish), and the p99 delta against the
+  // swap-free online run above -- the cost of zero-downtime rollout.
+  std::fprintf(f,
+               "  \"swap\": {\"clients\": %zu, \"worker_threads\": %zu, "
+               "\"swap_every\": %zu, \"requests\": %zu, "
+               "\"versions_published\": %llu, \"swaps_observed\": %llu, "
+               "\"straddled_requests\": %llu,\n",
+               swap.clients, swap.workers, swap.swap_every, swap.requests,
+               static_cast<unsigned long long>(swap.versions_published),
+               static_cast<unsigned long long>(swap.swaps_observed),
+               static_cast<unsigned long long>(swap.straddled));
+  std::fprintf(f,
+               "    \"publish_latency_us\": {\"p50\": %.2f, \"max\": %.2f},\n",
+               swap.publish_p50_us, swap.publish_max_us);
+  std::fprintf(f,
+               "    \"latency_ms\": {\"p50\": %.4f, \"p95\": %.4f, "
+               "\"p99\": %.4f},\n",
+               static_cast<double>(swap.stats.latency_p50_nanos) / 1e6,
+               static_cast<double>(swap.stats.latency_p95_nanos) / 1e6,
+               static_cast<double>(swap.stats.latency_p99_nanos) / 1e6);
+  std::fprintf(f, "    \"p99_delta_ms_vs_no_swap\": %.4f,\n",
+               (static_cast<double>(swap.stats.latency_p99_nanos) -
+                static_cast<double>(online.stats.latency_p99_nanos)) /
+                   1e6);
+  std::fprintf(f, "    \"tables_per_sec\": %.2f},\n", swap.tables_per_sec);
   std::fprintf(f, "  \"results\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
     const ServeResult& r = results[i];
@@ -326,8 +452,24 @@ int Run() {
   std::printf("  (%llu batches)\n",
               static_cast<unsigned long long>(online.stats.batches));
 
-  WriteJson("BENCH_serve.json", env, results, phases, online, model_bytes,
-            tables.size(), num_columns);
+  // Hot-swap mode: same closed loop, publishing a new version roughly
+  // eight times per pass over the corpus.
+  size_t swap_every = std::max<size_t>(1, tables.size() / 8);
+  SwapResult swap = MeasureSwap(model, env, scaler, tables, /*clients=*/4,
+                                online_workers, swap_every, trials);
+  std::printf("swap (every %zu submits): %llu versions published, %llu swaps "
+              "observed, %llu straddling responses, publish p50 %.1fus max "
+              "%.1fus, p99 %.3fms (vs %.3fms without swaps)\n",
+              swap.swap_every,
+              static_cast<unsigned long long>(swap.versions_published),
+              static_cast<unsigned long long>(swap.swaps_observed),
+              static_cast<unsigned long long>(swap.straddled),
+              swap.publish_p50_us, swap.publish_max_us,
+              static_cast<double>(swap.stats.latency_p99_nanos) / 1e6,
+              static_cast<double>(online.stats.latency_p99_nanos) / 1e6);
+
+  WriteJson("BENCH_serve.json", env, results, phases, online, swap,
+            model_bytes, tables.size(), num_columns);
   return 0;
 }
 

@@ -19,14 +19,19 @@
 //
 // `serve-sim` accepts --jobs N (prediction workers), --clients C
 // (concurrent closed-loop clients), --batch B (max micro-batch size),
-// --delay-us D (micro-batch flush deadline) and --capacity Q (admission
-// bound). It reports latency percentiles and the achieved batch-size
-// histogram, then audits every response against a sequential
-// SatoPredictor run -- the online determinism contract.
+// --delay-us D (micro-batch flush deadline), --capacity Q (admission
+// bound) and --swap-every N (publish a new model version to the registry
+// every N submissions, exercising the RCU hot-swap path under live
+// traffic). It reports latency percentiles, the achieved batch-size
+// histogram and the per-version served counts, then audits every response
+// against a sequential SatoPredictor run on its reported model version --
+// the online determinism contract, per version.
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -41,6 +46,7 @@
 #include "corpus/generator.h"
 #include "eval/model_eval.h"
 #include "serve/batch_predictor.h"
+#include "serve/model_registry.h"
 #include "serve/prediction_service.h"
 #include "util/timer.h"
 
@@ -57,7 +63,7 @@ int Usage() {
                "  sato_cli eval <bundle> [--tables N] [--seed S] [--jobs N]\n"
                "  sato_cli serve-sim <bundle> [--tables N] [--seed S] [--jobs N]\n"
                "                 [--clients C] [--batch B] [--delay-us D]\n"
-               "                 [--capacity Q]\n"
+               "                 [--capacity Q] [--swap-every N]\n"
                "  sato_cli types\n");
   return 2;
 }
@@ -72,6 +78,7 @@ struct Flags {
   int batch = 8;          // serve-sim: max micro-batch size
   int delay_us = 500;     // serve-sim: micro-batch flush deadline
   int capacity = 1024;    // serve-sim: bounded admission queue
+  int swap_every = 0;     // serve-sim: publish a new version every N submits
   SatoVariant variant = SatoVariant::kFull;
 };
 
@@ -126,6 +133,11 @@ bool ParseFlags(int argc, char** argv, int start, Flags* flags,
       if (v == nullptr) return false;
       flags->capacity = std::atoi(v);
       if (flags->capacity < 1) return false;
+    } else if (arg == "--swap-every") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      flags->swap_every = std::atoi(v);
+      if (flags->swap_every < 0) return false;
     } else if (arg == "--variant") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -199,9 +211,11 @@ int CmdTrain(const std::string& bundle_path, const Flags& flags) {
     std::fprintf(stderr, "cannot write %s\n", bundle_path.c_str());
     return 1;
   }
-  SaveSatoBundle(model, context, scaler, &out);
-  std::fprintf(stderr, "[%.1fs] bundle saved to %s\n", timer.ElapsedSeconds(),
-               bundle_path.c_str());
+  const std::string tag =
+      VariantName(flags.variant) + "-seed" + std::to_string(flags.seed);
+  SaveSatoBundle(model, context, scaler, &out, tag);
+  std::fprintf(stderr, "[%.1fs] bundle saved to %s (tag %s)\n",
+               timer.ElapsedSeconds(), bundle_path.c_str(), tag.c_str());
   return 0;
 }
 
@@ -212,6 +226,18 @@ LoadedSato LoadBundleOrDie(const std::string& path) {
     std::exit(1);
   }
   return LoadSatoBundle(&in);
+}
+
+// Moves a loaded bundle's components into the registry as version 1. The
+// CLI serves pinned snapshots of this registry from here on -- the same
+// ownership discipline as a long-running deployment, where the loaded
+// model's lifetime is governed by pins rather than by scope.
+std::shared_ptr<const serve::ModelBundle> PublishLoaded(
+    serve::ModelRegistry* registry, LoadedSato* sato) {
+  std::shared_ptr<const SatoModel> model = std::move(sato->model);
+  std::shared_ptr<const FeatureContext> context = std::move(sato->context);
+  return registry->Publish(std::move(model), std::move(context), sato->scaler,
+                           sato->manifest.tag);
 }
 
 int CmdPredict(const std::string& bundle_path,
@@ -240,22 +266,26 @@ int CmdPredict(const std::string& bundle_path,
   }
 
   // Table i decodes with the Rng stream TableSeed(1, i), so the output is
-  // identical for any --jobs value. With one job the bundle's own predictor
-  // serves directly; with more, the BatchPredictor fans out over replicas.
+  // identical for any --jobs value. The loaded model is published into a
+  // registry and served from a pinned bundle snapshot; with one job the
+  // bundle's predictor serves directly, with more the BatchPredictor fans
+  // out over worker scratches.
   constexpr uint64_t kPredictSeed = 1;
+  serve::ModelRegistry registry;
+  std::shared_ptr<const serve::ModelBundle> bundle =
+      PublishLoaded(&registry, &sato);
   std::vector<std::vector<std::string>> names;
   if (jobs == 1) {
     names.reserve(tables.size());
     for (size_t i = 0; i < tables.size(); ++i) {
       util::Rng rng(serve::BatchPredictor::TableSeed(kPredictSeed, i));
-      names.push_back(sato.predictor->PredictTypeNames(tables[i], &rng));
+      names.push_back(bundle->predictor().PredictTypeNames(tables[i], &rng));
     }
   } else {
     serve::BatchPredictorOptions options;
     options.num_threads = static_cast<size_t>(jobs);
     options.seed = kPredictSeed;
-    serve::BatchPredictor batch(*sato.model, sato.context.get(), sato.scaler,
-                                options);
+    serve::BatchPredictor batch(bundle, options);
     names = batch.PredictTypeNames(tables);
   }
 
@@ -281,34 +311,33 @@ int CmdEval(const std::string& bundle_path, const Flags& flags) {
   auto tables = corpus::FilterMultiColumn(generator.Generate());
 
   // Same seed-stream discipline as CmdPredict: identical metrics for any
-  // --jobs value.
+  // --jobs value. Both paths evaluate a pinned bundle snapshot.
   constexpr uint64_t kEvalSeed = 3;
-  std::vector<std::vector<TypeId>> predictions;
+  serve::ModelRegistry registry;
+  std::shared_ptr<const serve::ModelBundle> bundle =
+      PublishLoaded(&registry, &sato);
+  eval::EvaluationResult result;
+  size_t columns = 0;
   if (flags.jobs == 1) {
-    predictions.reserve(tables.size());
-    for (size_t i = 0; i < tables.size(); ++i) {
-      util::Rng rng(serve::BatchPredictor::TableSeed(kEvalSeed, i));
-      predictions.push_back(sato.predictor->PredictTable(tables[i], &rng));
-    }
+    result = eval::EvaluateBundleOnTables(bundle, tables, kEvalSeed);
+    for (const Table& table : tables) columns += table.num_columns();
   } else {
     serve::BatchPredictorOptions options;
     options.num_threads = static_cast<size_t>(flags.jobs);
     options.seed = kEvalSeed;
-    serve::BatchPredictor batch(*sato.model, sato.context.get(), sato.scaler,
-                                options);
-    predictions = batch.PredictTables(tables);
+    serve::BatchPredictor batch(bundle, options);
+    std::vector<std::vector<TypeId>> predictions = batch.PredictTables(tables);
+    std::vector<int> gold, predicted;
+    for (size_t i = 0; i < tables.size(); ++i) {
+      auto truth = tables[i].TypeSequence();
+      gold.insert(gold.end(), truth.begin(), truth.end());
+      predicted.insert(predicted.end(), predictions[i].begin(),
+                       predictions[i].end());
+    }
+    result = eval::Evaluate(gold, predicted, kNumSemanticTypes);
+    columns = gold.size();
   }
-
-  std::vector<int> gold, predicted;
-  for (size_t i = 0; i < tables.size(); ++i) {
-    auto truth = tables[i].TypeSequence();
-    gold.insert(gold.end(), truth.begin(), truth.end());
-    predicted.insert(predicted.end(), predictions[i].begin(),
-                     predictions[i].end());
-  }
-  auto result = eval::Evaluate(gold, predicted, kNumSemanticTypes);
-  std::printf("evaluated %zu tables (%zu columns)\n", tables.size(),
-              gold.size());
+  std::printf("evaluated %zu tables (%zu columns)\n", tables.size(), columns);
   std::printf("macro F1:    %.3f\n", result.macro_f1);
   std::printf("weighted F1: %.3f\n", result.weighted_f1);
   std::printf("accuracy:    %.3f\n", result.accuracy);
@@ -318,9 +347,12 @@ int CmdEval(const std::string& bundle_path, const Flags& flags) {
 // Closed-loop load simulation against the online serving frontend: each of
 // --clients threads owns an interleaved slice of the corpus and submits its
 // next table only after the previous response arrived, so the offered
-// concurrency is exactly --clients. Afterwards every response is audited
-// against a sequential SatoPredictor run with the same per-request seed --
-// the determinism-under-batching contract, end to end on a real clock.
+// concurrency is exactly --clients. With --swap-every N, every Nth submit
+// publishes a new registry version (same weights, new version id), so the
+// hot-swap path runs under the live load. Afterwards every response is
+// audited against a sequential SatoPredictor run with the same per-request
+// seed on its reported model version -- the determinism-under-batching
+// contract, per version, end to end on a real clock.
 int CmdServeSim(const std::string& bundle_path, const Flags& flags) {
   LoadedSato sato = LoadBundleOrDie(bundle_path);
   corpus::CorpusOptions copts;
@@ -329,24 +361,37 @@ int CmdServeSim(const std::string& bundle_path, const Flags& flags) {
   corpus::CorpusGenerator generator(copts);
   auto tables = corpus::FilterMultiColumn(generator.Generate());
 
+  serve::ModelRegistry registry;
+  std::shared_ptr<const serve::ModelBundle> bundle =
+      PublishLoaded(&registry, &sato);
+
   serve::PredictionServiceOptions options;
   options.num_threads = static_cast<size_t>(flags.jobs);
   options.max_batch_size = static_cast<size_t>(flags.batch);
   options.max_queue_delay_nanos =
       static_cast<uint64_t>(flags.delay_us) * 1000ULL;
   options.queue_capacity = static_cast<size_t>(flags.capacity);
-  serve::PredictionService service(*sato.model, sato.context.get(),
-                                   sato.scaler, options);
+  serve::PredictionService service(&registry, options);
 
   constexpr uint64_t kSimSeed = 1;
   const size_t num_clients = static_cast<size_t>(flags.clients);
   std::vector<serve::PredictionResult> responses(tables.size());
+  std::atomic<uint64_t> submitted{0};
   util::Timer timer;
   std::vector<std::thread> clients;
   clients.reserve(num_clients);
   for (size_t c = 0; c < num_clients; ++c) {
     clients.emplace_back([&, c] {
       for (size_t i = c; i < tables.size(); i += num_clients) {
+        // Republish every Nth submission: in this simulation the "new"
+        // version shares the weights (there is one trained model on disk),
+        // so the audit below can use one oracle for every version while
+        // still exercising publish/pin/attribution under live traffic.
+        if (flags.swap_every > 0 &&
+            ++submitted % static_cast<uint64_t>(flags.swap_every) == 0) {
+          registry.Publish(bundle->model_ptr(), bundle->context_ptr(),
+                           bundle->scaler());
+        }
         serve::PredictionHandle handle = service.Submit(
             tables[i], serve::BatchPredictor::TableSeed(kSimSeed, i));
         responses[i] = handle.Get();
@@ -357,29 +402,50 @@ int CmdServeSim(const std::string& bundle_path, const Flags& flags) {
   double seconds = timer.ElapsedSeconds();
   service.Shutdown();
   serve::ServiceStats stats = service.Stats();
+  const uint64_t published = registry.current_version();
 
-  // Determinism audit: every kOk response must be byte-identical to the
-  // sequential predictor with the same seed.
+  // Per-version determinism audit: every kOk response must report a
+  // version the registry actually published, and must be byte-identical
+  // to the sequential predictor with the same seed on those weights.
   size_t mismatches = 0;
+  size_t bad_versions = 0;
   size_t ok = 0;
+  std::vector<size_t> per_version(published + 1, 0);
   for (size_t i = 0; i < tables.size(); ++i) {
     if (responses[i].status != serve::RequestStatus::kOk) continue;
     ++ok;
+    if (responses[i].model_version == 0 ||
+        responses[i].model_version > published) {
+      ++bad_versions;
+      continue;
+    }
+    ++per_version[responses[i].model_version];
     util::Rng rng(serve::BatchPredictor::TableSeed(kSimSeed, i));
-    if (responses[i].type_ids != sato.predictor->PredictTable(tables[i], &rng)) {
+    if (responses[i].type_ids !=
+        bundle->predictor().PredictTable(tables[i], &rng)) {
       ++mismatches;
     }
   }
 
   std::printf("serve-sim: %zu tables, %zu clients, %d workers, batch<=%d, "
-              "deadline %dus, capacity %d\n",
+              "deadline %dus, capacity %d, swap-every %d\n",
               tables.size(), num_clients, flags.jobs, flags.batch,
-              flags.delay_us, flags.capacity);
+              flags.delay_us, flags.capacity, flags.swap_every);
   std::printf("  completed %llu (ok %zu), rejected %llu, throughput %.1f "
               "tables/sec\n",
               static_cast<unsigned long long>(stats.completed), ok,
               static_cast<unsigned long long>(stats.rejected),
               static_cast<double>(stats.completed) / seconds);
+  std::printf("  versions published %llu, swaps observed %llu, served by "
+              "version:",
+              static_cast<unsigned long long>(published),
+              static_cast<unsigned long long>(stats.model_swaps));
+  for (uint64_t v = 1; v <= published; ++v) {
+    if (per_version[v] == 0) continue;
+    std::printf(" v%llu=%zu", static_cast<unsigned long long>(v),
+                per_version[v]);
+  }
+  std::printf("\n");
   std::printf("  latency p50 %.3fms  p95 %.3fms  p99 %.3fms\n",
               static_cast<double>(stats.latency_p50_nanos) / 1e6,
               static_cast<double>(stats.latency_p95_nanos) / 1e6,
@@ -392,14 +458,14 @@ int CmdServeSim(const std::string& bundle_path, const Flags& flags) {
   }
   std::printf("  (%llu batches)\n",
               static_cast<unsigned long long>(stats.batches));
-  if (mismatches != 0) {
+  if (mismatches != 0 || bad_versions != 0) {
     std::printf("  determinism check FAILED: %zu/%zu responses differ from "
-                "the sequential predictor\n",
-                mismatches, ok);
+                "the sequential predictor, %zu report unpublished versions\n",
+                mismatches, ok, bad_versions);
     return 1;
   }
   std::printf("  determinism check OK: %zu/%zu responses byte-identical to "
-              "the sequential predictor\n",
+              "the sequential predictor, all versions published\n",
               ok, ok);
   return 0;
 }

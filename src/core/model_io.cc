@@ -3,13 +3,21 @@
 #include <cstdint>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
+#include <utility>
+
+#include "util/string_util.h"
 
 namespace sato {
 
 namespace {
 
-constexpr uint64_t kBundleMagic = 0x5341544f424e444cull;  // "SATOBNDL"
+// Legacy (pre-manifest) bundles start with this magic and go straight
+// into the payload; current bundles start with the v2 magic followed by
+// the manifest block. Both load.
+constexpr uint64_t kBundleMagic = 0x5341544f424e444cull;    // "SATOBNDL"
+constexpr uint64_t kBundleMagicV2 = 0x5341544f424e4432ull;  // "SATOBND2"
 
 void WriteU64(std::ostream* out, uint64_t v) {
   out->write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -22,12 +30,26 @@ uint64_t ReadU64(std::istream* in) {
   return v;
 }
 
-}  // namespace
+void WriteString(std::ostream* out, const std::string& s) {
+  WriteU64(out, s.size());
+  out->write(s.data(), static_cast<std::streamsize>(s.size()));
+}
 
-void SaveSatoBundle(const SatoModel& model, const FeatureContext& context,
-                    const features::FeatureScaler& scaler,
-                    std::ostream* out) {
-  WriteU64(out, kBundleMagic);
+std::string ReadString(std::istream* in) {
+  const uint64_t size = ReadU64(in);
+  if (size > (1ull << 20)) {
+    throw std::runtime_error("LoadSatoBundle: implausible string length");
+  }
+  std::string s(size, '\0');
+  in->read(s.data(), static_cast<std::streamsize>(size));
+  if (!*in) throw std::runtime_error("LoadSatoBundle: truncated stream");
+  return s;
+}
+
+/// Serializes the bundle payload (everything after the magic/manifest):
+/// variant, config, feature dims, context, scaler, model.
+void WritePayload(const SatoModel& model, const FeatureContext& context,
+                  const features::FeatureScaler& scaler, std::ostream* out) {
   WriteU64(out, static_cast<uint64_t>(model.variant()));
 
   const SatoConfig& config = model.config();
@@ -47,10 +69,8 @@ void SaveSatoBundle(const SatoModel& model, const FeatureContext& context,
   model.Save(out);
 }
 
-LoadedSato LoadSatoBundle(std::istream* in) {
-  if (ReadU64(in) != kBundleMagic) {
-    throw std::runtime_error("LoadSatoBundle: bad magic");
-  }
+/// Parses the payload written by WritePayload.
+LoadedSato ReadPayload(std::istream* in) {
   auto variant = static_cast<SatoVariant>(ReadU64(in));
 
   SatoConfig config;
@@ -73,6 +93,56 @@ LoadedSato LoadSatoBundle(std::istream* in) {
 
   loaded.predictor = std::make_unique<SatoPredictor>(
       loaded.model.get(), loaded.context.get(), loaded.scaler);
+  return loaded;
+}
+
+}  // namespace
+
+void SaveSatoBundle(const SatoModel& model, const FeatureContext& context,
+                    const features::FeatureScaler& scaler, std::ostream* out,
+                    const std::string& tag) {
+  // The payload is serialized to memory first so its content hash can go
+  // into the manifest ahead of it. A model bundle is ~MiB scale, so the
+  // staging buffer is cheap relative to the integrity check it buys.
+  std::ostringstream payload;
+  WritePayload(model, context, scaler, &payload);
+  const std::string bytes = std::move(payload).str();
+
+  WriteU64(out, kBundleMagicV2);
+  WriteString(out, tag);
+  WriteU64(out, util::Fnv1aHash(bytes));
+  WriteU64(out, bytes.size());
+  out->write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+LoadedSato LoadSatoBundle(std::istream* in) {
+  const uint64_t magic = ReadU64(in);
+  if (magic == kBundleMagic) {
+    // Legacy pre-manifest bundle: the payload follows the magic directly,
+    // with no tag and nothing to verify against.
+    return ReadPayload(in);
+  }
+  if (magic != kBundleMagicV2) {
+    throw std::runtime_error("LoadSatoBundle: bad magic");
+  }
+
+  BundleManifest manifest;
+  manifest.has_manifest = true;
+  manifest.tag = ReadString(in);
+  manifest.content_hash = ReadU64(in);
+
+  const uint64_t payload_size = ReadU64(in);
+  std::string bytes(payload_size, '\0');
+  in->read(bytes.data(), static_cast<std::streamsize>(payload_size));
+  if (!*in) throw std::runtime_error("LoadSatoBundle: truncated stream");
+  if (util::Fnv1aHash(bytes) != manifest.content_hash) {
+    throw std::runtime_error(
+        "LoadSatoBundle: content hash mismatch (corrupted bundle)");
+  }
+
+  std::istringstream payload(std::move(bytes));
+  LoadedSato loaded = ReadPayload(&payload);
+  loaded.manifest = std::move(manifest);
   return loaded;
 }
 

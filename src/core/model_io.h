@@ -1,8 +1,10 @@
 #ifndef SATO_CORE_MODEL_IO_H_
 #define SATO_CORE_MODEL_IO_H_
 
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <string>
 
 #include "core/feature_context.h"
 #include "core/predictor.h"
@@ -10,6 +12,17 @@
 #include "features/pipeline.h"
 
 namespace sato {
+
+/// Metadata written ahead of the bundle payload since format v2: a
+/// human-readable version tag (what ModelRegistry publishes under) and an
+/// FNV-1a hash of the serialized payload, verified on load so a truncated
+/// or bit-flipped bundle fails loudly instead of decoding into garbage
+/// weights. Pre-manifest bundles still load (has_manifest == false).
+struct BundleManifest {
+  std::string tag;            ///< empty for legacy bundles
+  uint64_t content_hash = 0;  ///< FNV-1a over the payload bytes; 0 legacy
+  bool has_manifest = false;  ///< false when a legacy bundle was loaded
+};
 
 /// A fully-deployable Sato restored from disk: the pre-trained feature
 /// context, the model, the training-split scaler, and a predictor wired to
@@ -20,16 +33,21 @@ struct LoadedSato {
   std::unique_ptr<SatoModel> model;
   features::FeatureScaler scaler;
   std::unique_ptr<SatoPredictor> predictor;
+  BundleManifest manifest;
 };
 
-/// Writes a single self-contained bundle: variant + config + feature dims,
-/// the feature context (embeddings, TF-IDF, LDA), the scaler, and the
-/// model parameters (including the CRF for structured variants).
+/// Writes a single self-contained bundle: a manifest (version tag +
+/// payload content hash), then variant + config + feature dims, the
+/// feature context (embeddings, TF-IDF, LDA), the scaler, and the model
+/// parameters (including the CRF for structured variants). `tag` is the
+/// human-readable model version written into the manifest.
 void SaveSatoBundle(const SatoModel& model, const FeatureContext& context,
-                    const features::FeatureScaler& scaler, std::ostream* out);
+                    const features::FeatureScaler& scaler, std::ostream* out,
+                    const std::string& tag = std::string());
 
-/// Restores a bundle saved with SaveSatoBundle. Throws std::runtime_error
-/// on malformed input.
+/// Restores a bundle saved with SaveSatoBundle -- either the current
+/// manifested format (content hash verified) or the legacy pre-manifest
+/// format. Throws std::runtime_error on malformed or corrupted input.
 LoadedSato LoadSatoBundle(std::istream* in);
 
 }  // namespace sato

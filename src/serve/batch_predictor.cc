@@ -2,6 +2,7 @@
 
 #include <exception>
 #include <mutex>
+#include <stdexcept>
 #include <utility>
 
 #include "table/semantic_type.h"
@@ -9,19 +10,27 @@
 
 namespace sato::serve {
 
-BatchPredictor::BatchPredictor(const SatoModel& model,
-                               const FeatureContext* context,
-                               features::FeatureScaler scaler,
+BatchPredictor::BatchPredictor(std::shared_ptr<const ModelBundle> bundle,
                                const BatchPredictorOptions& options)
     : options_(options),
-      predictor_(&model, context, std::move(scaler)),
+      bundle_(std::move(bundle)),
       pool_(options.num_threads) {
+  if (bundle_ == nullptr) {
+    throw std::invalid_argument("BatchPredictor: null bundle");
+  }
   // One scratch workspace and one featurization scratch per worker; the
   // model itself is shared and never copied (the inference path is const
   // and re-entrant).
   workspaces_.resize(pool_.num_threads());
   scratches_.resize(pool_.num_threads());
 }
+
+BatchPredictor::BatchPredictor(const SatoModel& model,
+                               const FeatureContext* context,
+                               features::FeatureScaler scaler,
+                               const BatchPredictorOptions& options)
+    : BatchPredictor(ModelBundle::Borrowed(model, context, std::move(scaler)),
+                     options) {}
 
 uint64_t BatchPredictor::TableSeed(uint64_t base_seed, size_t table_index) {
   // splitmix64 over (base_seed, index): cheap, stateless, and well mixed,
@@ -37,15 +46,16 @@ std::vector<std::vector<TypeId>> BatchPredictor::PredictTables(
   std::vector<std::vector<TypeId>> results(tables.size());
   std::exception_ptr first_error;
   std::mutex error_mutex;
+  const SatoPredictor& predictor = bundle_->predictor();
   for (size_t i = 0; i < tables.size(); ++i) {
-    pool_.Submit([this, &tables, &results, &first_error, &error_mutex,
-                  i](size_t worker) {
+    pool_.Submit([this, &predictor, &tables, &results, &first_error,
+                  &error_mutex, i](size_t worker) {
       try {
         if (tables[i].num_columns() == 0) return;  // empty prediction
         util::Rng rng(TableSeed(options_.seed, i));
-        results[i] = predictor_.PredictTable(tables[i], &rng,
-                                             &workspaces_[worker],
-                                             &scratches_[worker]);
+        results[i] = predictor.PredictTable(tables[i], &rng,
+                                            &workspaces_[worker],
+                                            &scratches_[worker]);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
@@ -53,6 +63,7 @@ std::vector<std::vector<TypeId>> BatchPredictor::PredictTables(
     });
   }
   pool_.Wait();
+  bundle_->RecordServed(tables.size());
   if (first_error) std::rethrow_exception(first_error);
   return results;
 }

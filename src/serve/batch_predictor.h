@@ -2,6 +2,7 @@
 #define SATO_SERVE_BATCH_PREDICTOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "core/sato_model.h"
 #include "features/pipeline.h"
 #include "nn/workspace.h"
+#include "serve/model_registry.h"
 #include "serve/thread_pool.h"
 #include "table/table.h"
 
@@ -27,16 +29,21 @@ struct BatchPredictorOptions {
 };
 
 /// Parallel batch prediction over many tables, all workers sharing ONE
-/// immutable model.
+/// immutable model version.
+///
+/// The predictor PINS one `shared_ptr<const ModelBundle>` for its whole
+/// lifetime: the model, feature context and scaler it serves are fixed at
+/// construction and stay alive while the predictor exists, even if the
+/// registry they came from publishes newer versions meanwhile. (Offline
+/// batches want a consistent version end to end; the online
+/// PredictionService is the surface that re-pins per micro-batch.)
 ///
 /// The network's inference pass (SatoModel::Predict via Layer::Apply) is
 /// const and re-entrant: it writes nothing to the model and draws every
 /// intermediate from a caller-owned nn::Workspace. The BatchPredictor
-/// therefore borrows a single `const SatoModel&` and keeps one Workspace
-/// per worker thread -- model memory is O(1) in the thread count and
-/// construction copies no parameters, where the previous design cloned a
-/// full replica per worker through a Save/Load round-trip. The immutable
-/// FeatureContext and the fitted scaler are likewise shared.
+/// therefore keeps one Workspace + FeatureScratch per worker thread --
+/// model memory is O(1) in the thread count and construction copies no
+/// parameters.
 ///
 /// Determinism: table i is decoded with an Rng seeded TableSeed(seed, i),
 /// and results land at index i of the output, so a batch produces
@@ -46,9 +53,13 @@ struct BatchPredictorOptions {
 /// depend on what a worker computed previously.)
 class BatchPredictor {
  public:
-  /// Borrows `model` and `context`; both must outlive the predictor.
-  /// No model state is copied -- construction is O(num_threads) empty
-  /// workspaces, not O(num_threads x model size).
+  /// Pins `bundle` (must be non-null) for the predictor's lifetime.
+  BatchPredictor(std::shared_ptr<const ModelBundle> bundle,
+                 const BatchPredictorOptions& options);
+
+  /// Legacy borrow-based construction: wraps the borrowed components into
+  /// an unregistered bundle (version 0). `model` and `*context` must
+  /// outlive the predictor.
   BatchPredictor(const SatoModel& model, const FeatureContext* context,
                  features::FeatureScaler scaler,
                  const BatchPredictorOptions& options);
@@ -68,8 +79,14 @@ class BatchPredictor {
 
   size_t num_threads() const { return pool_.num_threads(); }
 
-  /// The shared model all workers read -- exactly one, never cloned.
-  const SatoModel& model() const { return predictor_.model(); }
+  /// The pinned model version every worker reads. The snapshot is safe to
+  /// hold past the predictor's destruction (it is a pin of its own) --
+  /// unlike the `const SatoModel&` accessor this replaces, which dangled
+  /// once hot-swappable ownership arrived.
+  const std::shared_ptr<const ModelBundle>& bundle() const { return bundle_; }
+
+  /// Version id of the pinned bundle (0 for unregistered legacy bundles).
+  uint64_t model_version() const { return bundle_->version(); }
 
   /// Bytes of scratch currently pooled across all worker workspaces and
   /// featurization scratches (the steady-state serving overhead that
@@ -83,7 +100,7 @@ class BatchPredictor {
 
  private:
   BatchPredictorOptions options_;
-  SatoPredictor predictor_;               // drives the shared const model
+  std::shared_ptr<const ModelBundle> bundle_;  // pinned for our lifetime
   std::vector<nn::Workspace> workspaces_; // one per worker thread
   std::vector<SatoPredictor::Scratch> scratches_;  // one per worker thread
   ThreadPool pool_;

@@ -1,0 +1,134 @@
+#include "serve/model_registry.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace sato::serve {
+
+ModelBundle::ModelBundle(std::shared_ptr<const SatoModel> model,
+                         std::shared_ptr<const FeatureContext> context,
+                         features::FeatureScaler scaler, std::string tag,
+                         uint64_t version)
+    : version_(version),
+      tag_(std::move(tag)),
+      model_(std::move(model)),
+      context_(std::move(context)),
+      scaler_(std::move(scaler)),
+      predictor_(model_.get(), context_.get(), scaler_),
+      counters_(std::make_shared<internal::VersionCounters>()) {
+  if (model_ == nullptr || context_ == nullptr) {
+    throw std::invalid_argument("ModelBundle: model and context required");
+  }
+}
+
+std::shared_ptr<const ModelBundle> ModelBundle::Borrowed(
+    const SatoModel& model, const FeatureContext* context,
+    features::FeatureScaler scaler, std::string tag) {
+  // Non-owning aliases: the shared_ptrs share a null control block, so
+  // destruction frees nothing -- lifetime stays with the caller, exactly
+  // like the raw-borrow constructors this bridges from.
+  return std::make_shared<const ModelBundle>(
+      std::shared_ptr<const SatoModel>(std::shared_ptr<void>(), &model),
+      std::shared_ptr<const FeatureContext>(std::shared_ptr<void>(), context),
+      std::move(scaler), std::move(tag), /*version=*/0);
+}
+
+std::shared_ptr<const ModelBundle> ModelRegistry::Publish(
+    std::shared_ptr<const SatoModel> model,
+    std::shared_ptr<const FeatureContext> context,
+    features::FeatureScaler scaler, std::string tag) {
+  if (model == nullptr || context == nullptr) {
+    throw std::invalid_argument("ModelRegistry::Publish: null model/context");
+  }
+  std::shared_ptr<const ModelBundle> bundle;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const uint64_t version = next_version_++;
+    if (tag.empty()) tag = "v" + std::to_string(version);
+    bundle = std::make_shared<const ModelBundle>(
+        std::move(model), std::move(context), std::move(scaler), tag,
+        version);
+    history_.push_back(
+        VersionRecord{version, std::move(tag), bundle, bundle->counters_});
+  }
+  // The swap itself: one atomic store. Readers that already pinned the
+  // old version keep it alive; new Current() calls see this bundle.
+  current_.store(bundle, std::memory_order_release);
+  return bundle;
+}
+
+std::shared_ptr<const ModelBundle> ModelRegistry::PublishBorrowed(
+    const SatoModel& model, const FeatureContext* context,
+    features::FeatureScaler scaler, std::string tag) {
+  return Publish(
+      std::shared_ptr<const SatoModel>(std::shared_ptr<void>(), &model),
+      std::shared_ptr<const FeatureContext>(std::shared_ptr<void>(), context),
+      std::move(scaler), std::move(tag));
+}
+
+uint64_t ModelRegistry::current_version() const {
+  auto bundle = Current();
+  return bundle != nullptr ? bundle->version() : 0;
+}
+
+std::shared_ptr<const ModelBundle> ModelRegistry::PinVersion(
+    uint64_t version) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const VersionRecord& record : history_) {
+    if (record.version == version) return record.bundle.lock();
+  }
+  return nullptr;
+}
+
+RegistryStats ModelRegistry::Stats() const {
+  RegistryStats stats;
+  stats.current_version = current_version();
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats.published = next_version_ - 1;
+  stats.versions.reserve(history_.size());
+  for (const VersionRecord& record : history_) {
+    VersionInfo info;
+    info.version = record.version;
+    info.tag = record.tag;
+    info.served = record.counters->served.load(std::memory_order_relaxed);
+    info.retired = record.bundle.expired();
+    stats.versions.push_back(std::move(info));
+  }
+  stats.corrections_submitted = corrections_submitted_;
+  stats.corrections_dropped = corrections_dropped_;
+  return stats;
+}
+
+bool ModelRegistry::SubmitCorrection(Correction correction) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++corrections_submitted_;
+  bool evicted = false;
+  while (corrections_.size() >= max_corrections_) {
+    corrections_.pop_front();
+    ++corrections_dropped_;
+    evicted = true;
+  }
+  corrections_.push_back(std::move(correction));
+  return !evicted;
+}
+
+std::vector<Correction> ModelRegistry::Corrections() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<Correction>(corrections_.begin(), corrections_.end());
+}
+
+void ModelRegistry::set_max_corrections(size_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  max_corrections_ = n > 0 ? n : 1;
+  while (corrections_.size() > max_corrections_) {
+    corrections_.pop_front();
+    ++corrections_dropped_;
+  }
+}
+
+size_t ModelRegistry::max_corrections() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return max_corrections_;
+}
+
+}  // namespace sato::serve

@@ -1,0 +1,221 @@
+#ifndef SATO_SERVE_MODEL_REGISTRY_H_
+#define SATO_SERVE_MODEL_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/feature_context.h"
+#include "core/predictor.h"
+#include "core/sato_model.h"
+#include "features/pipeline.h"
+#include "table/semantic_type.h"
+
+namespace sato::serve {
+
+namespace internal {
+/// Per-version counters that outlive the bundle itself: the registry and
+/// the bundle share one record, so served counts survive retirement.
+struct VersionCounters {
+  std::atomic<uint64_t> served{0};
+};
+}  // namespace internal
+
+/// One deployable model version: the Sato model, the feature context it
+/// was trained against, the fitted scaler, and a predictor wired to all
+/// three -- plus a registry-assigned version id and a human-readable tag.
+///
+/// A bundle is IMMUTABLE after construction and always handled through
+/// `std::shared_ptr<const ModelBundle>`: whoever holds the pointer holds a
+/// *pin* -- the bundle (and the model/context behind it, when owned) stays
+/// alive exactly until the last pin drops. That is the entire hot-swap
+/// story: publishing a new version never invalidates anything an in-flight
+/// batch is reading.
+///
+/// Version 0 means "unregistered" (a bundle wrapped around borrowed
+/// components outside any registry, e.g. the legacy borrow-based
+/// constructors); registries assign versions starting at 1.
+class ModelBundle {
+ public:
+  /// Owning construction: the bundle keeps the model and context alive.
+  /// `context` may not be null; `model` may not be null.
+  ModelBundle(std::shared_ptr<const SatoModel> model,
+              std::shared_ptr<const FeatureContext> context,
+              features::FeatureScaler scaler, std::string tag,
+              uint64_t version);
+
+  /// Wraps BORROWED components into an unregistered (version 0) bundle:
+  /// the caller guarantees `model` and `*context` outlive every pin.
+  /// This is the bridge from the legacy raw-borrow constructors.
+  static std::shared_ptr<const ModelBundle> Borrowed(
+      const SatoModel& model, const FeatureContext* context,
+      features::FeatureScaler scaler, std::string tag = "borrowed");
+
+  ModelBundle(const ModelBundle&) = delete;
+  ModelBundle& operator=(const ModelBundle&) = delete;
+
+  uint64_t version() const { return version_; }
+  const std::string& tag() const { return tag_; }
+
+  const SatoModel& model() const { return *model_; }
+  const FeatureContext* context() const { return context_.get(); }
+  const features::FeatureScaler& scaler() const { return scaler_; }
+
+  /// Shared ownership of the context -- serving workers hold this per
+  /// worker so that "same context pointer" can never be an ABA illusion
+  /// (a freed context reallocated at the same address); see
+  /// PredictionService's scratch re-binding.
+  const std::shared_ptr<const FeatureContext>& context_ptr() const {
+    return context_;
+  }
+  const std::shared_ptr<const SatoModel>& model_ptr() const { return model_; }
+
+  /// Predictor wired to this bundle's model/context/scaler. Const and
+  /// re-entrant (the Apply path): share it across any number of threads.
+  const SatoPredictor& predictor() const { return predictor_; }
+
+  /// Counts one served prediction against this version (lock-free).
+  void RecordServed(uint64_t n = 1) const {
+    counters_->served.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t served() const {
+    return counters_->served.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class ModelRegistry;
+
+  const uint64_t version_;
+  const std::string tag_;
+  std::shared_ptr<const SatoModel> model_;
+  std::shared_ptr<const FeatureContext> context_;
+  const features::FeatureScaler scaler_;
+  SatoPredictor predictor_;  // borrows from the members above
+  std::shared_ptr<internal::VersionCounters> counters_;
+};
+
+/// One user correction (the AdaTyper adaptation hook, arXiv:2311.13806):
+/// "this column is actually type T". Recorded, not yet learned from.
+struct Correction {
+  std::string column_name;  ///< header or caller-side identifier
+  TypeId corrected_type = 0;
+  uint64_t model_version = 0;  ///< version whose prediction was corrected
+};
+
+/// Snapshot of one version's lifecycle in RegistryStats.
+struct VersionInfo {
+  uint64_t version = 0;
+  std::string tag;
+  uint64_t served = 0;  ///< predictions recorded against this version
+  bool retired = false; ///< superseded AND the last pin has dropped
+};
+
+struct RegistryStats {
+  uint64_t published = 0;        ///< total Publish calls
+  uint64_t current_version = 0;  ///< 0 when nothing is published yet
+  std::vector<VersionInfo> versions;  ///< ascending by version
+  uint64_t corrections_submitted = 0;
+  uint64_t corrections_dropped = 0;  ///< evicted from the bounded log
+};
+
+/// Versioned model registry with RCU-style hot swap.
+///
+/// `Publish` wraps components into an immutable ModelBundle, assigns the
+/// next monotonically-increasing version id, and atomically replaces the
+/// current pointer. `Current` is the read side: an atomic shared_ptr load
+/// that pins the bundle for as long as the caller keeps the pointer --
+/// readers never block publishers and publishers never block readers
+/// (classic read-copy-update with shared_ptr as the grace period: the old
+/// version is destroyed when its last pin drops, not at publish time).
+///
+/// The registry itself only keeps a *weak* reference to superseded
+/// versions, so it never extends an old model's lifetime: `PinVersion`
+/// can revive a version only while someone still pins it (or it is
+/// current); once retired it returns nullptr.
+///
+/// Thread-safe throughout. Publishing is rare and cheap (a few atomic
+/// ops + history bookkeeping under a mutex); pinning is a single atomic
+/// shared_ptr load.
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Publishes a new version owning its components. Returns the published
+  /// bundle (already current). Throws std::invalid_argument on null
+  /// model/context.
+  std::shared_ptr<const ModelBundle> Publish(
+      std::shared_ptr<const SatoModel> model,
+      std::shared_ptr<const FeatureContext> context,
+      features::FeatureScaler scaler, std::string tag = std::string());
+
+  /// Publishes a new version around BORROWED components (caller
+  /// guarantees lifetime). The bridge for call sites that still own the
+  /// model/context outright, e.g. tests and benchmarks.
+  std::shared_ptr<const ModelBundle> PublishBorrowed(
+      const SatoModel& model, const FeatureContext* context,
+      features::FeatureScaler scaler, std::string tag = std::string());
+
+  /// The current version, pinned. Null until the first Publish.
+  std::shared_ptr<const ModelBundle> Current() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  /// Version id of the current bundle; 0 before the first Publish.
+  uint64_t current_version() const;
+
+  /// Pins a specific version: the current bundle, or an older one that is
+  /// still alive (someone else pins it). Returns null for unknown or
+  /// retired versions -- the registry never resurrects freed models.
+  std::shared_ptr<const ModelBundle> PinVersion(uint64_t version) const;
+
+  /// Consistent snapshot: per-version served counts and retirement state,
+  /// plus correction-log counters.
+  RegistryStats Stats() const;
+
+  // ---- AdaTyper adaptation hook (correction log only; no learning yet) --
+
+  /// Appends one user correction to the bounded in-memory log, evicting
+  /// the oldest entry when full. Always succeeds; returns false when the
+  /// append evicted an entry.
+  bool SubmitCorrection(Correction correction);
+
+  /// Snapshot of the retained corrections, oldest first.
+  std::vector<Correction> Corrections() const;
+
+  /// Bound on the retained correction log (default 1024). Shrinking it
+  /// evicts oldest entries immediately.
+  void set_max_corrections(size_t n);
+  size_t max_corrections() const;
+
+ private:
+  struct VersionRecord {
+    uint64_t version;
+    std::string tag;
+    std::weak_ptr<const ModelBundle> bundle;  // never extends a lifetime
+    std::shared_ptr<internal::VersionCounters> counters;
+  };
+
+  std::shared_ptr<const ModelBundle> PublishBundle(
+      std::shared_ptr<ModelBundle> bundle);
+
+  // The RCU pointer: readers pin with a single atomic load.
+  std::atomic<std::shared_ptr<const ModelBundle>> current_;
+
+  mutable std::mutex mutex_;  // history + correction log
+  uint64_t next_version_ = 1;
+  std::vector<VersionRecord> history_;
+  std::deque<Correction> corrections_;
+  size_t max_corrections_ = 1024;
+  uint64_t corrections_submitted_ = 0;
+  uint64_t corrections_dropped_ = 0;
+};
+
+}  // namespace sato::serve
+
+#endif  // SATO_SERVE_MODEL_REGISTRY_H_

@@ -54,6 +54,25 @@ PredictionServiceOptions Sanitize(PredictionServiceOptions options) {
   return options;
 }
 
+ModelRegistry* ValidateRegistry(ModelRegistry* registry) {
+  if (registry == nullptr) {
+    throw std::invalid_argument("PredictionService: null registry");
+  }
+  if (registry->Current() == nullptr) {
+    throw std::invalid_argument(
+        "PredictionService: registry has no published version");
+  }
+  return registry;
+}
+
+std::unique_ptr<ModelRegistry> MakeSingleVersionRegistry(
+    const SatoModel& model, const FeatureContext* context,
+    features::FeatureScaler scaler) {
+  auto registry = std::make_unique<ModelRegistry>();
+  registry->PublishBorrowed(model, context, std::move(scaler), "borrowed");
+  return registry;
+}
+
 }  // namespace
 
 const char* RequestStatusName(RequestStatus status) {
@@ -87,16 +106,16 @@ bool PredictionHandle::Done() const {
 
 // ------------------------------------------------------ PredictionService ----
 
-PredictionService::PredictionService(const SatoModel& model,
-                                     const FeatureContext* context,
-                                     features::FeatureScaler scaler,
+PredictionService::PredictionService(ModelRegistry* registry,
                                      const PredictionServiceOptions& options)
     : options_(Sanitize(options)),
       own_clock_(options.clock != nullptr ? nullptr : new SteadyClock),
       clock_(options.clock != nullptr ? options.clock : own_clock_.get()),
-      predictor_(&model, context, std::move(scaler)),
+      registry_(ValidateRegistry(registry)),
       workspaces_(options_.num_threads),
       scratches_(options_.num_threads),
+      worker_context_(options_.num_threads),
+      last_pinned_version_(registry->current_version()),
       batch_size_histogram_(options_.max_batch_size + 1, 0),
       pool_(options_.num_threads),
       batcher_([this] { BatcherLoop(); }) {
@@ -105,6 +124,20 @@ PredictionService::PredictionService(const SatoModel& model,
   // and resolving its handle.
   latencies_.reserve(kLatencyWindow);
 }
+
+PredictionService::PredictionService(std::unique_ptr<ModelRegistry> owned,
+                                     const PredictionServiceOptions& options)
+    : PredictionService(owned.get(), options) {
+  own_registry_ = std::move(owned);
+}
+
+PredictionService::PredictionService(const SatoModel& model,
+                                     const FeatureContext* context,
+                                     features::FeatureScaler scaler,
+                                     const PredictionServiceOptions& options)
+    : PredictionService(
+          MakeSingleVersionRegistry(model, context, std::move(scaler)),
+          options) {}
 
 PredictionService::~PredictionService() { Shutdown(); }
 
@@ -201,28 +234,63 @@ void PredictionService::BatcherLoop() {
     ++batches_;
     ++batch_size_histogram_[batch_size];
 
+    // Pin the model version for this whole micro-batch: one atomic
+    // shared_ptr load. Requests in this batch all serve on `bundle` even
+    // if a Publish lands mid-execution; the next batch re-pins.
+    std::shared_ptr<const ModelBundle> bundle = registry_->Current();
+    if (bundle->version() != last_pinned_version_) {
+      ++model_swaps_;
+      last_pinned_version_ = bundle->version();
+    }
+
     lock.unlock();
     for (auto& request : batch) {
-      pool_.Submit([this, state = std::move(request)](size_t worker) {
-        ExecuteRequest(state, worker);
-      });
+      pool_.Submit(
+          [this, state = std::move(request), bundle](size_t worker) mutable {
+            ExecuteRequest(state, bundle, worker);
+            // Drop the pin before the task returns, not when the pool
+            // eventually destroys the closure: once the pool's Wait()
+            // barrier passes (Shutdown), no task still pins a retired
+            // bundle, so "old version freed after its last in-flight
+            // batch" is a guarantee rather than an eventually.
+            bundle.reset();
+            state.reset();
+          });
     }
+    bundle.reset();  // the tasks' copies are the remaining pins
     lock.lock();
   }
 }
 
 void PredictionService::ExecuteRequest(
-    const std::shared_ptr<internal::RequestState>& state, size_t worker) {
+    const std::shared_ptr<internal::RequestState>& state,
+    const std::shared_ptr<const ModelBundle>& bundle, size_t worker) {
+  // Scratch re-binding: this worker's token dictionary is keyed to the
+  // context it last featurized against. A different context pointer means
+  // a hot swap replaced the featurization state; the next
+  // TokenCache::Build detects the changed component pointers and
+  // re-resolves the dictionary. Holding the shared_ptr per worker is the
+  // ABA guard -- while we pin the old context, a new one can never be
+  // allocated at the same address. Worker slot w is only ever touched by
+  // pool thread w, so this needs no lock and cannot race an executing
+  // batch.
+  if (worker_context_[worker] != bundle->context_ptr()) {
+    worker_context_[worker] = bundle->context_ptr();
+  }
+
   PredictionResult result;
   result.status = RequestStatus::kOk;
+  result.model_version = bundle->version();
   try {
     if (state->table.num_columns() > 0) {
       // The caller-supplied seed is the ONLY stochastic input: prediction
-      // is a pure function of (table, seed), never of batching/workers.
+      // is a pure function of (table, seed) and the pinned version,
+      // never of batching/workers.
       util::Rng rng(state->seed);
-      result.type_ids = predictor_.PredictTable(
+      result.type_ids = bundle->predictor().PredictTable(
           state->table, &rng, &workspaces_[worker], &scratches_[worker]);
     }
+    bundle->RecordServed();
   } catch (...) {
     result.status = RequestStatus::kFailed;
     result.error = std::current_exception();
@@ -280,6 +348,7 @@ ServiceStats PredictionService::Stats() const {
     stats.completed = completed_;
     stats.outstanding = outstanding_;
     stats.batches = batches_;
+    stats.model_swaps = model_swaps_;
     stats.batch_size_histogram = batch_size_histogram_;
     latencies = latencies_;
   }
@@ -297,6 +366,7 @@ void PredictionService::ResetStats() {
   rejected_ = 0;
   rejected_shutdown_ = 0;
   batches_ = 0;
+  model_swaps_ = 0;
   std::fill(batch_size_histogram_.begin(), batch_size_histogram_.end(), 0);
   latencies_.clear();
   latency_next_ = 0;

@@ -16,6 +16,7 @@
 #include "features/pipeline.h"
 #include "nn/workspace.h"
 #include "serve/clock.h"
+#include "serve/model_registry.h"
 #include "serve/thread_pool.h"
 #include "table/table.h"
 
@@ -36,6 +37,12 @@ struct PredictionResult {
   RequestStatus status = RequestStatus::kShutdown;
   /// Predicted semantic type ids, one per column (empty unless kOk).
   std::vector<TypeId> type_ids;
+  /// Registry version of the model bundle that produced this prediction
+  /// (0 for rejected/shutdown requests, which never reached a model).
+  /// With hot swap live, this is what keeps the determinism contract
+  /// auditable: the response is byte-identical to a sequential
+  /// SatoPredictor run on exactly this version.
+  uint64_t model_version = 0;
   /// Submit -> completion on the service clock (0 for rejected requests).
   uint64_t latency_nanos = 0;
   /// The escaped exception when status == kFailed, else null.
@@ -105,6 +112,10 @@ struct ServiceStats {
   uint64_t rejected_shutdown = 0;  ///< kShutdown (submitted after Shutdown)
   uint64_t outstanding = 0;        ///< admitted, not yet completed
   uint64_t batches = 0;            ///< micro-batches dispatched
+  /// Micro-batches whose pinned model version differed from the previous
+  /// batch's -- the number of hot swaps the dispatch path actually
+  /// crossed (0 while one version serves the whole stream).
+  uint64_t model_swaps = 0;
   /// batch_size_histogram[s] = number of dispatched micro-batches of size
   /// s, for s in [0, max_batch_size] (index 0 is always 0).
   std::vector<uint64_t> batch_size_histogram;
@@ -118,18 +129,40 @@ struct ServiceStats {
 /// requests into micro-batches under a max-batch-size / max-queue-delay
 /// deadline and dispatches them onto the shared ThreadPool + per-worker
 /// Workspace/FeatureScratch machinery. Steady-state serving therefore
-/// allocates nothing inside featurization or the network and shares the
-/// ONE immutable model, exactly like BatchPredictor.
+/// allocates nothing inside featurization or the network and shares ONE
+/// immutable model *version* per micro-batch.
 ///
-/// Determinism under batching: each request decodes with an Rng seeded by
-/// its caller-supplied seed and nothing else, so the prediction is a pure
-/// function of (table, seed) -- byte-identical to a sequential
-/// SatoPredictor::PredictTable with util::Rng(seed), regardless of how
-/// requests coalesce into batches, which worker runs them, or the worker
-/// count (asserted by tests/service_test.cc). Callers who need distinct
-/// per-request streams from one base seed should derive them with
-/// BatchPredictor::TableSeed(base, i) -- the same splitmix64 seed-stream
-/// contract the offline path uses.
+/// Zero-downtime hot swap: the service serves whatever its ModelRegistry
+/// currently publishes. The batcher pins Current() ONCE per micro-batch
+/// (an atomic shared_ptr load), so a Publish during live traffic is
+/// race-free by construction -- in-flight batches finish on the version
+/// they pinned, batches dispatched after the publish pick up the new one,
+/// no request is dropped or delayed, and the old bundle is destroyed when
+/// the last in-flight batch drops its pin (RCU grace period ==
+/// shared_ptr refcount). Every PredictionResult carries the
+/// model_version that produced it.
+///
+/// Determinism under batching AND swapping: each request decodes with an
+/// Rng seeded by its caller-supplied seed and nothing else, so the
+/// prediction is a pure function of (table, seed, model version) --
+/// byte-identical to a sequential SatoPredictor::PredictTable on the
+/// version in the response, regardless of how requests coalesce into
+/// batches, which worker runs them, or the worker count (asserted by
+/// tests/service_test.cc, including mid-stream publishes). Callers who
+/// need distinct per-request streams from one base seed should derive
+/// them with BatchPredictor::TableSeed(base, i).
+///
+/// Scratch re-binding across swaps: per-worker FeatureScratch token
+/// dictionaries are keyed to one FeatureContext. Each worker holds a
+/// shared_ptr to the context it last featurized against; when a pinned
+/// bundle carries a different context, the worker re-binds before
+/// touching the scratch (the TokenCache resets itself on the changed
+/// component pointers). Holding the old context per worker makes the
+/// pointer comparison exact -- a freed context recycled at the same
+/// address (ABA) cannot masquerade as "unchanged". Re-binding happens on
+/// the worker thread between requests, so it never races an executing
+/// batch; a model-only swap that reuses the same context keeps every
+/// worker dictionary warm.
 ///
 /// Backpressure: admission is bounded by queue_capacity outstanding
 /// requests; overflow Submits resolve immediately with kRejected (never a
@@ -140,8 +173,18 @@ struct ServiceStats {
 /// waits for the pool. The destructor calls it.
 class PredictionService {
  public:
-  /// Borrows `model` and `context` (and options.clock when set); all must
-  /// outlive the service. No model state is copied.
+  /// Serves the registry's current (and future) versions. `registry` is
+  /// borrowed and must outlive the service; it must already have a
+  /// published version (throws std::invalid_argument otherwise -- a
+  /// service with nothing to serve is a configuration error, not a
+  /// runtime state).
+  PredictionService(ModelRegistry* registry,
+                    const PredictionServiceOptions& options);
+
+  /// Legacy borrow-based construction: wraps the borrowed components into
+  /// an internal single-version registry. `model` and `context` (and
+  /// options.clock when set) must outlive the service. No model state is
+  /// copied.
   PredictionService(const SatoModel& model, const FeatureContext* context,
                     features::FeatureScaler scaler,
                     const PredictionServiceOptions& options);
@@ -180,20 +223,45 @@ class PredictionService {
   /// than this have completed, the oldest samples are overwritten.
   static constexpr size_t kLatencyWindow = 1 << 16;
 
-  /// The shared model every worker reads -- exactly one, never cloned.
-  const SatoModel& model() const { return predictor_.model(); }
+  /// Pinned snapshot of the version the NEXT micro-batch will serve.
+  /// Safe to hold indefinitely (it is a pin of its own). This replaces
+  /// the old `const SatoModel& model()` accessor, which would have
+  /// dangled the moment a publish retired the model it pointed into.
+  std::shared_ptr<const ModelBundle> bundle() const {
+    return registry_->Current();
+  }
+
+  /// Version id the next micro-batch will serve.
+  uint64_t model_version() const { return registry_->current_version(); }
+
+  /// The registry this service serves from (never null). The compat
+  /// constructors expose their internal single-version registry here, so
+  /// corrections can be submitted against any service.
+  ModelRegistry* registry() const { return registry_; }
 
  private:
+  /// Compat-ctor plumbing: adopts ownership of the internal registry
+  /// after delegating to the registry-serving constructor.
+  PredictionService(std::unique_ptr<ModelRegistry> owned,
+                    const PredictionServiceOptions& options);
+
   void BatcherLoop();
   void ExecuteRequest(const std::shared_ptr<internal::RequestState>& state,
+                      const std::shared_ptr<const ModelBundle>& bundle,
                       size_t worker);
 
   PredictionServiceOptions options_;      // sanitized copy
   std::unique_ptr<SteadyClock> own_clock_;  // set when options.clock == null
   Clock* clock_;                          // the clock actually used
-  SatoPredictor predictor_;               // drives the shared const model
+  std::unique_ptr<ModelRegistry> own_registry_;  // compat ctor only
+  ModelRegistry* registry_;               // the registry actually served
   std::vector<nn::Workspace> workspaces_;            // one per worker
   std::vector<SatoPredictor::Scratch> scratches_;    // one per worker
+  // Per-worker context binding: worker w touches entry w exclusively (the
+  // pool gives each thread a fixed index), so no lock is needed. Holding
+  // the shared_ptr keeps the last-bound context alive, which is what
+  // makes the swap-detection pointer comparison ABA-proof.
+  std::vector<std::shared_ptr<const FeatureContext>> worker_context_;
 
   mutable std::mutex mutex_;
   std::condition_variable queue_cv_;  // batcher parks here; Submit/Shutdown wake it
@@ -205,6 +273,8 @@ class PredictionService {
   uint64_t rejected_shutdown_ = 0;
   uint64_t outstanding_ = 0;
   uint64_t batches_ = 0;
+  uint64_t model_swaps_ = 0;
+  uint64_t last_pinned_version_ = 0;  // batcher-only, guarded by mutex_
   std::vector<uint64_t> batch_size_histogram_;
   std::vector<uint64_t> latencies_;  // ring of the last kLatencyWindow samples
   size_t latency_next_ = 0;          // ring cursor once the window is full

@@ -287,8 +287,13 @@ TEST_F(BatchPredictorTest, SharesExactlyOneModelInstance) {
   serve::BatchPredictorOptions options;
   options.num_threads = 8;
   serve::BatchPredictor batch(model, context_, *scaler_, options);
-  // No replicas: the model the workers read IS the caller's instance.
-  EXPECT_EQ(&batch.model(), &model);
+  // No replicas: the model the workers read IS the caller's instance,
+  // wrapped in an unregistered (version 0) borrowed bundle. The bundle
+  // snapshot accessor replaced the old `const SatoModel&` accessor, which
+  // would dangle under hot-swappable ownership.
+  ASSERT_NE(batch.bundle(), nullptr);
+  EXPECT_EQ(&batch.bundle()->model(), &model);
+  EXPECT_EQ(batch.model_version(), 0u);
 }
 
 // ------------------------------------------------ shared-model re-entrancy ----

@@ -1,10 +1,12 @@
 // Concurrency battery for the online serving frontend
 // (serve::PredictionService): multi-producer determinism under micro-
 // batching, fake-clock deadline behaviour (no real sleeps anywhere in this
-// suite), backpressure on the bounded admission queue, and graceful
-// shutdown semantics.
+// suite), backpressure on the bounded admission queue, graceful shutdown
+// semantics, and RCU hot swap under live traffic (mid-stream publishes,
+// per-version determinism, bundle retirement, context re-binding).
 
 #include <algorithm>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -18,6 +20,7 @@
 #include "corpus/generator.h"
 #include "serve/batch_predictor.h"
 #include "serve/clock.h"
+#include "serve/model_registry.h"
 #include "serve/prediction_service.h"
 #include "table/table.h"
 #include "util/rng.h"
@@ -26,6 +29,8 @@ namespace sato {
 namespace {
 
 using serve::FakeClock;
+using serve::ModelBundle;
+using serve::ModelRegistry;
 using serve::PredictionHandle;
 using serve::PredictionService;
 using serve::PredictionServiceOptions;
@@ -82,6 +87,17 @@ class PredictionServiceTest : public ::testing::Test {
   static std::vector<TypeId> Sequential(const SatoModel& model,
                                         const Table& table, uint64_t seed) {
     SatoPredictor predictor(&model, context_, *scaler_);
+    util::Rng rng(seed);
+    return predictor.PredictTable(table, &rng);
+  }
+
+  /// Sequential oracle against an explicit context/scaler (the hot-swap
+  /// tests serve bundles whose featurization state differs per version).
+  static std::vector<TypeId> SequentialWith(
+      const SatoModel& model, const FeatureContext* context,
+      const features::FeatureScaler& scaler, const Table& table,
+      uint64_t seed) {
+    SatoPredictor predictor(&model, context, scaler);
     util::Rng rng(seed);
     return predictor.PredictTable(table, &rng);
   }
@@ -358,6 +374,265 @@ TEST_F(PredictionServiceTest, ShutdownWhileQueuedCompletesQueuedRequests) {
 
   PredictionHandle late = service.Submit((*tables_)[0], 1);
   EXPECT_EQ(late.Get().status, RequestStatus::kShutdown);
+}
+
+// ----------------------------------------------------------- hot swap ----
+
+// Every response names the version that produced it; the snapshot
+// accessors expose the same version (they replaced the `const SatoModel&`
+// accessor that would now dangle across swaps), and a rejected request --
+// which never reached a model -- reports version 0.
+TEST_F(PredictionServiceTest, ResponsesCarryTheProducingModelVersion) {
+  const SatoModel model = MakeModel(37);
+  ModelRegistry registry;
+  registry.PublishBorrowed(model, context_, *scaler_, "only");
+
+  FakeClock clock;
+  PredictionServiceOptions options = FakeClockOptions(&clock);
+  options.max_batch_size = 1;  // flush immediately
+  options.queue_capacity = 1;
+  PredictionService service(&registry, options);
+
+  EXPECT_EQ(service.model_version(), 1u);
+  ASSERT_NE(service.bundle(), nullptr);
+  EXPECT_EQ(service.bundle()->version(), 1u);
+  EXPECT_EQ(service.bundle()->tag(), "only");
+  EXPECT_EQ(service.registry(), &registry);
+
+  PredictionHandle handle = service.Submit((*tables_)[0], 5);
+  const serve::PredictionResult& result = handle.Get();
+  EXPECT_EQ(result.status, RequestStatus::kOk);
+  EXPECT_EQ(result.model_version, 1u);
+  EXPECT_EQ(result.type_ids, Sequential(model, (*tables_)[0], 5));
+
+  // Overflow rejection never reaches a model: version 0.
+  PredictionHandle a = service.Submit((*tables_)[1], 6);
+  PredictionHandle b = service.Submit((*tables_)[1], 6);
+  const serve::PredictionResult& rejected =
+      a.Get().status == RequestStatus::kRejected ? a.Get() : b.Get();
+  if (rejected.status == RequestStatus::kRejected) {
+    EXPECT_EQ(rejected.model_version, 0u);
+  }
+  clock.AdvanceNanos(kMillisecond);
+  service.Shutdown();
+}
+
+// Serving a registry with nothing published is a configuration error.
+TEST_F(PredictionServiceTest, ConstructionRequiresAPublishedVersion) {
+  ModelRegistry empty;
+  PredictionServiceOptions options;
+  EXPECT_THROW(PredictionService(&empty, options), std::invalid_argument);
+  EXPECT_THROW(PredictionService(nullptr, options), std::invalid_argument);
+}
+
+// The compat constructor builds an internal single-version registry: the
+// borrowed model serves as version 1 and the registry is reachable for
+// corrections.
+TEST_F(PredictionServiceTest, CompatConstructorServesAnInternalRegistry) {
+  const SatoModel model = MakeModel(37);
+  PredictionServiceOptions options;
+  PredictionService service(model, context_, *scaler_, options);
+  EXPECT_EQ(service.model_version(), 1u);
+  ASSERT_NE(service.bundle(), nullptr);
+  EXPECT_EQ(&service.bundle()->model(), &model);  // borrowed, not copied
+  ASSERT_NE(service.registry(), nullptr);
+  EXPECT_TRUE(service.registry()->SubmitCorrection({"col", 2, 1}));
+  EXPECT_EQ(service.registry()->Stats().corrections_submitted, 1u);
+}
+
+// The swap battery: three versions with DIFFERENT weights roll out while
+// multi-producer closed-loop clients hammer the service, at 1/2/8 workers.
+// Asserts (a) every response's model_version was actually published,
+// (b) every response is byte-identical to the sequential predictor on
+// exactly that version, (c) no request is dropped or hangs across a
+// Publish, (d) a request submitted after the last publish serves on it,
+// and (e) the superseded first bundle is destroyed once drained -- its
+// last pin, not the publish, is what frees it.
+TEST_F(PredictionServiceTest, HotSwapUnderLoadStaysDeterministicPerVersion) {
+  constexpr size_t kClients = 4;
+  constexpr size_t kPerClient = 12;
+  constexpr size_t kTotal = kClients * kPerClient;
+  constexpr uint64_t kBase = 101;
+  const SatoModel model_a = MakeModel(41);
+  const SatoModel model_b = MakeModel(42);
+  const SatoModel model_c = MakeModel(43);
+  const SatoModel* models[] = {&model_a, &model_b, &model_c};
+
+  util::Rng pick(2024);
+  std::vector<size_t> table_of(kTotal);
+  for (size_t r = 0; r < kTotal; ++r) {
+    table_of[r] = static_cast<size_t>(
+        pick.UniformInt(0, static_cast<int64_t>(tables_->size()) - 1));
+  }
+
+  for (size_t workers : {1u, 2u, 8u}) {
+    ModelRegistry registry;
+    registry.PublishBorrowed(model_a, context_, *scaler_, "A");
+    std::weak_ptr<const ModelBundle> v1_alive = registry.Current();
+
+    PredictionServiceOptions options;
+    options.num_threads = workers;
+    options.max_batch_size = 4;
+    options.max_queue_delay_nanos = 200'000;  // 200 us, real clock
+    PredictionService service(&registry, options);
+
+    // Publisher: rolls out B after a third of the stream completed and C
+    // after two thirds. Closed-loop clients guarantee that requests are
+    // still being submitted after each publish, so later batches MUST pin
+    // the newer versions.
+    std::thread publisher([&] {
+      while (service.Stats().completed < kTotal / 3) {
+        std::this_thread::yield();
+      }
+      registry.PublishBorrowed(model_b, context_, *scaler_, "B");
+      while (service.Stats().completed < 2 * kTotal / 3) {
+        std::this_thread::yield();
+      }
+      registry.PublishBorrowed(model_c, context_, *scaler_, "C");
+    });
+
+    std::vector<PredictionHandle> handles(kTotal);
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        for (size_t j = 0; j < kPerClient; ++j) {
+          const size_t r = c * kPerClient + j;
+          handles[r] =
+              service.Submit((*tables_)[table_of[r]],
+                             serve::BatchPredictor::TableSeed(kBase, r));
+          handles[r].Get();  // closed loop: next submit after completion
+        }
+      });
+    }
+    for (auto& client : clients) client.join();
+    publisher.join();
+
+    // Submitted strictly after Publish(C) returned: must serve version 3.
+    PredictionHandle epilogue = service.Submit((*tables_)[0], 7);
+    EXPECT_EQ(epilogue.Get().status, RequestStatus::kOk);
+    EXPECT_EQ(epilogue.Get().model_version, 3u);
+    EXPECT_EQ(epilogue.Get().type_ids, Sequential(model_c, (*tables_)[0], 7));
+
+    size_t on_first = 0, on_later = 0;
+    for (size_t r = 0; r < kTotal; ++r) {
+      const serve::PredictionResult& result = handles[r].Get();
+      ASSERT_EQ(result.status, RequestStatus::kOk)
+          << "workers " << workers << " request " << r;
+      ASSERT_GE(result.model_version, 1u) << "request " << r;
+      ASSERT_LE(result.model_version, 3u) << "request " << r;
+      (result.model_version == 1 ? on_first : on_later) += 1;
+      EXPECT_EQ(result.type_ids,
+                Sequential(*models[result.model_version - 1],
+                           (*tables_)[table_of[r]],
+                           serve::BatchPredictor::TableSeed(kBase, r)))
+          << "workers " << workers << " request " << r << " version "
+          << result.model_version;
+    }
+    // The very first batch dispatched before any completion, hence on A;
+    // and each publish preceded at least a third of the submissions.
+    EXPECT_GE(on_first, 1u) << "workers " << workers;
+    EXPECT_GE(on_later, 1u) << "workers " << workers;
+
+    service.Shutdown();
+    const serve::ServiceStats stats = service.Stats();
+    EXPECT_EQ(stats.completed, kTotal + 1);  // nothing dropped, nothing hung
+    EXPECT_EQ(stats.rejected, 0u);
+    EXPECT_GE(stats.model_swaps, 2u);  // both publishes crossed dispatch
+
+    // Superseded and fully drained: the first bundle's last pin has
+    // dropped, so it is gone -- and the registry refuses to revive it.
+    EXPECT_TRUE(v1_alive.expired()) << "workers " << workers;
+    EXPECT_EQ(registry.PinVersion(1), nullptr);
+    serve::RegistryStats rstats = registry.Stats();
+    ASSERT_EQ(rstats.versions.size(), 3u);
+    EXPECT_TRUE(rstats.versions[0].retired);
+    EXPECT_FALSE(rstats.versions[2].retired);
+    // Every ok response was recorded against some version.
+    uint64_t served = 0;
+    for (const auto& v : rstats.versions) served += v.served;
+    EXPECT_EQ(served, kTotal + 1);
+  }
+}
+
+// A swap that replaces the FEATURE CONTEXT (not just the weights): worker
+// token dictionaries are keyed to the old context, so the service must
+// re-bind scratches on the next request -- and back again when the old
+// context returns. Responses around both swaps stay byte-identical to
+// sequential predictors built on the matching context.
+TEST_F(PredictionServiceTest, ContextSwapRebindsWorkerScratches) {
+  const SatoModel model_a = MakeModel(51);
+
+  // An independently built featurization state: different reference
+  // corpus, so different vocabulary, TF-IDF and LDA parameters.
+  corpus::CorpusOptions copts;
+  copts.num_tables = 40;
+  copts.seed = 333;
+  corpus::CorpusGenerator gen(copts);
+  auto reference_b = gen.GenerateWith(60, 777);
+  util::Rng rng_b(57);
+  FeatureContext context_b =
+      FeatureContext::Build(reference_b, *config_, &rng_b);
+  DatasetBuilder builder(&context_b);
+  auto corpus_b = gen.Generate();
+  Dataset train_b = builder.Build(corpus_b, &rng_b);
+  features::FeatureScaler scaler_b = StandardizeSplits(&train_b, nullptr);
+  ColumnwiseModel::Dims dims_b;
+  dims_b.char_dim = context_b.pipeline().char_dim();
+  dims_b.word_dim = context_b.pipeline().word_dim();
+  dims_b.para_dim = context_b.pipeline().para_dim();
+  dims_b.stat_dim = context_b.pipeline().stat_dim();
+  util::Rng mrng(58);
+  SatoModel model_b(SatoVariant::kFull, dims_b, context_b.topic_dim(),
+                    *config_, &mrng);
+
+  ModelRegistry registry;
+  registry.PublishBorrowed(model_a, context_, *scaler_, "ctx-a");
+
+  PredictionServiceOptions options;
+  options.num_threads = 2;
+  options.max_batch_size = 1;  // each submit flushes + executes immediately
+  options.max_queue_delay_nanos = 200'000;
+  PredictionService service(&registry, options);
+
+  auto roundtrip = [&](size_t i, uint64_t seed) -> serve::PredictionResult {
+    return service.Submit((*tables_)[i], seed).Get();
+  };
+
+  // Warm the worker dictionaries on context A.
+  for (size_t i = 0; i < 6; ++i) {
+    serve::PredictionResult r = roundtrip(i, 60 + i);
+    EXPECT_EQ(r.status, RequestStatus::kOk);
+    EXPECT_EQ(r.model_version, 1u);
+    EXPECT_EQ(r.type_ids,
+              SequentialWith(model_a, context_, *scaler_, (*tables_)[i],
+                             60 + i));
+  }
+
+  // Swap to context B: every worker must re-key its token dictionary.
+  registry.PublishBorrowed(model_b, &context_b, scaler_b, "ctx-b");
+  for (size_t i = 0; i < 6; ++i) {
+    serve::PredictionResult r = roundtrip(i, 70 + i);
+    EXPECT_EQ(r.status, RequestStatus::kOk);
+    EXPECT_EQ(r.model_version, 2u);
+    EXPECT_EQ(r.type_ids,
+              SequentialWith(model_b, &context_b, scaler_b, (*tables_)[i],
+                             70 + i));
+  }
+
+  // And back to context A (a fresh version): re-binding is symmetric, no
+  // stale dictionary state survives the round trip.
+  registry.PublishBorrowed(model_a, context_, *scaler_, "ctx-a-again");
+  for (size_t i = 0; i < 6; ++i) {
+    serve::PredictionResult r = roundtrip(i, 80 + i);
+    EXPECT_EQ(r.status, RequestStatus::kOk);
+    EXPECT_EQ(r.model_version, 3u);
+    EXPECT_EQ(r.type_ids,
+              SequentialWith(model_a, context_, *scaler_, (*tables_)[i],
+                             80 + i));
+  }
+  service.Shutdown();
+  EXPECT_EQ(service.Stats().model_swaps, 2u);
 }
 
 // --------------------------------------------------------- small edges ----
