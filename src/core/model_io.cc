@@ -131,7 +131,13 @@ LoadedSato LoadSatoBundle(std::istream* in) {
   manifest.tag = ReadString(in);
   manifest.content_hash = ReadU64(in);
 
+  // Bound the untrusted length field before allocating: a corrupted
+  // bundle must fail with runtime_error, not bad_alloc. Real payloads
+  // are ~MiB scale; 1 GiB is far beyond any plausible model.
   const uint64_t payload_size = ReadU64(in);
+  if (payload_size > (1ull << 30)) {
+    throw std::runtime_error("LoadSatoBundle: implausible payload length");
+  }
   std::string bytes(payload_size, '\0');
   in->read(bytes.data(), static_cast<std::streamsize>(payload_size));
   if (!*in) throw std::runtime_error("LoadSatoBundle: truncated stream");

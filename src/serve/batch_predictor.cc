@@ -1,5 +1,6 @@
 #include "serve/batch_predictor.h"
 
+#include <atomic>
 #include <exception>
 #include <mutex>
 #include <stdexcept>
@@ -46,16 +47,18 @@ std::vector<std::vector<TypeId>> BatchPredictor::PredictTables(
   std::vector<std::vector<TypeId>> results(tables.size());
   std::exception_ptr first_error;
   std::mutex error_mutex;
+  std::atomic<uint64_t> served{0};
   const SatoPredictor& predictor = bundle_->predictor();
   for (size_t i = 0; i < tables.size(); ++i) {
     pool_.Submit([this, &predictor, &tables, &results, &first_error,
-                  &error_mutex, i](size_t worker) {
+                  &error_mutex, &served, i](size_t worker) {
       try {
         if (tables[i].num_columns() == 0) return;  // empty prediction
         util::Rng rng(TableSeed(options_.seed, i));
         results[i] = predictor.PredictTable(tables[i], &rng,
                                             &workspaces_[worker],
                                             &scratches_[worker]);
+        served.fetch_add(1, std::memory_order_relaxed);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
@@ -63,7 +66,9 @@ std::vector<std::vector<TypeId>> BatchPredictor::PredictTables(
     });
   }
   pool_.Wait();
-  bundle_->RecordServed(tables.size());
+  // Count only predictions that actually completed: empty tables and
+  // failed workers don't inflate the per-version served stat.
+  if (served > 0) bundle_->RecordServed(served.load(std::memory_order_relaxed));
   if (first_error) std::rethrow_exception(first_error);
   return results;
 }

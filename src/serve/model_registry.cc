@@ -50,10 +50,12 @@ std::shared_ptr<const ModelBundle> ModelRegistry::Publish(
         version);
     history_.push_back(
         VersionRecord{version, std::move(tag), bundle, bundle->counters_});
+    // The swap itself: one atomic store. Readers that already pinned the
+    // old version keep it alive; new Current() calls see this bundle.
+    // Stored under mutex_ so concurrent publishes install in version
+    // order -- readers still never take the lock.
+    current_.store(bundle, std::memory_order_release);
   }
-  // The swap itself: one atomic store. Readers that already pinned the
-  // old version keep it alive; new Current() calls see this bundle.
-  current_.store(bundle, std::memory_order_release);
   return bundle;
 }
 
@@ -82,8 +84,11 @@ std::shared_ptr<const ModelBundle> ModelRegistry::PinVersion(
 
 RegistryStats ModelRegistry::Stats() const {
   RegistryStats stats;
-  stats.current_version = current_version();
   std::lock_guard<std::mutex> lock(mutex_);
+  // current_ is stored under mutex_ in Publish, so loading it inside the
+  // critical section yields a snapshot consistent with published/versions.
+  auto current = current_.load(std::memory_order_acquire);
+  stats.current_version = current != nullptr ? current->version() : 0;
   stats.published = next_version_ - 1;
   stats.versions.reserve(history_.size());
   for (const VersionRecord& record : history_) {

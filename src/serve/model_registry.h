@@ -201,10 +201,8 @@ class ModelRegistry {
     std::shared_ptr<internal::VersionCounters> counters;
   };
 
-  std::shared_ptr<const ModelBundle> PublishBundle(
-      std::shared_ptr<ModelBundle> bundle);
-
-  // The RCU pointer: readers pin with a single atomic load.
+  // The RCU pointer: readers pin with a single atomic load. Publishers
+  // store it while holding mutex_ so versions install monotonically.
   std::atomic<std::shared_ptr<const ModelBundle>> current_;
 
   mutable std::mutex mutex_;  // history + correction log

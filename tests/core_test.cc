@@ -667,6 +667,25 @@ TEST(ModelIoTest, LoadRejectsGarbage) {
   EXPECT_THROW(LoadSatoBundle(&ss), std::runtime_error);
 }
 
+// A corrupted payload-length field must fail the plausibility bound with
+// runtime_error before any allocation is attempted -- not bad_alloc.
+TEST(ModelIoTest, LoadRejectsImplausiblePayloadLength) {
+  std::stringstream ss;
+  auto put_u64 = [&ss](uint64_t v) {
+    ss.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  put_u64(0x5341544f424e4432ull);  // v2 magic ("SATOBND2")
+  put_u64(0);                      // empty tag
+  put_u64(0);                      // content hash (never reached)
+  put_u64(1ull << 40);             // absurd payload length
+  try {
+    LoadSatoBundle(&ss);
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("implausible"), std::string::npos);
+  }
+}
+
 TEST_F(CoreIntegrationTest, TrainingIsDeterministicGivenSeeds) {
   util::Rng a1(77), a2(77);
   SatoConfig quick = *config_;
