@@ -16,6 +16,7 @@
 #include "bench/bench_common.h"
 #include "embedding/token_cache.h"
 #include "features/char_features.h"
+#include "features/config.h"
 #include "features/feature_scratch.h"
 #include "features/para_features.h"
 #include "features/pipeline.h"
@@ -53,6 +54,10 @@ void WriteJson(const char* path, const BenchEnv& env, size_t num_tables,
   std::fprintf(f, "  \"embedding_dim\": %zu,\n",
                env.context.embeddings().dim());
   std::fprintf(f, "  \"topics\": %zu,\n", env.context.topic_dim());
+  // Which featurization kernel the runtime dispatch selected on this host
+  // ("avx2" or "scalar") -- the fast-path numbers below depend on it.
+  std::fprintf(f, "  \"featurize_kernel\": \"%s\",\n",
+               features::KernelName().c_str());
   std::fprintf(f, "  \"results\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
     const StageResult& r = results[i];
@@ -96,9 +101,9 @@ int Run() {
   features::StatFeatureExtractor stat_ex;
 
   std::printf("bench_features: %zu tables (%zu columns), dim=%zu, "
-              "topics=%zu, %d trials\n",
+              "topics=%zu, %d trials, kernel=%s\n",
               tables.size(), num_columns, emb.dim(), env.context.topic_dim(),
-              trials);
+              trials, features::KernelName().c_str());
 
   // Prebuilt caches, one per table, so per-group kernels can be timed
   // without re-tokenising (cache construction is its own row below).

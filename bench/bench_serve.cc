@@ -17,12 +17,17 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "core/predictor.h"
+#include "eval/model_eval.h"
+#include "features/config.h"
+#include "nn/gemm.h"
 #include "serve/batch_predictor.h"
 #include "serve/model_registry.h"
 #include "serve/prediction_service.h"
@@ -39,10 +44,13 @@ struct ServeResult {
   size_t workspace_bytes;  // steady-state scratch across all workers
 };
 
-/// Single-thread wall time of each serving phase over one full batch:
-/// featurization (tokenize-once fast path), the column-wise network
+/// Wall time of each serving phase over one full batch at a given worker
+/// count: featurization (tokenize-once fast path), the column-wise network
 /// forward pass, and CRF decoding (Viterbi minus the shared forward).
+/// Workers split the tables round-robin with per-worker predictor state,
+/// mirroring the BatchPredictor's table-parallel design.
 struct PhaseBreakdown {
+  size_t threads;
   double featurize_sec;
   double nn_sec;
   double crf_sec;
@@ -50,51 +58,78 @@ struct PhaseBreakdown {
 
 PhaseBreakdown MeasurePhases(const SatoModel& model, const BenchEnv& env,
                              const features::FeatureScaler& scaler,
-                             const std::vector<Table>& tables, int trials) {
-  SatoPredictor predictor(&model, &env.context, scaler);
-  SatoPredictor::Scratch scratch;
-  nn::Workspace ws;
-
-  // Featurised batch for the network/decoder phases.
-  std::vector<TableExample> examples;
-  examples.reserve(tables.size());
-  for (size_t i = 0; i < tables.size(); ++i) {
-    if (tables[i].num_columns() == 0) continue;
-    util::Rng rng(serve::BatchPredictor::TableSeed(1, i));
-    examples.push_back(predictor.Featurize(tables[i], &rng));
+                             const std::vector<Table>& tables, size_t threads,
+                             int trials) {
+  struct Worker {
+    SatoPredictor predictor;
+    SatoPredictor::Scratch scratch;
+    nn::Workspace ws;
+    std::vector<TableExample> examples;  // this worker's featurised share
+    Worker(const SatoModel& m, const BenchEnv& e,
+           const features::FeatureScaler& s)
+        : predictor(&m, &e.context, s) {}
+  };
+  std::vector<std::unique_ptr<Worker>> workers;
+  for (size_t w = 0; w < threads; ++w) {
+    workers.push_back(std::make_unique<Worker>(model, env, scaler));
   }
 
-  // Warm-up (scratch/workspace high-water, page faults).
+  // Each phase runs for every worker concurrently; the measured time is
+  // the wall-clock of the slowest worker (barrier semantics, like one
+  // PredictTables pass).
+  auto run_parallel = [&](const std::function<void(size_t)>& fn) {
+    if (threads == 1) {
+      fn(0);
+      return;
+    }
+    std::vector<std::thread> ts;
+    ts.reserve(threads);
+    for (size_t w = 0; w < threads; ++w) ts.emplace_back(fn, w);
+    for (auto& t : ts) t.join();
+  };
+
+  // Featurised batch for the network/decoder phases, split round-robin.
   for (size_t i = 0; i < tables.size(); ++i) {
     if (tables[i].num_columns() == 0) continue;
+    Worker& w = *workers[i % threads];
     util::Rng rng(serve::BatchPredictor::TableSeed(1, i));
-    predictor.FeaturizeInto(tables[i], &rng, &scratch);
+    w.examples.push_back(w.predictor.Featurize(tables[i], &rng));
   }
-  for (const TableExample& e : examples) model.Predict(e, &ws);
 
-  util::Timer timer;
-  for (int t = 0; t < trials; ++t) {
-    for (size_t i = 0; i < tables.size(); ++i) {
+  auto featurize_pass = [&](size_t wi) {
+    Worker& w = *workers[wi];
+    for (size_t i = wi; i < tables.size(); i += threads) {
       if (tables[i].num_columns() == 0) continue;
       util::Rng rng(serve::BatchPredictor::TableSeed(1, i));
-      predictor.FeaturizeInto(tables[i], &rng, &scratch);
+      w.predictor.FeaturizeInto(tables[i], &rng, &w.scratch);
     }
-  }
+  };
+  auto probs_pass = [&](size_t wi) {
+    Worker& w = *workers[wi];
+    for (const TableExample& e : w.examples) model.PredictProbs(e, &w.ws);
+  };
+  auto predict_pass = [&](size_t wi) {
+    Worker& w = *workers[wi];
+    for (const TableExample& e : w.examples) model.Predict(e, &w.ws);
+  };
+
+  // Warm-up (scratch/workspace high-water, page faults).
+  run_parallel(featurize_pass);
+  run_parallel(predict_pass);
+
+  util::Timer timer;
+  for (int t = 0; t < trials; ++t) run_parallel(featurize_pass);
   double featurize = timer.ElapsedSeconds() / trials;
 
   timer.Reset();
-  for (int t = 0; t < trials; ++t) {
-    for (const TableExample& e : examples) model.PredictProbs(e, &ws);
-  }
+  for (int t = 0; t < trials; ++t) run_parallel(probs_pass);
   double nn = timer.ElapsedSeconds() / trials;
 
   timer.Reset();
-  for (int t = 0; t < trials; ++t) {
-    for (const TableExample& e : examples) model.Predict(e, &ws);
-  }
+  for (int t = 0; t < trials; ++t) run_parallel(predict_pass);
   double predict = timer.ElapsedSeconds() / trials;
 
-  return PhaseBreakdown{featurize, nn, std::max(0.0, predict - nn)};
+  return PhaseBreakdown{threads, featurize, nn, std::max(0.0, predict - nn)};
 }
 
 /// One online measurement: closed-loop clients against the
@@ -273,9 +308,21 @@ ServeResult MeasureThroughput(const SatoModel& model, const BenchEnv& env,
                      batch.WorkspaceBytes()};
 }
 
+void WritePhaseEntry(std::FILE* f, const PhaseBreakdown& p, bool last) {
+  double total = p.featurize_sec + p.nn_sec + p.crf_sec;
+  std::fprintf(f,
+               "    {\"threads\": %zu, \"featurize_sec\": %.6f, "
+               "\"nn_sec\": %.6f, \"crf_sec\": %.6f, "
+               "\"featurize_frac\": %.3f}%s\n",
+               p.threads, p.featurize_sec, p.nn_sec, p.crf_sec,
+               total > 0.0 ? p.featurize_sec / total : 0.0, last ? "" : ",");
+}
+
 void WriteJson(const char* path, const BenchEnv& env,
                const std::vector<ServeResult>& results,
-               const PhaseBreakdown& phases, const OnlineResult& online,
+               const std::vector<PhaseBreakdown>& phases,
+               const eval::Int8GateResult& gate,
+               const PhaseBreakdown* int8_phases, const OnlineResult& online,
                const SwapResult& swap, size_t model_bytes, size_t num_tables,
                size_t num_columns) {
   std::FILE* f = std::fopen(path, "w");
@@ -292,13 +339,30 @@ void WriteJson(const char* path, const BenchEnv& env,
                std::thread::hardware_concurrency());
   std::fprintf(f, "  \"model_bytes\": %zu,\n", model_bytes);
   std::fprintf(f, "  \"per_call_model_copies\": 0,\n");
-  double total = phases.featurize_sec + phases.nn_sec + phases.crf_sec;
+  // Which kernels the runtime dispatch selected on this host -- the
+  // datapoints below are meaningless without them.
+  std::fprintf(f, "  \"featurize_kernel\": \"%s\",\n",
+               features::KernelName().c_str());
+  std::fprintf(f, "  \"gemm_kernel\": \"%s\",\n",
+               nn::gemm::KernelName().c_str());
+  std::fprintf(f, "  \"phase_breakdown\": [\n");
+  for (size_t i = 0; i < phases.size(); ++i) {
+    WritePhaseEntry(f, phases[i], i + 1 == phases.size());
+  }
+  std::fprintf(f, "  ],\n");
+  // Quantized-GEMM accuracy gate: the int8 path may only serve when the
+  // macro-F1 degradation vs fp64 on this corpus is within epsilon.
   std::fprintf(f,
-               "  \"phase_breakdown\": {\"threads\": 1, "
-               "\"featurize_sec\": %.6f, \"nn_sec\": %.6f, "
-               "\"crf_sec\": %.6f, \"featurize_frac\": %.3f},\n",
-               phases.featurize_sec, phases.nn_sec, phases.crf_sec,
-               total > 0.0 ? phases.featurize_sec / total : 0.0);
+               "  \"int8_gate\": {\"fp64_macro_f1\": %.6f, "
+               "\"int8_macro_f1\": %.6f, \"delta\": %.6f, "
+               "\"epsilon\": %.6f, \"passed\": %s},\n",
+               gate.fp64_macro_f1, gate.int8_macro_f1, gate.delta,
+               gate.epsilon, gate.passed ? "true" : "false");
+  if (int8_phases != nullptr) {
+    std::fprintf(f, "  \"phase_breakdown_int8\": [\n");
+    WritePhaseEntry(f, *int8_phases, true);
+    std::fprintf(f, "  ],\n");
+  }
   // Online serving datapoint: latency percentiles (ms), the achieved
   // micro-batch size histogram (index s = batches of size s+1), and the
   // rejected-request count from the closed-loop client run.
@@ -417,14 +481,48 @@ int Run() {
     results.push_back(r);
   }
 
-  PhaseBreakdown phases = MeasurePhases(model, env, scaler, tables, trials);
-  double phase_total = phases.featurize_sec + phases.nn_sec + phases.crf_sec;
-  std::printf("phase breakdown (1 thread): featurize %.3fs (%.0f%%), "
-              "nn %.3fs, crf %.3fs\n",
-              phases.featurize_sec,
-              phase_total > 0.0 ? 100.0 * phases.featurize_sec / phase_total
-                                : 0.0,
-              phases.nn_sec, phases.crf_sec);
+  std::vector<PhaseBreakdown> phases;
+  for (size_t threads : thread_counts) {
+    phases.push_back(
+        MeasurePhases(model, env, scaler, tables, threads, trials));
+    const PhaseBreakdown& p = phases.back();
+    double phase_total = p.featurize_sec + p.nn_sec + p.crf_sec;
+    std::printf("phase breakdown (%zu thread%s): featurize %.3fs (%.0f%%), "
+                "nn %.3fs, crf %.3fs\n",
+                p.threads, p.threads == 1 ? "" : "s", p.featurize_sec,
+                phase_total > 0.0 ? 100.0 * p.featurize_sec / phase_total
+                                  : 0.0,
+                p.nn_sec, p.crf_sec);
+  }
+
+  // Quantized-inference gate: the int8 GEMM may only serve if its
+  // macro-F1 degradation vs fp64 on this corpus is within epsilon. Only a
+  // PASS selects the quantized path (for one extra phase datapoint that
+  // shows the nn speedup); the comparable main numbers above stay on the
+  // process-default fp64 path either way.
+  auto bundle = serve::ModelBundle::Borrowed(model, &env.context, scaler);
+  eval::Int8GateResult gate =
+      eval::RunInt8AccuracyGate(bundle, tables, /*seed=*/1,
+                                /*epsilon=*/0.01);
+  std::printf("int8 gate: fp64 macro-F1 %.4f, int8 macro-F1 %.4f, delta "
+              "%.4f (epsilon %.3f) -> %s\n",
+              gate.fp64_macro_f1, gate.int8_macro_f1, gate.delta,
+              gate.epsilon, gate.passed ? "PASS" : "FAIL (serving fp64)");
+  PhaseBreakdown int8_phases{};
+  bool have_int8_phases = false;
+  if (gate.passed) {
+    nn::gemm::Config saved = nn::gemm::DefaultConfig();
+    nn::gemm::Config int8_config = saved;
+    int8_config.use_int8 = true;
+    nn::gemm::SetDefaultConfig(int8_config);
+    int8_phases = MeasurePhases(model, env, scaler, tables, 1, trials);
+    nn::gemm::SetDefaultConfig(saved);
+    have_int8_phases = true;
+    std::printf("phase breakdown (1 thread, int8 gemm): featurize %.3fs, "
+                "nn %.3fs (vs %.3fs fp64), crf %.3fs\n",
+                int8_phases.featurize_sec, int8_phases.nn_sec,
+                phases.front().nn_sec, int8_phases.crf_sec);
+  }
 
   // Online mode: the PredictionService under closed-loop load, workers
   // matched to the hardware.
@@ -468,7 +566,8 @@ int Run() {
               static_cast<double>(swap.stats.latency_p99_nanos) / 1e6,
               static_cast<double>(online.stats.latency_p99_nanos) / 1e6);
 
-  WriteJson("BENCH_serve.json", env, results, phases, online, swap,
+  WriteJson("BENCH_serve.json", env, results, phases, gate,
+            have_int8_phases ? &int8_phases : nullptr, online, swap,
             model_bytes, tables.size(), num_columns);
   return 0;
 }

@@ -1,8 +1,17 @@
 #include "embedding/token_cache.h"
 
 #include <algorithm>
+#include <bit>
 #include <cctype>
+#include <cstring>
 
+#include "features/simd_load.h"
+
+#if defined(SATO_FEATURES_HAS_AVX2)
+#define SATO_TOKENIZE_HAS_AVX2 1
+#endif
+
+#include "features/config.h"
 #include "util/string_util.h"
 
 namespace sato::embedding {
@@ -33,6 +42,75 @@ size_t NextPow2(size_t n) {
   size_t p = 1;
   while (p < n) p <<= 1;
   return p;
+}
+
+#if defined(SATO_TOKENIZE_HAS_AVX2)
+/// AVX2 byte classifier for the tokenizer: builds one alnum bit and one
+/// digit bit per value byte, 32 bytes per iteration (range compares +
+/// movemask); the final partial block is one masked vector pass through
+/// the shared tail loader (corpus values are mostly shorter than one
+/// vector, so that block is the common case). Bytes >= 0x80 read negative
+/// in the signed compares and classify as non-alnum, exactly like the
+/// C-locale std::isalnum the scalar tokenizer uses. The caller must have
+/// zeroed `alnum`/`digit` ((n+63)/64 words each).
+__attribute__((target("avx2"))) void BuildAlnumMasksAvx2(
+    const unsigned char* p, size_t n, uint64_t* alnum, uint64_t* digit) {
+  const __m256i digit_lo = _mm256_set1_epi8('0' - 1);
+  const __m256i digit_hi = _mm256_set1_epi8('9' + 1);
+  const __m256i upper_lo = _mm256_set1_epi8('A' - 1);
+  const __m256i upper_hi = _mm256_set1_epi8('Z' + 1);
+  const __m256i lower_lo = _mm256_set1_epi8('a' - 1);
+  const __m256i lower_hi = _mm256_set1_epi8('z' + 1);
+  for (size_t i = 0; i < n; i += 32) {
+    const size_t rem = n - i;
+    const bool full = rem >= 32;
+    const uint32_t valid = full ? 0xffffffffu : ((1u << rem) - 1u);
+    __m256i v = full ? _mm256_loadu_si256(
+                           reinterpret_cast<const __m256i*>(p + i))
+                     : features::internal::LoadTailAvx2(p + i, rem);
+    __m256i is_digit = _mm256_and_si256(_mm256_cmpgt_epi8(v, digit_lo),
+                                        _mm256_cmpgt_epi8(digit_hi, v));
+    __m256i is_alpha = _mm256_or_si256(
+        _mm256_and_si256(_mm256_cmpgt_epi8(v, upper_lo),
+                         _mm256_cmpgt_epi8(upper_hi, v)),
+        _mm256_and_si256(_mm256_cmpgt_epi8(v, lower_lo),
+                         _mm256_cmpgt_epi8(lower_hi, v)));
+    uint64_t d =
+        static_cast<uint32_t>(_mm256_movemask_epi8(is_digit)) & valid;
+    uint64_t a = static_cast<uint32_t>(_mm256_movemask_epi8(
+                     _mm256_or_si256(is_digit, is_alpha))) &
+                 valid;
+    size_t word = i / 64, shift = i % 64;
+    digit[word] |= d << shift;
+    alnum[word] |= a << shift;
+  }
+}
+#endif  // SATO_TOKENIZE_HAS_AVX2
+
+/// First set-bit index >= `from` in an n-bit mask, or n.
+size_t NextSetBit(const uint64_t* mask, size_t from, size_t n) {
+  size_t word = from / 64;
+  uint64_t w = mask[word] & (~uint64_t{0} << (from % 64));
+  const size_t nwords = (n + 63) / 64;
+  while (w == 0) {
+    if (++word >= nwords) return n;
+    w = mask[word];
+  }
+  size_t bit = word * 64 + static_cast<size_t>(std::countr_zero(w));
+  return bit < n ? bit : n;
+}
+
+/// First clear-bit index >= `from` in an n-bit mask, or n.
+size_t NextClearBit(const uint64_t* mask, size_t from, size_t n) {
+  size_t word = from / 64;
+  uint64_t w = ~mask[word] & (~uint64_t{0} << (from % 64));
+  const size_t nwords = (n + 63) / 64;
+  while (w == 0) {
+    if (++word >= nwords) return n;
+    w = ~mask[word];
+  }
+  size_t bit = word * 64 + static_cast<size_t>(std::countr_zero(w));
+  return bit < n ? bit : n;
 }
 
 }  // namespace
@@ -83,7 +161,9 @@ void TokenCache::Reset(size_t value_bytes, size_t cell_count) {
   columns_.clear();
   value_views_.clear();
   value_counts_.clear();
+  value_first_cell_.clear();
   if (token_slots_.empty()) token_slots_.assign(1024, 0);
+  use_simd_ = features::SimdEnabled();
 }
 
 void TokenCache::FinishBuild(size_t capacity_before) {
@@ -134,35 +214,60 @@ void TokenCache::AddColumn(const Column& column) {
   for (const std::string& value : column.values) {
     Cell cell;
     cell.value = value;
-    TokenizeInto(value, &cell.occ_begin, &cell.occ_end);
 
     if (value.empty()) {
+      cell.occ_begin = cell.occ_end =
+          static_cast<uint32_t>(occurrences_.size());
       cell.value_slot = kNoValue;
-    } else {
-      // Intern the raw value within this column (uniqueness + entropy).
-      uint64_t h = util::Fnv1aHash(value);
-      size_t pos = static_cast<size_t>(h) & vmask;
-      for (;;) {
-        uint64_t entry = value_slots_[pos];
-        uint32_t idx = static_cast<uint32_t>(entry & 0xffffffffu);
-        if ((entry >> 32) != value_generation_ || idx == 0) {
-          uint32_t slot = static_cast<uint32_t>(value_counts_.size());
-          value_views_.push_back(cell.value);
-          value_counts_.push_back(1.0);
-          value_slots_[pos] =
-              (static_cast<uint64_t>(value_generation_) << 32) |
-              (slot - span.value_begin + 1);
-          cell.value_slot = slot;
-          break;
-        }
-        uint32_t slot = span.value_begin + idx - 1;
-        if (slot < value_views_.size() && value_views_[slot] == cell.value) {
-          value_counts_[slot] += 1.0;
-          cell.value_slot = slot;
-          break;
-        }
-        pos = (pos + 1) & vmask;
+      cells_.push_back(cell);
+      continue;
+    }
+
+    // Intern the raw value within this column (uniqueness + entropy)
+    // BEFORE tokenising: a repeated value produces the exact occurrence
+    // sequence its first cell did (token indices are a pure function of
+    // the value's bytes), so duplicates copy that span instead of paying
+    // classification + lower-casing + hashing + dictionary probes again.
+    bool duplicate = false;
+    uint64_t h = util::Fnv1aHash(value);
+    size_t pos = static_cast<size_t>(h) & vmask;
+    for (;;) {
+      uint64_t entry = value_slots_[pos];
+      uint32_t idx = static_cast<uint32_t>(entry & 0xffffffffu);
+      if ((entry >> 32) != value_generation_ || idx == 0) {
+        uint32_t slot = static_cast<uint32_t>(value_counts_.size());
+        value_views_.push_back(cell.value);
+        value_counts_.push_back(1.0);
+        value_first_cell_.push_back(static_cast<uint32_t>(cells_.size()));
+        value_slots_[pos] =
+            (static_cast<uint64_t>(value_generation_) << 32) |
+            (slot - span.value_begin + 1);
+        cell.value_slot = slot;
+        break;
       }
+      uint32_t slot = span.value_begin + idx - 1;
+      if (slot < value_views_.size() && value_views_[slot] == cell.value) {
+        value_counts_[slot] += 1.0;
+        cell.value_slot = slot;
+        duplicate = true;
+        break;
+      }
+      pos = (pos + 1) & vmask;
+    }
+
+    if (duplicate) {
+      const Cell& first = cells_[value_first_cell_[cell.value_slot]];
+      uint32_t len = first.occ_end - first.occ_begin;
+      cell.occ_begin = static_cast<uint32_t>(occurrences_.size());
+      cell.occ_end = cell.occ_begin + len;
+      // resize-then-copy: self-referential insert() would be UB when the
+      // vector reallocates mid-read.
+      occurrences_.resize(occurrences_.size() + len);
+      std::copy(occurrences_.begin() + first.occ_begin,
+                occurrences_.begin() + first.occ_end,
+                occurrences_.begin() + cell.occ_begin);
+    } else {
+      TokenizeInto(value, &cell.occ_begin, &cell.occ_end);
     }
     cells_.push_back(cell);
   }
@@ -172,8 +277,40 @@ void TokenCache::AddColumn(const Column& column) {
   columns_.push_back(span);
 }
 
+void TokenCache::EmitToken(std::string_view value, size_t start, size_t end,
+                           bool all_digits) {
+  uint32_t index;
+  if (all_digits) {
+    size_t digits = std::min(end - start, kMaxNumDigits);
+    const NumTokens& nt = GetNumTokens();
+    index = InternToken(nt.text[digits - 1], nt.hash[digits - 1]);
+  } else {
+    // Lower-case into the arena (capacity was reserved up front, so the
+    // view stays put while we probe the dictionary with it).
+    size_t arena_start = arena_.size();
+    uint64_t h = util::kFnv1aOffset;
+    for (size_t j = start; j < end; ++j) {
+      char c = static_cast<char>(
+          std::tolower(static_cast<unsigned char>(value[j])));
+      arena_.push_back(c);
+      h = util::Fnv1aAppend(h, static_cast<unsigned char>(c));
+    }
+    std::string_view text(arena_.data() + arena_start, end - start);
+    index = InternToken(text, h);
+  }
+  occurrences_.push_back(index);
+}
+
 void TokenCache::TokenizeInto(std::string_view value, uint32_t* occ_begin,
                               uint32_t* occ_end) {
+#if defined(SATO_TOKENIZE_HAS_AVX2)
+  // One vector's worth of bytes is the break-even point; short values go
+  // through the scalar loop either way.
+  if (use_simd_ && value.size() >= 32) {
+    TokenizeWithMasks(value, occ_begin, occ_end);
+    return;
+  }
+#endif
   *occ_begin = static_cast<uint32_t>(occurrences_.size());
   size_t i = 0;
   const size_t n = value.size();
@@ -189,28 +326,49 @@ void TokenCache::TokenizeInto(std::string_view value, uint32_t* occ_begin,
       ++i;
     }
     if (i == start) break;
-
-    uint32_t index;
-    if (all_digits) {
-      size_t digits = std::min(i - start, kMaxNumDigits);
-      const NumTokens& nt = GetNumTokens();
-      index = InternToken(nt.text[digits - 1], nt.hash[digits - 1]);
-    } else {
-      // Lower-case into the arena (capacity was reserved up front, so the
-      // view stays put while we probe the dictionary with it).
-      size_t arena_start = arena_.size();
-      uint64_t h = util::kFnv1aOffset;
-      for (size_t j = start; j < i; ++j) {
-        char c = static_cast<char>(
-            std::tolower(static_cast<unsigned char>(value[j])));
-        arena_.push_back(c);
-        h = util::Fnv1aAppend(h, static_cast<unsigned char>(c));
-      }
-      std::string_view text(arena_.data() + arena_start, i - start);
-      index = InternToken(text, h);
-    }
-    occurrences_.push_back(index);
+    EmitToken(value, start, i, all_digits);
   }
+  *occ_end = static_cast<uint32_t>(occurrences_.size());
+}
+
+void TokenCache::TokenizeWithMasks(std::string_view value,
+                                   uint32_t* occ_begin, uint32_t* occ_end) {
+  *occ_begin = static_cast<uint32_t>(occurrences_.size());
+#if defined(SATO_TOKENIZE_HAS_AVX2)
+  const size_t n = value.size();
+  const size_t nwords = (n + 63) / 64;
+  if (mask_alnum_.size() < nwords) {
+    mask_alnum_.resize(nwords);
+    mask_digit_.resize(nwords);
+  }
+  std::memset(mask_alnum_.data(), 0, nwords * sizeof(uint64_t));
+  std::memset(mask_digit_.data(), 0, nwords * sizeof(uint64_t));
+  BuildAlnumMasksAvx2(reinterpret_cast<const unsigned char*>(value.data()), n,
+                      mask_alnum_.data(), mask_digit_.data());
+
+  // Walk the set-bit runs: each is one alnum token; it is all-digits iff
+  // every one of its digit bits is set. Token emission (lower-case + FNV
+  // or the <num_k> bucket) is the same code the scalar path runs, so the
+  // occurrence stream is bitwise identical.
+  size_t i = 0;
+  while (i < n) {
+    size_t start = NextSetBit(mask_alnum_.data(), i, n);
+    if (start >= n) break;
+    size_t end = NextClearBit(mask_alnum_.data(), start, n);
+    bool all_digits = true;
+    for (size_t w = start; w < end && all_digits;) {
+      size_t word = w / 64;
+      size_t upto = std::min(end, (word + 1) * 64);
+      uint64_t want = (~uint64_t{0} >> (64 - (upto - w))) << (w % 64);
+      all_digits = (mask_digit_[word] & want) == want;
+      w = upto;
+    }
+    EmitToken(value, start, end, all_digits);
+    i = end;
+  }
+#else
+  (void)value;
+#endif
   *occ_end = static_cast<uint32_t>(occurrences_.size());
 }
 
@@ -304,6 +462,8 @@ size_t TokenCache::CapacityBytes() const {
          columns_.capacity() * sizeof(ColumnSpan) +
          value_views_.capacity() * sizeof(std::string_view) +
          value_counts_.capacity() * sizeof(double) +
+         value_first_cell_.capacity() * sizeof(uint32_t) +
+         (mask_alnum_.capacity() + mask_digit_.capacity()) * sizeof(uint64_t) +
          dictionary_bytes_ + oov_vectors_.capacity() * sizeof(double) +
          token_slots_.capacity() * sizeof(uint64_t) +
          value_slots_.capacity() * sizeof(uint64_t);

@@ -111,6 +111,13 @@ class TokenCache {
   /// order.
   const std::vector<double>& value_counts() const { return value_counts_; }
 
+  /// First-occurrence text of a unique-value slot from value_counts().
+  /// Borrowed from the source Table; valid until it dies or the next
+  /// Build. Never empty (empty cells are not interned).
+  std::string_view value_view(uint32_t slot) const {
+    return value_views_[slot];
+  }
+
   /// Embedding row for a token index: the shared embedding-matrix row for
   /// in-vocabulary tokens, the persistent OOV pool row otherwise. The
   /// pointer spans embedding_dim() doubles and is valid until the next
@@ -160,6 +167,10 @@ class TokenCache {
   void AddColumn(const Column& column);
   void TokenizeInto(std::string_view value, uint32_t* occ_begin,
                     uint32_t* occ_end);
+  void TokenizeWithMasks(std::string_view value, uint32_t* occ_begin,
+                         uint32_t* occ_end);
+  void EmitToken(std::string_view value, size_t start, size_t end,
+                 bool all_digits);
   uint32_t InternToken(std::string_view text, uint64_t hash);
   uint32_t AddDictionaryEntry(std::string_view text, uint64_t hash,
                               size_t slot);
@@ -181,6 +192,17 @@ class TokenCache {
   std::vector<ColumnSpan> columns_;
   std::vector<std::string_view> value_views_;  ///< first-occurrence values
   std::vector<double> value_counts_;
+  std::vector<uint32_t> value_first_cell_;  ///< cell that first held each
+                                            ///< unique value; duplicates
+                                            ///< copy its occurrence span
+                                            ///< instead of re-tokenising
+
+  // SIMD tokenizer scratch: one alnum/digit bit per value byte, built 32
+  // bytes at a time; the run finder then walks set-bit spans. Sized to the
+  // longest value seen (in 64-bit words).
+  std::vector<uint64_t> mask_alnum_;
+  std::vector<uint64_t> mask_digit_;
+  bool use_simd_ = false;  ///< latched from features::DefaultConfig() at Build
 
   // -- persistent state, keyed by token text --
   std::vector<Token> dictionary_;

@@ -37,6 +37,14 @@ class CharFeatureExtractor {
   /// replaces the reference path's per-character linear alphabet scan.
   static const std::array<int8_t, 256>& SlotLut();
 
+  /// Classification kernel: writes the alphabet slot (or -1) of every byte
+  /// of `value` into `out[0..value.size())`. With `use_simd` the AVX2
+  /// kernel runs (32 bytes/iteration, scalar tail); otherwise the scalar
+  /// LUT loop. The two are byte-exact for all 256 byte values -- exposed
+  /// so the parity suite can assert exactly that.
+  static void ClassifySlots(std::string_view value, bool use_simd,
+                            int8_t* out);
+
   /// Number of aggregate statistics per alphabet character.
   static constexpr size_t kStatsPerChar = 4;
 

@@ -1,0 +1,36 @@
+#include "features/config.h"
+
+#include "util/cpu.h"
+
+namespace sato::features {
+
+namespace {
+Config& MutableDefaultConfig() {
+  static Config* config = [] {
+    Config* c = new Config();  // leaked: outlives static dtors
+    c->enable_cpu_dispatch = !util::CpuDispatchDisabledByEnv();
+    return c;
+  }();
+  return *config;
+}
+}  // namespace
+
+const Config& DefaultConfig() { return MutableDefaultConfig(); }
+
+void SetDefaultConfig(const Config& config) {
+  MutableDefaultConfig() = config;
+}
+
+bool SimdEnabled(const Config& config) {
+  return config.enable_cpu_dispatch && util::CpuHasAvx2();
+}
+
+bool SimdEnabled() { return SimdEnabled(DefaultConfig()); }
+
+std::string KernelName(const Config& config) {
+  return SimdEnabled(config) ? "avx2" : "scalar";
+}
+
+std::string KernelName() { return KernelName(DefaultConfig()); }
+
+}  // namespace sato::features

@@ -35,12 +35,15 @@ struct FeatureScratch {
   std::vector<double> tf;
   std::vector<uint32_t> touched;
 
-  // Char kernel: per-alphabet-slot accumulators and per-cell counts.
+  // Char kernel: per-alphabet-slot accumulators, per-value counts, and
+  // the classified-slot buffer the SIMD kernel writes (one int8 per byte
+  // of the longest value seen).
   std::vector<double> char_sum;
   std::vector<double> char_sum_sq;
   std::vector<double> char_max;
   std::vector<double> char_present;
   std::vector<double> char_counts;
+  std::vector<int8_t> slot_buf;
 
   // Stat kernel: per-column sequences fed to the util:: moment helpers,
   // the median work buffer, the entropy count copy, and the ParseNumeric
@@ -51,6 +54,16 @@ struct FeatureScratch {
   std::vector<double> median_buf;
   std::vector<double> entropy_counts;
   std::string numeric_buf;
+
+  // Stat kernel per-unique-value caches: scan flags, parsed numeric,
+  // word count, digit/alpha fraction quotients -- computed once per
+  // distinct value, replayed per cell in cell order (bit-identical fp
+  // summation at a fraction of the scans).
+  std::vector<uint8_t> stat_flags;
+  std::vector<double> stat_numeric;
+  std::vector<double> stat_words;
+  std::vector<double> stat_digit_frac;
+  std::vector<double> stat_alpha_frac;
 
   /// Retired ColumnFeatures elements, recycled (with their inner-vector
   /// capacities intact) when the output vector of ExtractCached shrinks or
@@ -70,9 +83,13 @@ struct FeatureScratch {
                   char_present.capacity() + char_counts.capacity() +
                   lengths.capacity() + numerics.capacity() +
                   word_counts.capacity() + median_buf.capacity() +
-                  entropy_counts.capacity()) *
+                  entropy_counts.capacity() + stat_numeric.capacity() +
+                  stat_words.capacity() + stat_digit_frac.capacity() +
+                  stat_alpha_frac.capacity()) *
                      sizeof(double) +
                  touched.capacity() * sizeof(uint32_t) +
+                 slot_buf.capacity() * sizeof(int8_t) +
+                 stat_flags.capacity() * sizeof(uint8_t) +
                  numeric_buf.capacity() +
                  // Pool entries' inner capacities are deliberately not
                  // counted: they migrate between the pool and the caller's

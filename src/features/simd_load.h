@@ -1,0 +1,54 @@
+#ifndef SATO_FEATURES_SIMD_LOAD_H_
+#define SATO_FEATURES_SIMD_LOAD_H_
+
+// Shared tail-load helper for the AVX2 featurization kernels. Corpus cell
+// values are mostly shorter than one 32-byte vector, so the partial final
+// block is the COMMON case for these kernels, not an edge case -- each of
+// them loads it with this helper and masks the garbage lanes out instead
+// of falling back to a per-byte scalar tail.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#if defined(__GNUC__) && defined(__x86_64__)
+#define SATO_FEATURES_HAS_AVX2 1
+#include <immintrin.h>
+#endif
+
+namespace sato::features::internal {
+
+#if defined(SATO_FEATURES_HAS_AVX2)
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define SATO_FEATURES_SANITIZED 1
+#endif
+#elif defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define SATO_FEATURES_SANITIZED 1
+#endif
+
+/// Loads the (partial, `rem` in [1,31]) final 32-byte window at `p`.
+/// When the window stays inside the 4 KiB page the overread past the
+/// value's end is harmless and a plain unaligned load wins; a window
+/// crossing a page boundary (or any load under ASan/TSan, which trap
+/// heap overreads regardless of page layout) goes through a bounce
+/// buffer. Bytes at lanes >= rem are garbage either way -- every caller
+/// must mask them out of whatever it computes from the vector.
+__attribute__((target("avx2"))) inline __m256i LoadTailAvx2(
+    const unsigned char* p, size_t rem) {
+#if !defined(SATO_FEATURES_SANITIZED)
+  if ((reinterpret_cast<uintptr_t>(p) & 4095u) <= 4096u - 32u) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+#endif
+  alignas(32) unsigned char buf[32];
+  std::memcpy(buf, p, rem);
+  return _mm256_load_si256(reinterpret_cast<const __m256i*>(buf));
+}
+
+#endif  // SATO_FEATURES_HAS_AVX2
+
+}  // namespace sato::features::internal
+
+#endif  // SATO_FEATURES_SIMD_LOAD_H_

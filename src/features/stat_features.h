@@ -27,6 +27,26 @@ class StatFeatureExtractor {
  public:
   static constexpr size_t kDim = 27;
 
+  /// Everything one pass over a value's bytes yields: the character-class
+  /// flags and tallies feeding nine of the 27 features, the
+  /// whitespace-delimited word count, and the maybe-numeric hint that
+  /// gates ParseNumeric. Exposed (with ScanValueKernel) so the SIMD
+  /// parity suite can compare kernels byte for byte.
+  struct ScanResult {
+    bool has_digit = false, has_alpha = false, has_punct = false,
+         has_space = false, has_lower = false;
+    size_t digits = 0, alphas = 0;
+    size_t words = 0;
+    bool maybe_numeric = false;
+  };
+
+  /// Scan kernel: classifies every byte of `v` in one pass. With
+  /// `use_simd` the AVX2 kernel runs (32 bytes/iteration, masked
+  /// compares + a nibble LUT for the maybe-numeric byte test, scalar
+  /// tail); otherwise the scalar loop. The two are exact-equal for every
+  /// byte sequence -- all outputs are flags and integer tallies.
+  static ScanResult ScanValueKernel(std::string_view v, bool use_simd);
+
   size_t dim() const { return kDim; }
 
   /// Fast path: features of cache column `column` written into `*out`

@@ -64,8 +64,26 @@ struct Config {
   /// (AVX2+FMA on x86-64) when the hardware supports one. Results then
   /// depend on the host CPU (FMA changes rounding); disable to pin the
   /// portable generic micro-kernel when bitwise cross-machine
-  /// reproducibility matters more than speed.
+  /// reproducibility matters more than speed. Also forced off process-wide
+  /// by SATO_DISABLE_CPU_DISPATCH=1 in the environment (see
+  /// util::CpuDispatchDisabledByEnv), which DefaultConfig() honours.
   bool enable_cpu_dispatch = true;
+
+  /// Quantized inference path: op(A) is quantized to int8 per ROW and
+  /// op(B) per COLUMN (symmetric absmax scaling, q = lrint(x * 127 /
+  /// absmax) clamped to [-127, 127]), the k-accumulation runs in exact
+  /// int32 arithmetic (madd-style int16-pair micro-kernel under AVX2),
+  /// and each output dequantizes once: c[i,j] = acc * scale_a[i] *
+  /// scale_b[j]. Roughly half the packed-panel bandwidth of the fp64
+  /// path at ~1e-2 relative accuracy -- an APPROXIMATION, so eval gates
+  /// it behind a macro-F1 parity check before serving selects it (see
+  /// eval::RunInt8AccuracyGate). Because the accumulators are integers,
+  /// the result is bitwise identical across kernels (scalar vs AVX2),
+  /// thread counts and blocking -- flipping enable_cpu_dispatch or
+  /// parallel_for never changes an int8 result. `use_reference` takes
+  /// precedence; k above ~131k falls back to the fp64 blocked path (the
+  /// int32 accumulator bound k * 127^2 < 2^31).
+  bool use_int8 = false;
 
   // -- optional column parallelism ------------------------------------------
   /// When set, C's columns are split into contiguous chunks (aligned to
@@ -91,6 +109,38 @@ struct Config {
   size_t parallel_min_columns = 128;
 };
 
+/// Largest shared dimension the int8 path accepts (the int32 accumulator
+/// bound k * 127^2 < 2^31). Gemm silently runs the fp64 blocked path past
+/// it; PackInt8B refuses, so a prepack caller must check first.
+inline constexpr size_t kInt8MaxSharedDim = size_t{1} << 17;
+
+/// One matrix quantized per column and packed into micro-kernel panels
+/// once, for reuse as the B (weight) operand across many GemmPrepackedInt8
+/// calls. Quantizing and packing B is O(k * n) scalar work -- with small
+/// activation batches it dominates the whole multiply, so serving packs
+/// each layer's frozen weights one time instead of per call. The contents
+/// are a pure function of the matrix values, so any two packs of equal
+/// matrices are interchangeable.
+struct PackedInt8B {
+  size_t k = 0;                   ///< shared dimension (rows of B)
+  size_t n = 0;                   ///< output columns
+  const double* source = nullptr; ///< data pointer B was packed from (cache key
+                                  ///< only -- never dereferenced)
+  std::vector<int16_t> panels;    ///< NR-column k-pair panels (see gemm.cc)
+  std::vector<double> col_scale;  ///< per-column dequantization scales
+};
+
+/// Quantizes + packs `b` [k, n] for the B side of GemmPrepackedInt8.
+/// Throws std::invalid_argument when k exceeds kInt8MaxSharedDim.
+PackedInt8B PackInt8B(const Matrix& b);
+
+/// C = A * B with B prepacked: bitwise identical to Gemm(a, b, c) under
+/// `use_int8` for the matrix `packed` was built from, at O(m * k) packing
+/// cost per call instead of O(m * k + k * n). Ignores `use_int8` /
+/// `use_reference` (the caller already chose the quantized path).
+void GemmPrepackedInt8(const Matrix& a, const PackedInt8B& packed, Matrix* c,
+                       const Config& config);
+
 /// Process-wide configuration used by the MatMul* wrappers in matrix.h.
 /// Defaults to the serial blocked kernel with CPU dispatch enabled.
 const Config& DefaultConfig();
@@ -101,8 +151,9 @@ const Config& DefaultConfig();
 void SetDefaultConfig(const Config& config);
 
 /// Human-readable name of the micro-kernel `config` would run with on this
-/// host: "reference", "blocked-generic" or "blocked-avx2fma". Surfaced in
-/// BENCH_gemm.json so perf datapoints are self-describing.
+/// host: "reference", "blocked-generic", "blocked-avx2fma", "int8-generic"
+/// or "int8-avx2". Surfaced in BENCH_gemm.json / BENCH_serve.json so perf
+/// datapoints are self-describing.
 std::string KernelName(const Config& config = DefaultConfig());
 
 // -- blocked entry points ---------------------------------------------------

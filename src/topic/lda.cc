@@ -6,9 +6,53 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "util/cpu.h"
+
+#if defined(__GNUC__) && defined(__x86_64__)
+#define SATO_LDA_HAS_AVX2 1
+#include <immintrin.h>
+
+#include <bit>
+#endif
+
 namespace sato::topic {
 
 namespace {
+
+#if defined(SATO_LDA_HAS_AVX2)
+// One fold-in Gibbs sampling step: weights p[t] = (n_dk[t] + alpha) *
+// col[t], cumulative sum, one draw, index search. Bitwise-identical to
+// the scalar step: the products are the same element-wise IEEE ops (just
+// four at a time), the prefix chain keeps the exact serial add order, and
+// counting cum[t] < u in a non-decreasing array (p[t] >= 0 always) is the
+// index lower_bound returns, with the same past-the-end fallback.
+// Requires k % 4 == 0 (the dispatch site checks).
+__attribute__((target("avx2"))) int SampleTopicAvx2(const double* col,
+                                                    const double* n_dk,
+                                                    double* cum, int k,
+                                                    double alpha,
+                                                    util::Rng* rng) {
+  const __m256d av = _mm256_set1_pd(alpha);
+  for (int t = 0; t < k; t += 4) {
+    __m256d nd = _mm256_loadu_pd(n_dk + t);
+    __m256d c = _mm256_loadu_pd(col + t);
+    _mm256_storeu_pd(cum + t, _mm256_mul_pd(_mm256_add_pd(nd, av), c));
+  }
+  double acc = 0.0;
+  for (int t = 0; t < k; ++t) {
+    acc += cum[t];
+    cum[t] = acc;
+  }
+  const __m256d uv = _mm256_set1_pd(rng->Uniform() * acc);
+  int below = 0;
+  for (int t = 0; t < k; t += 4) {
+    __m256d c = _mm256_loadu_pd(cum + t);
+    below += std::popcount(static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_cmp_pd(c, uv, _CMP_LT_OQ))));
+  }
+  return below >= k ? k - 1 : below;
+}
+#endif  // SATO_LDA_HAS_AVX2
 
 using embedding::TokenId;
 using embedding::Vocabulary;
@@ -107,7 +151,18 @@ LdaModel LdaModel::Train(const std::vector<std::vector<std::string>>& documents,
           denom;
     }
   }
+  model.BuildPhiTranspose();
   return model;
+}
+
+void LdaModel::BuildPhiTranspose() {
+  const size_t k = static_cast<size_t>(options_.num_topics);
+  const size_t v = vocab_.size();
+  phi_t_.assign(v * k, 0.0);
+  for (size_t t = 0; t < k; ++t) {
+    const double* row = phi_.data() + t * v;
+    for (size_t w = 0; w < v; ++w) phi_t_[w * k + t] = row[w];
+  }
 }
 
 std::vector<double> LdaModel::InferTopics(
@@ -123,41 +178,21 @@ void LdaModel::InferTopicsInto(util::Rng* rng, LdaScratch* scratch,
                                std::vector<double>* theta) const {
   const int k = options_.num_topics;
   const size_t ku = static_cast<size_t>(k);
-  const size_t v = vocab_.size();
   theta->assign(ku, 1.0 / static_cast<double>(k));
   const std::vector<TokenId>& ids = scratch->ids;
   if (ids.empty()) return;
 
-  // Deduplicate the document's terms and gather their phi columns into
-  // contiguous K-vectors: the Gibbs inner loop then reads one contiguous
-  // column instead of striding across the whole [K x V] table per token.
-  if (scratch->word_slot.size() < v) scratch->word_slot.assign(v, -1);
-  scratch->unique_words.clear();
-  scratch->occ_slot.resize(ids.size());
-  for (size_t i = 0; i < ids.size(); ++i) {
-    size_t w = static_cast<size_t>(ids[i]);
-    if (scratch->word_slot[w] < 0) {
-      scratch->word_slot[w] =
-          static_cast<int32_t>(scratch->unique_words.size());
-      scratch->unique_words.push_back(ids[i]);
-    }
-    scratch->occ_slot[i] = scratch->word_slot[w];
-  }
-  scratch->phi_cols.resize(scratch->unique_words.size() * ku);
-  for (size_t u = 0; u < scratch->unique_words.size(); ++u) {
-    size_t w = static_cast<size_t>(scratch->unique_words[u]);
-    double* col = scratch->phi_cols.data() + u * ku;
-    for (size_t t = 0; t < ku; ++t) col[t] = phi_[t * v + w];
-  }
-
   // Fold-in Gibbs; identical draw order and weights to
-  // ReferenceInferTopics, so results are bit-for-bit the same. The
-  // sampling step is fused: one pass builds the cumulative weights
-  // cum[t] = p[0] + ... + p[t] with exactly the additions Rng::Categorical
-  // performs (its total pass and its walk accumulate the same p[t] in the
-  // same order), one Uniform() draw lands at the same stream position, and
-  // lower_bound finds the first t with u <= cum[t] -- the index the
-  // reference's early-exit walk returns.
+  // ReferenceInferTopics, so results are bit-for-bit the same. Each
+  // token's phi column is read contiguously from the [V x K] transpose
+  // (same doubles as phi_, different layout). The sampling step is fused:
+  // one pass builds the cumulative weights cum[t] = p[0] + ... + p[t] with
+  // exactly the additions Rng::Categorical performs (its total pass and
+  // its walk accumulate the same p[t] in the same order), one Uniform()
+  // draw lands at the same stream position, and the search finds the first
+  // t with u <= cum[t] -- the index the reference's early-exit walk
+  // returns. On AVX2 hosts SampleTopicAvx2 runs the same step with
+  // vectorised products and search but the identical serial prefix chain.
   scratch->z.resize(ids.size());
   scratch->n_dk.assign(ku, 0.0);
   double* n_dk = scratch->n_dk.data();
@@ -169,22 +204,32 @@ void LdaModel::InferTopicsInto(util::Rng* rng, LdaScratch* scratch,
   scratch->p.resize(ku);
   double* cum = scratch->p.data();
   const double alpha = options_.alpha;
+#if defined(SATO_LDA_HAS_AVX2)
+  const bool use_avx2 = k % 4 == 0 && util::CpuHasAvx2() &&
+                        !util::CpuDispatchDisabledByEnv();
+#else
+  const bool use_avx2 = false;
+#endif
   for (int iter = 0; iter < options_.infer_iterations; ++iter) {
     for (size_t i = 0; i < ids.size(); ++i) {
       int old_topic = scratch->z[i];
       n_dk[static_cast<size_t>(old_topic)] -= 1.0;
-      const double* col =
-          scratch->phi_cols.data() +
-          static_cast<size_t>(scratch->occ_slot[i]) * ku;
-      double acc = 0.0;
-      for (size_t t = 0; t < ku; ++t) {
-        acc += (n_dk[t] + alpha) * col[t];
-        cum[t] = acc;
+      const double* col = PhiCol(ids[i]);
+      int new_topic = 0;
+      if (use_avx2) {
+#if defined(SATO_LDA_HAS_AVX2)
+        new_topic = SampleTopicAvx2(col, n_dk, cum, k, alpha, rng);
+#endif
+      } else {
+        double acc = 0.0;
+        for (size_t t = 0; t < ku; ++t) {
+          acc += (n_dk[t] + alpha) * col[t];
+          cum[t] = acc;
+        }
+        double u = rng->Uniform() * acc;
+        const double* hit = std::lower_bound(cum, cum + ku, u);
+        new_topic = hit == cum + ku ? k - 1 : static_cast<int>(hit - cum);
       }
-      double u = rng->Uniform() * acc;
-      const double* hit = std::lower_bound(cum, cum + ku, u);
-      int new_topic =
-          hit == cum + ku ? k - 1 : static_cast<int>(hit - cum);
       scratch->z[i] = new_topic;
       n_dk[static_cast<size_t>(new_topic)] += 1.0;
     }
@@ -193,11 +238,6 @@ void LdaModel::InferTopicsInto(util::Rng* rng, LdaScratch* scratch,
                  static_cast<double>(k) * alpha;
   for (size_t t = 0; t < ku; ++t) {
     (*theta)[t] = (n_dk[t] + alpha) / denom;
-  }
-
-  // Un-touch the word->slot table for the next document (O(doc), not O(V)).
-  for (TokenId w : scratch->unique_words) {
-    scratch->word_slot[static_cast<size_t>(w)] = -1;
   }
 }
 
@@ -304,6 +344,7 @@ LdaModel LdaModel::Load(std::istream* in) {
   in->read(reinterpret_cast<char*>(model.phi_.data()),
            static_cast<std::streamsize>(model.phi_.size() * sizeof(double)));
   if (!*in) throw std::runtime_error("LdaModel::Load: truncated stream");
+  model.BuildPhiTranspose();
   return model;
 }
 

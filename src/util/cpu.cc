@@ -1,0 +1,36 @@
+#include "util/cpu.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace sato::util {
+
+bool CpuHasAvx2() {
+#if defined(__GNUC__) && defined(__x86_64__)
+  static const bool have = __builtin_cpu_supports("avx2");
+  return have;
+#else
+  return false;
+#endif
+}
+
+bool CpuHasAvx2Fma() {
+#if defined(__GNUC__) && defined(__x86_64__)
+  static const bool have =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return have;
+#else
+  return false;
+#endif
+}
+
+bool CpuDispatchDisabledByEnv() {
+  static const bool disabled = [] {
+    const char* value = std::getenv("SATO_DISABLE_CPU_DISPATCH");
+    return value != nullptr && value[0] != '\0' &&
+           std::strcmp(value, "0") != 0;
+  }();
+  return disabled;
+}
+
+}  // namespace sato::util

@@ -78,6 +78,47 @@ std::optional<double> ParseNumeric(std::string_view s, std::string* scratch) {
   while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
   std::string_view t = s.substr(b, e - b);
   if (t.empty()) return std::nullopt;
+  // Exact fast path for the dominant shape [+-]?digits[.digits]? with at
+  // most 15 digits: the mantissa fits a double exactly (10^15 < 2^53) and
+  // so does the power-of-ten divisor, so one correctly-rounded IEEE
+  // division yields the nearest double to the decimal value -- which is
+  // by definition what a correctly-rounded strtod returns. Anything else
+  // (separators, decoration, exponents, hex, inf/nan, overlong digit
+  // runs) falls through to the clean-and-strtod path below.
+  {
+    size_t i = 0;
+    bool neg = false;
+    if (t[0] == '+' || t[0] == '-') {
+      neg = t[0] == '-';
+      i = 1;
+    }
+    uint64_t mant = 0;
+    int digits = 0, frac = 0;
+    bool seen_dot = false, simple = true;
+    for (; i < t.size(); ++i) {
+      char c = t[i];
+      if (c >= '0' && c <= '9') {
+        if (++digits > 15) {
+          simple = false;
+          break;
+        }
+        mant = mant * 10 + static_cast<uint64_t>(c - '0');
+        if (seen_dot) ++frac;
+      } else if (c == '.' && !seen_dot) {
+        seen_dot = true;
+      } else {
+        simple = false;
+        break;
+      }
+    }
+    if (simple && digits > 0) {
+      static constexpr double kPow10[16] = {
+          1e0, 1e1, 1e2, 1e3, 1e4,  1e5,  1e6,  1e7,
+          1e8, 1e9, 1e10, 1e11, 1e12, 1e13, 1e14, 1e15};
+      double v = static_cast<double>(mant) / kPow10[frac];
+      return neg ? -v : v;
+    }
+  }
   // Strip thousands separators, but only when they look like separators
   // (between digits), to avoid treating CSV-like content as numeric.
   std::string& cleaned = *scratch;

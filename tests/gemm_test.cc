@@ -210,7 +210,10 @@ TEST(GemmTest, ParallelSplitIsBitwiseIdenticalToSerial) {
   serve::ThreadPool pool(3);
   for (size_t chunks : {size_t{1}, size_t{2}, size_t{3}, size_t{7},
                         size_t{500} /* more chunks than columns */}) {
-    gemm::Config par;
+    // Derive from DefaultConfig so the split runs the same micro-kernel as
+    // the serial baseline above (DefaultConfig honours the dispatch env var;
+    // a fresh Config would pin FMA on and diverge bitwise).
+    gemm::Config par = gemm::DefaultConfig();
     par.parallel_for = serve::GemmParallelFor(&pool);
     par.parallel_chunks = chunks;
     par.parallel_min_columns = 1;
@@ -223,7 +226,7 @@ TEST(GemmTest, ParallelSplitIsBitwiseIdenticalToSerial) {
 TEST(GemmTest, ParallelSplitCoversTransposedVariants) {
   util::Rng rng(20);
   serve::ThreadPool pool(2);
-  gemm::Config par;
+  gemm::Config par = gemm::DefaultConfig();  // match the serial baselines
   par.parallel_for = serve::GemmParallelFor(&pool);
   par.parallel_chunks = 4;
   par.parallel_min_columns = 1;
@@ -275,10 +278,188 @@ TEST(GemmTest, PoolParallelForRethrowsChunkExceptions) {
 }
 
 TEST(GemmTest, KernelNameReflectsConfig) {
-  gemm::Config config;  // defaults: blocked, dispatch on
-  std::string name = gemm::KernelName(config);
+  // DefaultConfig honours SATO_DISABLE_CPU_DISPATCH, so only pin the name
+  // set here and the explicit dispatch-off spelling.
+  std::string name = gemm::KernelName(gemm::DefaultConfig());
   EXPECT_TRUE(name == "blocked-avx2fma" || name == "blocked-generic") << name;
-  EXPECT_EQ(gemm::KernelName(gemm::DefaultConfig()), name);
+
+  gemm::Config scalar;
+  scalar.enable_cpu_dispatch = false;
+  EXPECT_EQ(gemm::KernelName(scalar), "blocked-generic");
+
+  gemm::Config int8 = gemm::DefaultConfig();
+  int8.use_int8 = true;
+  std::string int8_name = gemm::KernelName(int8);
+  EXPECT_TRUE(int8_name == "int8-avx2" || int8_name == "int8-generic")
+      << int8_name;
+  int8.use_reference = true;  // reference escape hatch wins over int8
+  EXPECT_EQ(gemm::KernelName(int8), "reference");
+}
+
+// -- int8 quantized path ----------------------------------------------------
+
+gemm::Config Int8Config(bool dispatch = true) {
+  gemm::Config config;
+  config.use_int8 = true;
+  config.enable_cpu_dispatch = dispatch;
+  return config;
+}
+
+/// Per-element error bound for the quantized product: each quantization
+/// step rounds to within half an int8 step of the row/column absmax, so
+/// |c_int8 - c_fp64| <= sum_k (|a|*eb/2 + |b|*ea/2 + ea*eb/4) with
+/// ea = row_absmax_a/127, eb = col_absmax_b/127. The loose whole-matrix
+/// version below (global absmaxes) is still tight enough to catch a
+/// broken kernel by orders of magnitude.
+double Int8ErrorBound(const Matrix& a, const Matrix& b, size_t k) {
+  double amax = 0.0, bmax = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) amax = std::max(amax, std::abs(a.data()[i]));
+  for (size_t i = 0; i < b.size(); ++i) bmax = std::max(bmax, std::abs(b.data()[i]));
+  double ea = amax / 127.0, eb = bmax / 127.0;
+  return static_cast<double>(k) *
+         (amax * eb / 2.0 + bmax * ea / 2.0 + ea * eb / 4.0);
+}
+
+TEST(GemmTest, Int8TracksFp64WithinQuantizationBound) {
+  util::Rng rng(30);
+  for (const Shape& s : kParityShapes) {
+    Matrix a = Matrix::Gaussian(s.m, s.k, 1.0, &rng);
+    Matrix b = Matrix::Gaussian(s.k, s.n, 1.0, &rng);
+    Matrix quant, reference;
+    gemm::Gemm(a, b, &quant, Int8Config());
+    gemm::ReferenceGemm(a, b, &reference);
+    EXPECT_LE(MaxAbsDiff(quant, reference), Int8ErrorBound(a, b, s.k))
+        << s.m << "x" << s.k << "x" << s.n;
+  }
+}
+
+TEST(GemmTest, Int8CoversTransposedVariants) {
+  util::Rng rng(31);
+  Matrix at = Matrix::Gaussian(45, 33, 1.0, &rng);  // [k, m] for A^T
+  Matrix b = Matrix::Gaussian(45, 27, 1.0, &rng);
+  Matrix quant, reference;
+  gemm::GemmTransposeA(at, b, &quant, Int8Config());
+  gemm::ReferenceGemmTransposeA(at, b, &reference);
+  EXPECT_LE(MaxAbsDiff(quant, reference), Int8ErrorBound(at, b, 45));
+
+  Matrix a = Matrix::Gaussian(33, 45, 1.0, &rng);
+  Matrix bt = Matrix::Gaussian(27, 45, 1.0, &rng);  // [n, k] for B^T
+  gemm::GemmTransposeB(a, bt, &quant, Int8Config());
+  gemm::ReferenceGemmTransposeB(a, bt, &reference);
+  EXPECT_LE(MaxAbsDiff(quant, reference), Int8ErrorBound(a, bt, 45));
+}
+
+TEST(GemmTest, Int8BitwiseIdenticalAcrossMicroKernels) {
+  // Integer accumulation is exact, so the scalar and AVX2 int8 micro
+  // kernels must agree to the bit -- unlike the fp64 kernels, where FMA
+  // changes rounding. (On hosts without AVX2 both configs run the generic
+  // kernel and the check is trivially true.)
+  util::Rng rng(32);
+  for (const Shape& s : kParityShapes) {
+    Matrix a = Matrix::Gaussian(s.m, s.k, 1.0, &rng);
+    Matrix b = Matrix::Gaussian(s.k, s.n, 1.0, &rng);
+    Matrix dispatched, generic;
+    gemm::Gemm(a, b, &dispatched, Int8Config(/*dispatch=*/true));
+    gemm::Gemm(a, b, &generic, Int8Config(/*dispatch=*/false));
+    EXPECT_EQ(dispatched, generic) << s.m << "x" << s.k << "x" << s.n;
+  }
+}
+
+TEST(GemmTest, Int8ParallelSplitIsBitwiseIdenticalToSerial) {
+  util::Rng rng(33);
+  Matrix a = Matrix::Gaussian(37, 53, 1.0, &rng);
+  Matrix b = Matrix::Gaussian(53, 141, 1.0, &rng);
+  Matrix serial;
+  gemm::Gemm(a, b, &serial, Int8Config());
+
+  serve::ThreadPool pool(3);
+  for (size_t chunks : {size_t{1}, size_t{3}, size_t{500}}) {
+    gemm::Config par = Int8Config();
+    par.parallel_for = serve::GemmParallelFor(&pool);
+    par.parallel_chunks = chunks;
+    par.parallel_min_columns = 1;
+    Matrix split;
+    gemm::Gemm(a, b, &split, par);
+    EXPECT_EQ(split, serial) << "chunks=" << chunks;
+  }
+}
+
+TEST(GemmTest, Int8IgnoresCacheBlockingKnobs) {
+  // The int8 path packs whole operands (single full-k accumulation), so
+  // mc/kc/nc must not change the result at all.
+  util::Rng rng(34);
+  Matrix a = Matrix::Gaussian(65, 63, 1.0, &rng);
+  Matrix b = Matrix::Gaussian(63, 66, 1.0, &rng);
+  Matrix defaults, tiny_blocks;
+  gemm::Gemm(a, b, &defaults, Int8Config());
+  gemm::Config tiny = Int8Config();
+  tiny.mc = 8;
+  tiny.kc = 8;
+  tiny.nc = 16;
+  gemm::Gemm(a, b, &tiny_blocks, tiny);
+  EXPECT_EQ(defaults, tiny_blocks);
+}
+
+TEST(GemmTest, PrepackedInt8BitwiseMatchesPerCallPath) {
+  // Serving packs each layer's weights once (PackInt8B) and multiplies
+  // many activation batches against the packing; the result must be the
+  // bit pattern the per-call path produces, for either micro kernel.
+  util::Rng rng(51);
+  for (const Shape& s : kParityShapes) {
+    Matrix b = Matrix::Gaussian(s.k, s.n, 1.0, &rng);
+    gemm::PackedInt8B packed = gemm::PackInt8B(b);
+    for (bool dispatch : {true, false}) {
+      for (int rep = 0; rep < 2; ++rep) {
+        Matrix a = Matrix::Gaussian(s.m, s.k, 2.0, &rng);
+        Matrix per_call, prepacked;
+        gemm::Gemm(a, b, &per_call, Int8Config(dispatch));
+        gemm::GemmPrepackedInt8(a, packed, &prepacked, Int8Config(dispatch));
+        EXPECT_EQ(per_call, prepacked)
+            << s.m << "x" << s.k << "x" << s.n << " dispatch=" << dispatch;
+      }
+    }
+  }
+}
+
+TEST(GemmTest, PrepackedInt8ShapeAndBoundChecks) {
+  util::Rng rng(52);
+  Matrix b = Matrix::Gaussian(12, 5, 1.0, &rng);
+  gemm::PackedInt8B packed = gemm::PackInt8B(b);
+  EXPECT_EQ(packed.source, b.data());
+  Matrix a = Matrix::Gaussian(3, 11, 1.0, &rng);  // k mismatch
+  Matrix c;
+  EXPECT_THROW(gemm::GemmPrepackedInt8(a, packed, &c, Int8Config()),
+               std::invalid_argument);
+  Matrix big(gemm::kInt8MaxSharedDim + 1, 1, 0.0);
+  EXPECT_THROW(gemm::PackInt8B(big), std::invalid_argument);
+}
+
+TEST(GemmTest, Int8ReferencePrecedenceAndDegenerateShapes) {
+  util::Rng rng(35);
+  Matrix a = Matrix::Gaussian(9, 11, 1.0, &rng);
+  Matrix b = Matrix::Gaussian(11, 5, 1.0, &rng);
+
+  gemm::Config both = Int8Config();
+  both.use_reference = true;  // escape hatch outranks quantization
+  Matrix via_config, direct;
+  gemm::Gemm(a, b, &via_config, both);
+  gemm::ReferenceGemm(a, b, &direct);
+  EXPECT_EQ(via_config, direct);
+
+  Matrix empty_a(0, 11), empty_c;
+  gemm::Gemm(empty_a, b, &empty_c, Int8Config());
+  EXPECT_EQ(empty_c.rows(), 0u);
+
+  Matrix ka(9, 0), kb(0, 5), kc;
+  gemm::Gemm(ka, kb, &kc, Int8Config());
+  ASSERT_EQ(kc.rows(), 9u);
+  ASSERT_EQ(kc.cols(), 5u);
+  for (size_t i = 0; i < kc.size(); ++i) EXPECT_EQ(kc.data()[i], 0.0);
+
+  // All-zero operands: absmax 0 must not divide by zero.
+  Matrix za(4, 8, 0.0), zb(8, 3, 0.0), zc;
+  gemm::Gemm(za, zb, &zc, Int8Config());
+  for (size_t i = 0; i < zc.size(); ++i) EXPECT_EQ(zc.data()[i], 0.0);
 }
 
 }  // namespace
