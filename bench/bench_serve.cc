@@ -17,9 +17,11 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -31,10 +33,23 @@
 #include "serve/batch_predictor.h"
 #include "serve/model_registry.h"
 #include "serve/prediction_service.h"
+#include "serve/result_cache.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+#include "util/rng.h"
 #include "util/timer.h"
 
 namespace sato::bench {
 namespace {
+
+/// Command-line knobs (see main): the Zipfian replay shape and whether to
+/// skip the offline sweep.
+struct BenchFlags {
+  double zipf_s = 1.0;       ///< --zipf-s: replay skew (1.0 = classic Zipf)
+  size_t replay = 0;         ///< --replay: request count (0 = 8x tables)
+  size_t cache_entries = 4096;  ///< --cache-entries: result cache capacity
+  bool online_only = false;  ///< --online: skip the offline batch sweep
+};
 
 struct ServeResult {
   size_t threads;
@@ -287,6 +302,182 @@ SwapResult MeasureSwap(const SatoModel& model, const BenchEnv& env,
   return result;
 }
 
+/// Zipfian replay through the content-addressed result cache: the same
+/// request trace (skewed table popularity, per-table deterministic seeds)
+/// is served twice by closed-loop clients -- once cold (no cache), once
+/// with the cache in front -- and every response of the cached run must be
+/// byte-identical to its cold twin. Effective speedup is the whole point
+/// of the cache, so it is the headline number.
+struct CacheReplayResult {
+  double zipf_s;
+  size_t replay_requests;
+  size_t distinct_tables;
+  size_t clients;
+  size_t workers;
+  double cold_seconds;
+  double cached_seconds;
+  double cold_tables_per_sec;
+  double cached_tables_per_sec;
+  double speedup;
+  bool parity_ok;
+  uint64_t hits;
+  uint64_t misses;
+  serve::ResultCacheStats cache_stats;
+};
+
+CacheReplayResult MeasureCacheReplay(const SatoModel& model,
+                                     const BenchEnv& env,
+                                     const features::FeatureScaler& scaler,
+                                     const std::vector<Table>& tables,
+                                     double zipf_s, size_t replay_requests,
+                                     size_t cache_entries, size_t clients,
+                                     size_t workers) {
+  // One trace, generated up front, so cold and cached runs serve the
+  // exact same sequence. Zipf rank r maps to table r: table 0 is the
+  // most popular, matching the skew real table catalogs show.
+  util::Rng trace_rng(99);
+  std::vector<size_t> trace(replay_requests);
+  for (size_t& t : trace) t = trace_rng.Zipf(tables.size(), zipf_s);
+
+  serve::ServiceStats service_stats;
+  auto run = [&](serve::ResultCache* cache,
+                 std::vector<std::vector<TypeId>>* responses) {
+    serve::ModelRegistry registry;
+    registry.PublishBorrowed(model, &env.context, scaler, "replay");
+    serve::PredictionServiceOptions options;
+    options.num_threads = workers;
+    options.max_batch_size = 8;
+    options.max_queue_delay_nanos = 200'000;
+    options.queue_capacity = 1024;
+    options.result_cache = cache;
+    serve::PredictionService service(&registry, options);
+
+    responses->assign(trace.size(), {});
+    util::Timer timer;
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        for (size_t r = c; r < trace.size(); r += clients) {
+          size_t i = trace[r];
+          serve::PredictionResult result =
+              service.Submit(tables[i], serve::BatchPredictor::TableSeed(1, i))
+                  .Get();
+          (*responses)[r] = std::move(result.type_ids);  // disjoint slots
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    double seconds = timer.ElapsedSeconds();
+    service.Shutdown();
+    service_stats = service.Stats();
+    return seconds;
+  };
+
+  std::vector<std::vector<TypeId>> cold_responses;
+  std::vector<std::vector<TypeId>> cached_responses;
+  double cold_seconds = run(nullptr, &cold_responses);
+
+  serve::ResultCacheOptions cache_options;
+  cache_options.capacity_entries = cache_entries;
+  serve::ResultCache cache(cache_options);
+  double cached_seconds = run(&cache, &cached_responses);
+
+  CacheReplayResult result;
+  result.zipf_s = zipf_s;
+  result.replay_requests = replay_requests;
+  result.distinct_tables = tables.size();
+  result.clients = clients;
+  result.workers = workers;
+  result.cold_seconds = cold_seconds;
+  result.cached_seconds = cached_seconds;
+  result.cold_tables_per_sec =
+      static_cast<double>(replay_requests) / cold_seconds;
+  result.cached_tables_per_sec =
+      static_cast<double>(replay_requests) / cached_seconds;
+  result.speedup = result.cached_tables_per_sec / result.cold_tables_per_sec;
+  result.parity_ok = cold_responses == cached_responses;
+  result.hits = service_stats.cache_hits;
+  result.misses = service_stats.cache_misses;
+  result.cache_stats = cache.Stats();
+  return result;
+}
+
+/// The same replay through the real network front door: framed requests
+/// over loopback TCP against a live Server, so the datapoint includes
+/// codec + socket + per-connection thread costs, not just the service.
+struct DaemonResult {
+  size_t clients;
+  size_t requests;
+  double seconds;
+  double requests_per_sec;
+  double mean_request_ms;  // server-side parse -> response-written wall time
+  uint64_t cache_hits;
+  uint64_t responses_ok;
+};
+
+DaemonResult MeasureDaemon(const SatoModel& model, const BenchEnv& env,
+                           const features::FeatureScaler& scaler,
+                           const std::vector<Table>& tables, double zipf_s,
+                           size_t requests, size_t cache_entries,
+                           size_t clients, size_t workers) {
+  util::Rng trace_rng(99);
+  std::vector<size_t> trace(requests);
+  for (size_t& t : trace) t = trace_rng.Zipf(tables.size(), zipf_s);
+
+  serve::ModelRegistry registry;
+  registry.PublishBorrowed(model, &env.context, scaler, "daemon");
+  serve::ResultCacheOptions cache_options;
+  cache_options.capacity_entries = cache_entries;
+  serve::ResultCache cache(cache_options);
+  serve::PredictionServiceOptions options;
+  options.num_threads = workers;
+  options.max_batch_size = 8;
+  options.max_queue_delay_nanos = 200'000;
+  options.result_cache = &cache;
+  serve::PredictionService service(&registry, options);
+  serve::Server server(&service, serve::ServerOptions{});
+
+  std::atomic<uint64_t> ok{0};
+  util::Timer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      serve::wire::Client client;
+      if (!client.Connect(server.host(), server.port())) return;
+      for (size_t r = c; r < trace.size(); r += clients) {
+        size_t i = trace[r];
+        serve::wire::ClientResponse response = client.Predict(
+            tables[i], serve::BatchPredictor::TableSeed(1, i));
+        if (response.transport_ok &&
+            response.body.status == serve::wire::WireStatus::kOk) {
+          ok.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  double seconds = timer.ElapsedSeconds();
+  serve::ServerStats stats = server.Stats();
+  server.Shutdown();
+  service.Shutdown();
+
+  DaemonResult result;
+  result.clients = clients;
+  result.requests = requests;
+  result.seconds = seconds;
+  result.requests_per_sec = static_cast<double>(requests) / seconds;
+  result.mean_request_ms =
+      stats.requests_measured == 0
+          ? 0.0
+          : static_cast<double>(stats.request_nanos_total) /
+                static_cast<double>(stats.requests_measured) / 1e6;
+  result.cache_hits = stats.cache_hits;
+  result.responses_ok = ok.load();
+  return result;
+}
+
 ServeResult MeasureThroughput(const SatoModel& model, const BenchEnv& env,
                               const features::FeatureScaler& scaler,
                               const std::vector<Table>& tables,
@@ -323,8 +514,9 @@ void WriteJson(const char* path, const BenchEnv& env,
                const std::vector<PhaseBreakdown>& phases,
                const eval::Int8GateResult& gate,
                const PhaseBreakdown* int8_phases, const OnlineResult& online,
-               const SwapResult& swap, size_t model_bytes, size_t num_tables,
-               size_t num_columns) {
+               const SwapResult& swap, const CacheReplayResult& replay,
+               const DaemonResult& daemon, size_t model_bytes,
+               size_t num_tables, size_t num_columns) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "bench_serve: cannot write %s\n", path);
@@ -415,6 +607,40 @@ void WriteJson(const char* path, const BenchEnv& env,
                 static_cast<double>(online.stats.latency_p99_nanos)) /
                    1e6);
   std::fprintf(f, "    \"tables_per_sec\": %.2f},\n", swap.tables_per_sec);
+  // Content-addressed result cache under Zipfian replay: the same trace
+  // served cold and cached; parity_ok asserts every cached response was
+  // byte-identical to its cold twin.
+  std::fprintf(f,
+               "  \"cache\": {\"zipf_s\": %.2f, \"replay_requests\": %zu, "
+               "\"distinct_tables\": %zu, \"clients\": %zu, "
+               "\"worker_threads\": %zu, \"capacity_entries\": %zu, "
+               "\"shards\": %zu,\n",
+               replay.zipf_s, replay.replay_requests, replay.distinct_tables,
+               replay.clients, replay.workers,
+               replay.cache_stats.capacity_entries, replay.cache_stats.shards);
+  std::fprintf(f,
+               "    \"hit_rate\": %.4f, \"hits\": %llu, \"misses\": %llu, "
+               "\"evictions\": %llu, \"bytes\": %llu,\n",
+               replay.cache_stats.hit_rate,
+               static_cast<unsigned long long>(replay.hits),
+               static_cast<unsigned long long>(replay.misses),
+               static_cast<unsigned long long>(replay.cache_stats.evictions),
+               static_cast<unsigned long long>(replay.cache_stats.bytes));
+  std::fprintf(f,
+               "    \"cold_tables_per_sec\": %.2f, "
+               "\"cached_tables_per_sec\": %.2f, \"speedup_vs_cold\": %.2f, "
+               "\"parity_ok\": %s},\n",
+               replay.cold_tables_per_sec, replay.cached_tables_per_sec,
+               replay.speedup, replay.parity_ok ? "true" : "false");
+  // The same replay through the network daemon (loopback TCP + framing).
+  std::fprintf(f,
+               "  \"daemon\": {\"clients\": %zu, \"requests\": %zu, "
+               "\"responses_ok\": %llu, \"requests_per_sec\": %.2f, "
+               "\"mean_request_ms\": %.4f, \"cache_hits\": %llu},\n",
+               daemon.clients, daemon.requests,
+               static_cast<unsigned long long>(daemon.responses_ok),
+               daemon.requests_per_sec, daemon.mean_request_ms,
+               static_cast<unsigned long long>(daemon.cache_hits));
   std::fprintf(f, "  \"results\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
     const ServeResult& r = results[i];
@@ -437,7 +663,7 @@ void WriteJson(const char* path, const BenchEnv& env,
   std::fprintf(stderr, "bench_serve: wrote %s\n", path);
 }
 
-int Run() {
+int Run(const BenchFlags& flags) {
   BenchEnv env = BuildEnv(/*seed=*/7);
 
   // Standardise a copy of D to fit the serving scaler (prediction-time
@@ -462,66 +688,68 @@ int Run() {
   std::vector<size_t> thread_counts = {1, 2, 4, 8};
   int trials = std::max(1, env.scale.trials);
 
-  std::printf("%8s  %10s  %12s  %13s  %8s  %12s\n", "threads", "sec/batch",
-              "tables/sec", "columns/sec", "speedup", "mem vs repl");
-  PrintRule(74);
-  double base_throughput = 0.0;
   std::vector<ServeResult> results;
-  for (size_t threads : thread_counts) {
-    ServeResult r = MeasureThroughput(model, env, scaler, tables, num_columns,
-                                      threads, trials);
-    if (threads == 1) base_throughput = r.tables_per_sec;
-    size_t shared = model_bytes + r.workspace_bytes;
-    size_t replica = threads * model_bytes;
-    std::printf("%8zu  %10.3f  %12.1f  %13.1f  %7.2fx  %5.1f/%.1f MiB\n",
-                r.threads, r.seconds, r.tables_per_sec, r.columns_per_sec,
-                r.tables_per_sec / base_throughput,
-                static_cast<double>(shared) / (1024.0 * 1024.0),
-                static_cast<double>(replica) / (1024.0 * 1024.0));
-    results.push_back(r);
-  }
-
   std::vector<PhaseBreakdown> phases;
-  for (size_t threads : thread_counts) {
-    phases.push_back(
-        MeasurePhases(model, env, scaler, tables, threads, trials));
-    const PhaseBreakdown& p = phases.back();
-    double phase_total = p.featurize_sec + p.nn_sec + p.crf_sec;
-    std::printf("phase breakdown (%zu thread%s): featurize %.3fs (%.0f%%), "
-                "nn %.3fs, crf %.3fs\n",
-                p.threads, p.threads == 1 ? "" : "s", p.featurize_sec,
-                phase_total > 0.0 ? 100.0 * p.featurize_sec / phase_total
-                                  : 0.0,
-                p.nn_sec, p.crf_sec);
-  }
-
-  // Quantized-inference gate: the int8 GEMM may only serve if its
-  // macro-F1 degradation vs fp64 on this corpus is within epsilon. Only a
-  // PASS selects the quantized path (for one extra phase datapoint that
-  // shows the nn speedup); the comparable main numbers above stay on the
-  // process-default fp64 path either way.
-  auto bundle = serve::ModelBundle::Borrowed(model, &env.context, scaler);
-  eval::Int8GateResult gate =
-      eval::RunInt8AccuracyGate(bundle, tables, /*seed=*/1,
-                                /*epsilon=*/0.01);
-  std::printf("int8 gate: fp64 macro-F1 %.4f, int8 macro-F1 %.4f, delta "
-              "%.4f (epsilon %.3f) -> %s\n",
-              gate.fp64_macro_f1, gate.int8_macro_f1, gate.delta,
-              gate.epsilon, gate.passed ? "PASS" : "FAIL (serving fp64)");
+  eval::Int8GateResult gate{};
   PhaseBreakdown int8_phases{};
   bool have_int8_phases = false;
-  if (gate.passed) {
-    nn::gemm::Config saved = nn::gemm::DefaultConfig();
-    nn::gemm::Config int8_config = saved;
-    int8_config.use_int8 = true;
-    nn::gemm::SetDefaultConfig(int8_config);
-    int8_phases = MeasurePhases(model, env, scaler, tables, 1, trials);
-    nn::gemm::SetDefaultConfig(saved);
-    have_int8_phases = true;
-    std::printf("phase breakdown (1 thread, int8 gemm): featurize %.3fs, "
-                "nn %.3fs (vs %.3fs fp64), crf %.3fs\n",
-                int8_phases.featurize_sec, int8_phases.nn_sec,
-                phases.front().nn_sec, int8_phases.crf_sec);
+  if (!flags.online_only) {
+    std::printf("%8s  %10s  %12s  %13s  %8s  %12s\n", "threads", "sec/batch",
+                "tables/sec", "columns/sec", "speedup", "mem vs repl");
+    PrintRule(74);
+    double base_throughput = 0.0;
+    for (size_t threads : thread_counts) {
+      ServeResult r = MeasureThroughput(model, env, scaler, tables,
+                                        num_columns, threads, trials);
+      if (threads == 1) base_throughput = r.tables_per_sec;
+      size_t shared = model_bytes + r.workspace_bytes;
+      size_t replica = threads * model_bytes;
+      std::printf("%8zu  %10.3f  %12.1f  %13.1f  %7.2fx  %5.1f/%.1f MiB\n",
+                  r.threads, r.seconds, r.tables_per_sec, r.columns_per_sec,
+                  r.tables_per_sec / base_throughput,
+                  static_cast<double>(shared) / (1024.0 * 1024.0),
+                  static_cast<double>(replica) / (1024.0 * 1024.0));
+      results.push_back(r);
+    }
+
+    for (size_t threads : thread_counts) {
+      phases.push_back(
+          MeasurePhases(model, env, scaler, tables, threads, trials));
+      const PhaseBreakdown& p = phases.back();
+      double phase_total = p.featurize_sec + p.nn_sec + p.crf_sec;
+      std::printf("phase breakdown (%zu thread%s): featurize %.3fs (%.0f%%), "
+                  "nn %.3fs, crf %.3fs\n",
+                  p.threads, p.threads == 1 ? "" : "s", p.featurize_sec,
+                  phase_total > 0.0 ? 100.0 * p.featurize_sec / phase_total
+                                    : 0.0,
+                  p.nn_sec, p.crf_sec);
+    }
+
+    // Quantized-inference gate: the int8 GEMM may only serve if its
+    // macro-F1 degradation vs fp64 on this corpus is within epsilon. Only a
+    // PASS selects the quantized path (for one extra phase datapoint that
+    // shows the nn speedup); the comparable main numbers above stay on the
+    // process-default fp64 path either way.
+    auto bundle = serve::ModelBundle::Borrowed(model, &env.context, scaler);
+    gate = eval::RunInt8AccuracyGate(bundle, tables, /*seed=*/1,
+                                    /*epsilon=*/0.01);
+    std::printf("int8 gate: fp64 macro-F1 %.4f, int8 macro-F1 %.4f, delta "
+                "%.4f (epsilon %.3f) -> %s\n",
+                gate.fp64_macro_f1, gate.int8_macro_f1, gate.delta,
+                gate.epsilon, gate.passed ? "PASS" : "FAIL (serving fp64)");
+    if (gate.passed) {
+      nn::gemm::Config saved = nn::gemm::DefaultConfig();
+      nn::gemm::Config int8_config = saved;
+      int8_config.use_int8 = true;
+      nn::gemm::SetDefaultConfig(int8_config);
+      int8_phases = MeasurePhases(model, env, scaler, tables, 1, trials);
+      nn::gemm::SetDefaultConfig(saved);
+      have_int8_phases = true;
+      std::printf("phase breakdown (1 thread, int8 gemm): featurize %.3fs, "
+                  "nn %.3fs (vs %.3fs fp64), crf %.3fs\n",
+                  int8_phases.featurize_sec, int8_phases.nn_sec,
+                  phases.front().nn_sec, int8_phases.crf_sec);
+    }
   }
 
   // Online mode: the PredictionService under closed-loop load, workers
@@ -566,13 +794,77 @@ int Run() {
               static_cast<double>(swap.stats.latency_p99_nanos) / 1e6,
               static_cast<double>(online.stats.latency_p99_nanos) / 1e6);
 
+  // Zipfian replay through the result cache: cold vs cached on the exact
+  // same request trace, parity-checked response by response.
+  size_t replay_requests =
+      flags.replay ? flags.replay : tables.size() * 8;
+  CacheReplayResult replay = MeasureCacheReplay(
+      model, env, scaler, tables, flags.zipf_s, replay_requests,
+      flags.cache_entries, /*clients=*/4, online_workers);
+  std::printf("cache replay (zipf s=%.2f, %zu requests over %zu tables, "
+              "%zu entries): hit rate %.3f (%llu/%llu), cold %.1f "
+              "tables/sec, cached %.1f tables/sec -> %.2fx, parity %s\n",
+              replay.zipf_s, replay.replay_requests, replay.distinct_tables,
+              flags.cache_entries, replay.cache_stats.hit_rate,
+              static_cast<unsigned long long>(replay.hits),
+              static_cast<unsigned long long>(replay.hits + replay.misses),
+              replay.cold_tables_per_sec, replay.cached_tables_per_sec,
+              replay.speedup, replay.parity_ok ? "OK" : "MISMATCH");
+
+  // And the same trace through the daemon's network front door.
+  size_t daemon_requests =
+      std::min(replay_requests, tables.size() * 2);
+  DaemonResult daemon = MeasureDaemon(model, env, scaler, tables,
+                                      flags.zipf_s, daemon_requests,
+                                      flags.cache_entries, /*clients=*/2,
+                                      online_workers);
+  std::printf("daemon (loopback, %zu clients, %zu framed requests): %.1f "
+              "requests/sec, mean server-side %.3fms, %llu ok, %llu cache "
+              "hits\n",
+              daemon.clients, daemon.requests, daemon.requests_per_sec,
+              daemon.mean_request_ms,
+              static_cast<unsigned long long>(daemon.responses_ok),
+              static_cast<unsigned long long>(daemon.cache_hits));
+
   WriteJson("BENCH_serve.json", env, results, phases, gate,
-            have_int8_phases ? &int8_phases : nullptr, online, swap,
-            model_bytes, tables.size(), num_columns);
+            have_int8_phases ? &int8_phases : nullptr, online, swap, replay,
+            daemon, model_bytes, tables.size(), num_columns);
+  if (!replay.parity_ok) {
+    std::fprintf(stderr,
+                 "bench_serve: FATAL: cached responses diverged from cold\n");
+    return 1;
+  }
   return 0;
 }
 
 }  // namespace
 }  // namespace sato::bench
 
-int main() { return sato::bench::Run(); }
+int main(int argc, char** argv) {
+  sato::bench::BenchFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_serve: %s needs a value\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--online") {
+      flags.online_only = true;
+    } else if (arg == "--zipf-s") {
+      flags.zipf_s = std::atof(value());
+    } else if (arg == "--replay") {
+      flags.replay = static_cast<size_t>(std::atoll(value()));
+    } else if (arg == "--cache-entries") {
+      flags.cache_entries = static_cast<size_t>(std::atoll(value()));
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_serve [--online] [--zipf-s S] [--replay N] "
+                   "[--cache-entries N]\n");
+      return 2;
+    }
+  }
+  return sato::bench::Run(flags);
+}

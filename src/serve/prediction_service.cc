@@ -18,6 +18,12 @@ struct RequestState {
   uint64_t seed = 0;
   uint64_t submit_nanos = 0;
   uint64_t deadline_nanos = 0;
+  // Result-cache plumbing: the key computed (and missed) at Submit time,
+  // reused for the completion-side Insert when the serving version still
+  // matches (the common case; a straddled swap recomputes).
+  bool cache_eligible = false;
+  CacheKey cache_key;
+  uint64_t cache_key_version = 0;
 
   std::mutex mutex;
   std::condition_variable cv;
@@ -143,12 +149,65 @@ PredictionService::~PredictionService() { Shutdown(); }
 
 PredictionHandle PredictionService::Submit(const Table& table,
                                            uint64_t seed) {
+  // Content-addressed fast path: a hit resolves right here -- no admission
+  // slot, no batch seat, no worker. The key pins the version current at
+  // lookup time; a concurrent Publish makes a hit at worst equivalent to a
+  // request whose micro-batch pinned just before the swap (the same
+  // straddle window the uncached path already has), and post-swap lookups
+  // hash to new keys, so a stale version can never be served.
+  bool cache_eligible =
+      options_.result_cache != nullptr && table.num_columns() > 0;
+  CacheKey cache_key;
+  uint64_t cache_key_version = 0;
+  if (cache_eligible) {
+    const uint64_t lookup_start = clock_->NowNanos();
+    cache_key_version = registry_->current_version();
+    cache_key = ComputeCacheKey(table, seed, cache_key_version);
+    std::vector<TypeId> cached;
+    if (options_.result_cache->Lookup(cache_key, &cached)) {
+      bool serve_hit = false;
+      const uint64_t latency = clock_->NowNanos() - lookup_start;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++submitted_;
+        if (stop_) {
+          // Shutdown still wins: admission (cached or not) is closed.
+          ++rejected_shutdown_;
+        } else {
+          serve_hit = true;
+          ++cache_hits_;
+          ++completed_;
+          if (latencies_.size() < kLatencyWindow) {
+            latencies_.push_back(latency);
+          } else {
+            latencies_[latency_next_] = latency;
+            latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+          }
+        }
+      }
+      auto state = std::make_shared<internal::RequestState>();
+      PredictionResult result;
+      if (serve_hit) {
+        result.status = RequestStatus::kOk;
+        result.type_ids = std::move(cached);
+        result.model_version = cache_key_version;
+        result.cache_hit = true;
+        result.latency_nanos = latency;
+      } else {
+        result.status = RequestStatus::kShutdown;
+      }
+      Resolve(state, std::move(result));
+      return PredictionHandle(std::move(state));
+    }
+  }
+
   // Admission decision first, table copy second: a rejected request must
   // not pay O(table) work -- overload is exactly when that matters.
   RequestStatus admission = RequestStatus::kOk;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++submitted_;
+    if (cache_eligible) ++cache_misses_;
     if (stop_) {
       admission = RequestStatus::kShutdown;
       ++rejected_shutdown_;
@@ -180,6 +239,9 @@ PredictionHandle PredictionService::Submit(const Table& table,
     throw;
   }
   state->seed = seed;
+  state->cache_eligible = cache_eligible;
+  state->cache_key = cache_key;
+  state->cache_key_version = cache_key_version;
   bool enqueued = true;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -238,12 +300,19 @@ void PredictionService::BatcherLoop() {
     // shared_ptr load. Requests in this batch all serve on `bundle` even
     // if a Publish lands mid-execution; the next batch re-pins.
     std::shared_ptr<const ModelBundle> bundle = registry_->Current();
-    if (bundle->version() != last_pinned_version_) {
+    const bool swapped = bundle->version() != last_pinned_version_;
+    if (swapped) {
       ++model_swaps_;
       last_pinned_version_ = bundle->version();
     }
 
     lock.unlock();
+    if (swapped && options_.result_cache != nullptr) {
+      // Space reclamation, not correctness: superseded entries are already
+      // unreachable (their keys embed the old version), so drop them now
+      // instead of letting LRU pressure age them out.
+      options_.result_cache->PurgeVersionsOtherThan(bundle->version());
+    }
     for (auto& request : batch) {
       pool_.Submit(
           [this, state = std::move(request), bundle](size_t worker) mutable {
@@ -289,6 +358,18 @@ void PredictionService::ExecuteRequest(
       util::Rng rng(state->seed);
       result.type_ids = bundle->predictor().PredictTable(
           state->table, &rng, &workspaces_[worker], &scratches_[worker]);
+      if (state->cache_eligible) {
+        // Insert under the version that actually served: when a publish
+        // landed between Submit and dispatch, the lookup-time key would
+        // file the result under the wrong version.
+        const CacheKey key =
+            bundle->version() == state->cache_key_version
+                ? state->cache_key
+                : ComputeCacheKey(state->table, state->seed,
+                                  bundle->version());
+        options_.result_cache->Insert(key, bundle->version(),
+                                      result.type_ids);
+      }
     }
     bundle->RecordServed();
   } catch (...) {
@@ -349,6 +430,8 @@ ServiceStats PredictionService::Stats() const {
     stats.outstanding = outstanding_;
     stats.batches = batches_;
     stats.model_swaps = model_swaps_;
+    stats.cache_hits = cache_hits_;
+    stats.cache_misses = cache_misses_;
     stats.batch_size_histogram = batch_size_histogram_;
     latencies = latencies_;
   }
@@ -367,6 +450,8 @@ void PredictionService::ResetStats() {
   rejected_shutdown_ = 0;
   batches_ = 0;
   model_swaps_ = 0;
+  cache_hits_ = 0;
+  cache_misses_ = 0;
   std::fill(batch_size_histogram_.begin(), batch_size_histogram_.end(), 0);
   latencies_.clear();
   latency_next_ = 0;

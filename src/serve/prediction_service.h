@@ -17,6 +17,7 @@
 #include "nn/workspace.h"
 #include "serve/clock.h"
 #include "serve/model_registry.h"
+#include "serve/result_cache.h"
 #include "serve/thread_pool.h"
 #include "table/table.h"
 
@@ -45,6 +46,11 @@ struct PredictionResult {
   uint64_t model_version = 0;
   /// Submit -> completion on the service clock (0 for rejected requests).
   uint64_t latency_nanos = 0;
+  /// True when the response was served from the content-addressed result
+  /// cache (byte-identical to the cold prediction on model_version by the
+  /// determinism guarantee -- the cache key covers table content, seed and
+  /// model version, nothing else).
+  bool cache_hit = false;
   /// The escaped exception when status == kFailed, else null.
   std::exception_ptr error;
 };
@@ -97,6 +103,14 @@ struct PredictionServiceOptions {
   /// Time source for deadlines and latency stats. Borrowed; must outlive
   /// the service. nullptr -> the service owns a SteadyClock (real time).
   Clock* clock = nullptr;
+
+  /// Optional content-addressed result cache in front of inference.
+  /// Borrowed; must outlive the service. A hit resolves the handle at
+  /// Submit time without consuming an admission slot, a batch seat or a
+  /// worker; a miss falls through to the normal path and the completed
+  /// prediction is inserted under the version that actually served it.
+  /// nullptr (default) disables caching entirely.
+  ResultCache* result_cache = nullptr;
 };
 
 /// Snapshot of per-service counters (see PredictionService::Stats).
@@ -116,6 +130,10 @@ struct ServiceStats {
   /// batch's -- the number of hot swaps the dispatch path actually
   /// crossed (0 while one version serves the whole stream).
   uint64_t model_swaps = 0;
+  /// Result-cache outcomes (both 0 when no cache is configured). Hits
+  /// count as submitted+completed but never as batched/outstanding.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
   /// batch_size_histogram[s] = number of dispatched micro-batches of size
   /// s, for s in [0, max_batch_size] (index 0 is always 0).
   std::vector<uint64_t> batch_size_histogram;
@@ -274,6 +292,8 @@ class PredictionService {
   uint64_t outstanding_ = 0;
   uint64_t batches_ = 0;
   uint64_t model_swaps_ = 0;
+  uint64_t cache_hits_ = 0;
+  uint64_t cache_misses_ = 0;
   uint64_t last_pinned_version_ = 0;  // batcher-only, guarded by mutex_
   std::vector<uint64_t> batch_size_histogram_;
   std::vector<uint64_t> latencies_;  // ring of the last kLatencyWindow samples

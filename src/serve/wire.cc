@@ -1,0 +1,520 @@
+#include "serve/wire.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace sato::serve::wire {
+
+namespace {
+
+uint16_t LoadU16(const char* p) {
+  const unsigned char* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint16_t>(b[0] | (b[1] << 8));
+}
+
+uint32_t LoadU32(const char* p) {
+  const unsigned char* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+         (static_cast<uint32_t>(b[2]) << 16) |
+         (static_cast<uint32_t>(b[3]) << 24);
+}
+
+uint64_t LoadU64(const char* p) {
+  return static_cast<uint64_t>(LoadU32(p)) |
+         (static_cast<uint64_t>(LoadU32(p + 4)) << 32);
+}
+
+std::string ErrnoString(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+const char* WireStatusName(WireStatus status) {
+  switch (status) {
+    case WireStatus::kOk: return "ok";
+    case WireStatus::kRejected: return "rejected";
+    case WireStatus::kShutdown: return "shutdown";
+    case WireStatus::kFailed: return "failed";
+    case WireStatus::kMalformed: return "malformed";
+    case WireStatus::kBusy: return "busy";
+    case WireStatus::kUnsupported: return "unsupported";
+  }
+  return "unknown";
+}
+
+void AppendU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+// --------------------------------------------------------------- Reader ----
+
+bool Reader::Take(size_t n, const char** p) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  *p = data_.data() + pos_;
+  pos_ += n;
+  return true;
+}
+
+bool Reader::ReadU8(uint8_t* v) {
+  const char* p;
+  if (!Take(1, &p)) return false;
+  *v = static_cast<uint8_t>(*p);
+  return true;
+}
+
+bool Reader::ReadU16(uint16_t* v) {
+  const char* p;
+  if (!Take(2, &p)) return false;
+  *v = LoadU16(p);
+  return true;
+}
+
+bool Reader::ReadU32(uint32_t* v) {
+  const char* p;
+  if (!Take(4, &p)) return false;
+  *v = LoadU32(p);
+  return true;
+}
+
+bool Reader::ReadU64(uint64_t* v) {
+  const char* p;
+  if (!Take(8, &p)) return false;
+  *v = LoadU64(p);
+  return true;
+}
+
+bool Reader::ReadString(std::string* v) {
+  uint32_t len = 0;
+  if (!ReadU32(&len)) return false;
+  // The length is untrusted: bound it by what was actually received
+  // before assigning, so a hostile length cannot drive the allocation.
+  if (data_.size() - pos_ < len) {
+    ok_ = false;
+    return false;
+  }
+  const char* p;
+  if (!Take(len, &p)) return false;
+  v->assign(p, len);
+  return true;
+}
+
+// -------------------------------------------------------------- framing ----
+
+std::string EncodeFrame(const FrameHeader& header, std::string_view payload) {
+  std::string out;
+  out.reserve(kHeaderBytes + payload.size());
+  AppendU32(&out, header.magic);
+  AppendU16(&out, header.version);
+  AppendU16(&out, header.opcode);
+  AppendU64(&out, header.request_id);
+  AppendU32(&out, header.tenant_id);
+  AppendU32(&out, static_cast<uint32_t>(payload.size()));
+  out.append(payload);
+  return out;
+}
+
+std::string EncodeFrame(Opcode opcode, uint64_t request_id,
+                        uint32_t tenant_id, std::string_view payload) {
+  FrameHeader header;
+  header.opcode = static_cast<uint16_t>(opcode);
+  header.request_id = request_id;
+  header.tenant_id = tenant_id;
+  return EncodeFrame(header, payload);
+}
+
+DecodeStatus DecodeHeader(std::string_view buffer, uint32_t max_payload,
+                          FrameHeader* header, size_t* frame_bytes) {
+  // Validate eagerly: reject wrong magic/version/length from whatever
+  // prefix is already here instead of waiting for bytes that cannot
+  // repair the frame.
+  if (buffer.size() >= 4 && LoadU32(buffer.data()) != kMagic) {
+    return DecodeStatus::kBadMagic;
+  }
+  if (buffer.size() >= 6 && LoadU16(buffer.data() + 4) != kProtocolVersion) {
+    return DecodeStatus::kBadVersion;
+  }
+  if (buffer.size() >= kHeaderBytes &&
+      LoadU32(buffer.data() + 20) > max_payload) {
+    return DecodeStatus::kOversized;
+  }
+  if (buffer.size() < kHeaderBytes) return DecodeStatus::kNeedMore;
+
+  header->magic = LoadU32(buffer.data());
+  header->version = LoadU16(buffer.data() + 4);
+  header->opcode = LoadU16(buffer.data() + 6);
+  header->request_id = LoadU64(buffer.data() + 8);
+  header->tenant_id = LoadU32(buffer.data() + 16);
+  header->payload_len = LoadU32(buffer.data() + 20);
+  if (buffer.size() < kHeaderBytes + header->payload_len) {
+    return DecodeStatus::kNeedMore;
+  }
+  *frame_bytes = kHeaderBytes + header->payload_len;
+  return DecodeStatus::kFrame;
+}
+
+// ------------------------------------------------------- payload codecs ----
+
+void EncodePredictPayload(const Table& table, uint64_t seed,
+                          std::string* out) {
+  AppendU64(out, seed);
+  AppendU32(out, static_cast<uint32_t>(table.num_columns()));
+  for (const Column& column : table.columns()) {
+    AppendU32(out, static_cast<uint32_t>(column.header.size()));
+    out->append(column.header);
+    AppendU32(out, static_cast<uint32_t>(column.values.size()));
+    for (const std::string& value : column.values) {
+      AppendU32(out, static_cast<uint32_t>(value.size()));
+      out->append(value);
+    }
+  }
+}
+
+bool DecodePredictPayload(std::string_view payload, Table* table,
+                          uint64_t* seed, std::string* error) {
+  Reader reader(payload);
+  uint32_t num_columns = 0;
+  if (!reader.ReadU64(seed) || !reader.ReadU32(&num_columns)) {
+    *error = "predict payload truncated before column list";
+    return false;
+  }
+  *table = Table();
+  for (uint32_t c = 0; c < num_columns; ++c) {
+    Column column;
+    uint32_t num_values = 0;
+    if (!reader.ReadString(&column.header) || !reader.ReadU32(&num_values)) {
+      *error = "predict payload truncated inside column " + std::to_string(c);
+      return false;
+    }
+    column.values.reserve(num_values);
+    for (uint32_t v = 0; v < num_values; ++v) {
+      std::string value;
+      if (!reader.ReadString(&value)) {
+        *error = "predict payload truncated inside column " +
+                 std::to_string(c) + " value " + std::to_string(v);
+        return false;
+      }
+      column.values.push_back(std::move(value));
+    }
+    table->AddColumn(std::move(column));
+  }
+  if (!reader.AtEnd()) {
+    *error = "predict payload has trailing bytes";
+    return false;
+  }
+  return true;
+}
+
+void EncodeCorrectionPayload(std::string_view column_name, TypeId type,
+                             uint64_t model_version, std::string* out) {
+  AppendU32(out, static_cast<uint32_t>(column_name.size()));
+  out->append(column_name);
+  AppendU32(out, static_cast<uint32_t>(static_cast<int32_t>(type)));
+  AppendU64(out, model_version);
+}
+
+bool DecodeCorrectionPayload(std::string_view payload,
+                             std::string* column_name, TypeId* type,
+                             uint64_t* model_version, std::string* error) {
+  Reader reader(payload);
+  uint32_t raw_type = 0;
+  if (!reader.ReadString(column_name) || !reader.ReadU32(&raw_type) ||
+      !reader.ReadU64(model_version) || !reader.AtEnd()) {
+    *error = "correction payload malformed";
+    return false;
+  }
+  *type = static_cast<TypeId>(static_cast<int32_t>(raw_type));
+  return true;
+}
+
+void EncodeResponsePayload(const ResponseBody& body, std::string* out) {
+  out->push_back(static_cast<char>(body.status));
+  AppendU64(out, body.model_version);
+  out->push_back(body.cache_hit ? 1 : 0);
+  AppendU32(out, static_cast<uint32_t>(body.type_ids.size()));
+  for (TypeId id : body.type_ids) {
+    AppendU32(out, static_cast<uint32_t>(static_cast<int32_t>(id)));
+  }
+  AppendU32(out, static_cast<uint32_t>(body.message.size()));
+  out->append(body.message);
+}
+
+bool DecodeResponsePayload(std::string_view payload, ResponseBody* body,
+                           std::string* error) {
+  Reader reader(payload);
+  uint8_t status = 0;
+  uint8_t cache_hit = 0;
+  uint32_t num_types = 0;
+  if (!reader.ReadU8(&status) || !reader.ReadU64(&body->model_version) ||
+      !reader.ReadU8(&cache_hit) || !reader.ReadU32(&num_types)) {
+    *error = "response payload truncated";
+    return false;
+  }
+  if (status > static_cast<uint8_t>(WireStatus::kUnsupported)) {
+    *error = "response carries unknown status byte";
+    return false;
+  }
+  body->status = static_cast<WireStatus>(status);
+  body->cache_hit = cache_hit != 0;
+  body->type_ids.clear();
+  body->type_ids.reserve(std::min<size_t>(num_types, payload.size() / 4));
+  for (uint32_t i = 0; i < num_types; ++i) {
+    uint32_t raw = 0;
+    if (!reader.ReadU32(&raw)) {
+      *error = "response payload truncated inside type ids";
+      return false;
+    }
+    body->type_ids.push_back(static_cast<TypeId>(static_cast<int32_t>(raw)));
+  }
+  if (!reader.ReadString(&body->message) || !reader.AtEnd()) {
+    *error = "response payload malformed after type ids";
+    return false;
+  }
+  return true;
+}
+
+// ------------------------------------------------------- socket helpers ----
+
+bool SendAll(int fd, std::string_view bytes, std::string* error) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) *error = ErrnoString("send");
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+int RecvExactly(int fd, char* out, size_t n, std::string* error) {
+  size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::recv(fd, out + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) *error = ErrnoString("recv");
+      return -1;
+    }
+    if (r == 0) {
+      if (got == 0) return 0;  // clean EOF at a frame boundary
+      if (error != nullptr) *error = "connection closed mid-frame";
+      return -1;
+    }
+    got += static_cast<size_t>(r);
+  }
+  return 1;
+}
+
+// --------------------------------------------------------------- Client ----
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_),
+      tenant_id_(other.tenant_id_),
+      next_request_id_(other.next_request_id_),
+      error_(std::move(other.error_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+    tenant_id_ = other.tenant_id_;
+    next_request_id_ = other.next_request_id_;
+    error_ = std::move(other.error_);
+  }
+  return *this;
+}
+
+bool Client::Connect(const std::string& host, uint16_t port,
+                     int recv_timeout_ms) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    error_ = ErrnoString("socket");
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    error_ = "invalid host address: " + host;
+    Close();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    error_ = ErrnoString("connect");
+    Close();
+    return false;
+  }
+  if (recv_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = recv_timeout_ms / 1000;
+    tv.tv_usec = (recv_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return true;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Client::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) {
+    error_ = "not connected";
+    return false;
+  }
+  return SendAll(fd_, bytes, &error_);
+}
+
+bool Client::HalfClose() {
+  if (fd_ < 0) {
+    error_ = "not connected";
+    return false;
+  }
+  if (::shutdown(fd_, SHUT_WR) != 0) {
+    error_ = ErrnoString("shutdown");
+    return false;
+  }
+  return true;
+}
+
+uint64_t Client::SendFrame(Opcode opcode, std::string_view payload) {
+  if (fd_ < 0) {
+    error_ = "not connected";
+    return 0;
+  }
+  uint64_t id = next_request_id_++;
+  std::string frame = EncodeFrame(opcode, id, tenant_id_, payload);
+  if (!SendAll(fd_, frame, &error_)) return 0;
+  return id;
+}
+
+uint64_t Client::SendPing() { return SendFrame(Opcode::kPing, {}); }
+
+uint64_t Client::SendPredict(const Table& table, uint64_t seed) {
+  std::string payload;
+  EncodePredictPayload(table, seed, &payload);
+  return SendFrame(Opcode::kPredict, payload);
+}
+
+uint64_t Client::SendCorrection(std::string_view column_name, TypeId type,
+                                uint64_t model_version) {
+  std::string payload;
+  EncodeCorrectionPayload(column_name, type, model_version, &payload);
+  return SendFrame(Opcode::kCorrection, payload);
+}
+
+ClientResponse Client::ReadResponse() {
+  ClientResponse response;
+  if (fd_ < 0) {
+    response.transport_error = "not connected";
+    return response;
+  }
+  char header_bytes[kHeaderBytes];
+  int r = RecvExactly(fd_, header_bytes, kHeaderBytes,
+                      &response.transport_error);
+  if (r == 0) {
+    response.transport_error = "connection closed by server";
+    return response;
+  }
+  if (r < 0) return response;
+  FrameHeader header;
+  size_t frame_bytes = 0;
+  // A header-only view decodes to kNeedMore when valid (payload not yet
+  // read); anything else is a protocol violation by the server.
+  std::string_view view(header_bytes, kHeaderBytes);
+  DecodeStatus status = DecodeHeader(view, kMaxPayloadBytes, &header,
+                                     &frame_bytes);
+  if (status != DecodeStatus::kNeedMore && status != DecodeStatus::kFrame) {
+    response.transport_error = "server sent an invalid frame header";
+    return response;
+  }
+  uint32_t payload_len = LoadU32(header_bytes + 20);
+  if (payload_len > kMaxPayloadBytes) {
+    response.transport_error = "server sent an oversized frame";
+    return response;
+  }
+  std::string payload(payload_len, '\0');
+  if (payload_len > 0 &&
+      RecvExactly(fd_, payload.data(), payload_len,
+                  &response.transport_error) != 1) {
+    return response;
+  }
+  response.opcode = LoadU16(header_bytes + 6);
+  response.request_id = LoadU64(header_bytes + 8);
+  std::string decode_error;
+  if (!DecodeResponsePayload(payload, &response.body, &decode_error)) {
+    response.transport_error = "undecodable response: " + decode_error;
+    return response;
+  }
+  response.transport_ok = true;
+  return response;
+}
+
+ClientResponse Client::Ping() {
+  if (SendPing() == 0) {
+    ClientResponse response;
+    response.transport_error = error_;
+    return response;
+  }
+  return ReadResponse();
+}
+
+ClientResponse Client::Predict(const Table& table, uint64_t seed) {
+  if (SendPredict(table, seed) == 0) {
+    ClientResponse response;
+    response.transport_error = error_;
+    return response;
+  }
+  return ReadResponse();
+}
+
+ClientResponse Client::Correct(std::string_view column_name, TypeId type,
+                               uint64_t model_version) {
+  if (SendCorrection(column_name, type, model_version) == 0) {
+    ClientResponse response;
+    response.transport_error = error_;
+    return response;
+  }
+  return ReadResponse();
+}
+
+}  // namespace sato::serve::wire
