@@ -30,6 +30,8 @@ namespace {
 
 ServerOptions Sanitize(ServerOptions options) {
   options.max_connections = std::max<size_t>(1, options.max_connections);
+  options.max_tracked_tenants =
+      std::max<size_t>(1, options.max_tracked_tenants);
   if (options.max_payload_bytes == 0) {
     options.max_payload_bytes = wire::kMaxPayloadBytes;
   }
@@ -207,21 +209,33 @@ void Server::ServeConnection(Connection* connection) {
   // Header-level corruption sends one typed error frame and turns the
   // connection fatal (framing cannot resync).
   auto process_buffered = [&] {
+    // Frames are consumed through an offset and the buffer compacted once
+    // per sweep: erasing the front per frame would make heavily pipelined
+    // input quadratic in buffered bytes.
+    size_t consumed = 0;
     while (!fatal) {
+      std::string_view view = std::string_view(buffer).substr(consumed);
       wire::FrameHeader header;
       size_t frame_bytes = 0;
       wire::DecodeStatus status = wire::DecodeHeader(
-          buffer, options_.max_payload_bytes, &header, &frame_bytes);
-      if (status == wire::DecodeStatus::kNeedMore) return;
+          view, options_.max_payload_bytes, &header, &frame_bytes);
+      if (status == wire::DecodeStatus::kNeedMore) break;
       if (status == wire::DecodeStatus::kFrame) {
         {
           std::lock_guard<std::mutex> lock(stats_mutex_);
           ++stats_.frames_received;
         }
-        HandleFrame(fd, header,
-                    std::string_view(buffer).substr(wire::kHeaderBytes,
-                                                    header.payload_len));
-        buffer.erase(0, frame_bytes);
+        try {
+          HandleFrame(fd, header,
+                      view.substr(wire::kHeaderBytes, header.payload_len));
+        } catch (const std::exception& e) {
+          FailConnection(fd, header.request_id, e.what());
+          fatal = true;
+        } catch (...) {
+          FailConnection(fd, header.request_id, "request handler failed");
+          fatal = true;
+        }
+        consumed += frame_bytes;
         continue;
       }
       const char* message =
@@ -241,62 +255,72 @@ void Server::ServeConnection(Connection* connection) {
                      message);
       fatal = true;
     }
+    if (consumed > 0) buffer.erase(0, consumed);
   };
 
   bool drain_now = false;
-  while (!fatal) {
-    process_buffered();
-    if (fatal) break;
-    if (drain_now) {
-      // Graceful drain: requests the kernel has already delivered count
-      // as in-flight. Sweep them out non-blockingly, serve every complete
-      // frame, then close -- later bytes meet a closed socket.
-      int flags = ::fcntl(fd, F_GETFL, 0);
-      if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
-      for (;;) {
-        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-        if (n > 0) {
-          buffer.append(chunk, static_cast<size_t>(n));
-          continue;
-        }
-        if (n < 0 && errno == EINTR) continue;
-        break;  // EAGAIN, EOF or error: the sweep is done
-      }
+  // Last-ditch exception barrier: a throw escaping the std::thread body
+  // would std::terminate the whole daemon, so anything the per-frame
+  // barrier missed (e.g. a failed error-frame send) closes only this
+  // connection.
+  try {
+    while (!fatal) {
       process_buffered();
-      break;
-    }
-
-    pollfd fds[2] = {{fd, POLLIN, 0}, {drain_pipe_rd_, POLLIN, 0}};
-    int pr = ::poll(fds, 2, -1);
-    if (pr < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    if (fds[1].revents != 0) {
-      drain_now = true;
-      continue;
-    }
-    if ((fds[0].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
-    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    if (n == 0) {
-      if (!buffer.empty()) {
-        // Half-close mid-frame: the peer can never complete this frame.
-        // Fail loudly (typed error, still deliverable -- only the write
-        // side died) instead of waiting forever.
-        {
-          std::lock_guard<std::mutex> lock(stats_mutex_);
-          ++stats_.malformed_frames;
+      if (fatal) break;
+      if (drain_now) {
+        // Graceful drain: requests the kernel has already delivered count
+        // as in-flight. Sweep them out non-blockingly, serve every
+        // complete frame, then close -- later bytes meet a closed socket.
+        int flags = ::fcntl(fd, F_GETFL, 0);
+        if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+        for (;;) {
+          ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+          if (n > 0) {
+            buffer.append(chunk, static_cast<size_t>(n));
+            continue;
+          }
+          if (n < 0 && errno == EINTR) continue;
+          break;  // EAGAIN, EOF or error: the sweep is done
         }
-        SendErrorFrame(fd, 0, wire::WireStatus::kMalformed,
-                       "connection closed mid-frame");
+        process_buffered();
+        break;
       }
-      break;
+
+      pollfd fds[2] = {{fd, POLLIN, 0}, {drain_pipe_rd_, POLLIN, 0}};
+      int pr = ::poll(fds, 2, -1);
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (fds[1].revents != 0) {
+        drain_now = true;
+        continue;
+      }
+      if ((fds[0].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (n == 0) {
+        if (!buffer.empty()) {
+          // Half-close mid-frame: the peer can never complete this frame.
+          // Fail loudly (typed error, still deliverable -- only the write
+          // side died) instead of waiting forever.
+          {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.malformed_frames;
+          }
+          SendErrorFrame(fd, 0, wire::WireStatus::kMalformed,
+                         "connection closed mid-frame");
+        }
+        break;
+      }
+      buffer.append(chunk, static_cast<size_t>(n));
     }
-    buffer.append(chunk, static_cast<size_t>(n));
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.handler_exceptions;
   }
 
   ::close(fd);
@@ -309,6 +333,15 @@ void Server::ServeConnection(Connection* connection) {
     ++stats_.connections_closed;
   }
   connection->done.store(true, std::memory_order_release);
+}
+
+void Server::FailConnection(int fd, uint64_t request_id,
+                            const char* message) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.handler_exceptions;
+  }
+  SendErrorFrame(fd, request_id, wire::WireStatus::kFailed, message);
 }
 
 void Server::HandleFrame(int fd, const wire::FrameHeader& header,
@@ -344,20 +377,31 @@ void Server::HandleFrame(int fd, const wire::FrameHeader& header,
     }
     case wire::Opcode::kPredict: {
       // Per-tenant quota: admission is metered before any decode work, so
-      // an over-quota tenant cannot cost more than a header parse.
-      if (options_.tenant_request_quota > 0) {
+      // an over-quota tenant cannot cost more than a header parse. The
+      // tenant id is client-chosen and unauthenticated, so tracking is
+      // bounded: once max_tracked_tenants distinct ids exist, unseen ids
+      // share one overflow bucket -- and one quota -- so rotating ids can
+      // grow neither server memory nor the admitted-request budget.
+      {
         std::lock_guard<std::mutex> lock(stats_mutex_);
-        uint64_t& used = stats_.tenant_requests[header.tenant_id];
-        if (used >= options_.tenant_request_quota) {
+        uint64_t* used;
+        auto it = stats_.tenant_requests.find(header.tenant_id);
+        if (it != stats_.tenant_requests.end()) {
+          used = &it->second;
+        } else if (stats_.tenant_requests.size() <
+                   options_.max_tracked_tenants) {
+          used = &stats_.tenant_requests[header.tenant_id];
+        } else {
+          used = &stats_.tenant_overflow_requests;
+        }
+        if (options_.tenant_request_quota > 0 &&
+            *used >= options_.tenant_request_quota) {
           ++stats_.quota_rejected;
           body.status = wire::WireStatus::kRejected;
           body.message = "tenant quota exhausted";
-          break;
+        } else {
+          ++*used;
         }
-        ++used;
-      } else {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++stats_.tenant_requests[header.tenant_id];
       }
       if (body.status == wire::WireStatus::kRejected) break;
 

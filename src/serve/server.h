@@ -36,6 +36,15 @@ struct ServerOptions {
   /// 0 = unlimited. Ping/correction frames are not metered.
   uint64_t tenant_request_quota = 0;
 
+  /// Bound on how many distinct tenant ids are tracked individually. The
+  /// tenant id is client-chosen and UNAUTHENTICATED -- advisory until an
+  /// auth layer exists -- so without a cap a hostile client rotating ids
+  /// would grow the per-tenant map without bound (and mint a fresh quota
+  /// per id). Once the map is full, requests from unseen ids aggregate
+  /// into one shared overflow bucket that also shares a single
+  /// tenant_request_quota. Clamped to >= 1.
+  size_t max_tracked_tenants = 1024;
+
   /// Bound on the untrusted payload-length field, connection-fatal when
   /// exceeded. Defaults to wire::kMaxPayloadBytes.
   uint32_t max_payload_bytes = wire::kMaxPayloadBytes;
@@ -65,9 +74,17 @@ struct ServerStats {
   /// response written), for a mean wire latency without a sample ring.
   uint64_t request_nanos_total = 0;
   uint64_t requests_measured = 0;
+  /// Exceptions caught by the connection barrier: a request handler that
+  /// throws fails its connection (typed kFailed frame, then close), never
+  /// the process.
+  uint64_t handler_exceptions = 0;
   bool draining = false;
-  /// Admitted predict requests per tenant id.
+  /// Admitted predict requests per tenant id; bounded by
+  /// ServerOptions::max_tracked_tenants.
   std::map<uint32_t, uint64_t> tenant_requests;
+  /// Admitted predict requests from tenants beyond max_tracked_tenants,
+  /// aggregated into one shared bucket (which also shares one quota).
+  uint64_t tenant_overflow_requests = 0;
 };
 
 /// The network front door: a TCP listener speaking the length-prefixed
@@ -83,8 +100,12 @@ struct ServerStats {
 /// oversized or truncated frame) is answered with one typed error frame
 /// and a close -- a byte stream cannot resync after framing breaks.
 /// Payload-level corruption inside a well-formed frame answers a typed
-/// kMalformed response and KEEPS the connection. Nothing malformed ever
-/// hangs, crashes, or is silently dropped.
+/// kMalformed response and KEEPS the connection. A request handler that
+/// throws (decode allocation, table copy, registry error) is caught by a
+/// per-connection exception barrier: one typed kFailed frame, then only
+/// that connection closes -- nothing ever unwinds into the thread body
+/// and terminates the daemon. Nothing malformed ever hangs, crashes, or
+/// is silently dropped.
 ///
 /// Graceful drain (the SIGTERM path): RequestDrain() stops the listener
 /// and signals every connection; each connection finishes the requests it
@@ -127,10 +148,14 @@ class Server {
 
   void AcceptLoop();
   void ServeConnection(Connection* connection);
-  /// Handles one well-formed frame; returns false when the connection
-  /// must close (currently never -- payload errors keep the connection).
+  /// Handles one well-formed frame. Payload errors answer a typed
+  /// kMalformed response and keep the connection; a throw is caught by
+  /// the caller's exception barrier and fails only that connection.
   void HandleFrame(int fd, const wire::FrameHeader& header,
                    std::string_view payload);
+  /// Exception-barrier path: counts the failure and answers one typed
+  /// kFailed frame before the connection closes.
+  void FailConnection(int fd, uint64_t request_id, const char* message);
   void SendResponse(int fd, uint16_t opcode, uint64_t request_id,
                     const wire::ResponseBody& body);
   void SendErrorFrame(int fd, uint64_t request_id, wire::WireStatus status,

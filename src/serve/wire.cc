@@ -210,7 +210,11 @@ bool DecodePredictPayload(std::string_view payload, Table* table,
       *error = "predict payload truncated inside column " + std::to_string(c);
       return false;
     }
-    column.values.reserve(num_values);
+    // num_values is untrusted: every value costs at least its 4-byte
+    // length prefix, so the bytes still unread bound how many can truly
+    // follow -- a hostile count cannot drive the reservation.
+    column.values.reserve(std::min<size_t>(num_values,
+                                           reader.Remaining() / 4));
     for (uint32_t v = 0; v < num_values; ++v) {
       std::string value;
       if (!reader.ReadString(&value)) {

@@ -114,6 +114,9 @@ class Reader {
   /// True when every byte was consumed -- decoders require this so
   /// trailing garbage is an error, not silently ignored.
   bool AtEnd() const { return ok_ && pos_ == data_.size(); }
+  /// Bytes not yet consumed. Decoders use this to bound reservations
+  /// taken from untrusted element counts by what was actually received.
+  size_t Remaining() const { return ok_ ? data_.size() - pos_ : 0; }
 
  private:
   bool Take(size_t n, const char** p);

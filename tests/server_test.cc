@@ -396,6 +396,31 @@ TEST_F(ServerTest, ImplausibleLengthFieldFailsLoudlyWithoutAllocation) {
   EXPECT_FALSE(client.ReadResponse().transport_ok);
 }
 
+TEST_F(ServerTest, HostileValueCountInsideTinyPayloadIsMalformedNotOOM) {
+  auto harness = MakeHarness();
+  wire::Client client = harness->Connect();
+  // A well-framed ~25-byte predict payload whose column claims 2^32-1
+  // values. The decoder must bound its reservation by the bytes actually
+  // received (a raw reserve would attempt ~137 GB and abort the daemon)
+  // and then fail on truncation -- typed, connection kept.
+  std::string payload;
+  wire::AppendU64(&payload, /*seed=*/0);
+  wire::AppendU32(&payload, /*num_columns=*/1);
+  wire::AppendU32(&payload, 4);
+  payload += "name";
+  wire::AppendU32(&payload, /*num_values=*/0xFFFFFFFFu);
+  ASSERT_TRUE(
+      client.SendRaw(wire::EncodeFrame(Opcode::kPredict, 31, 0, payload)));
+
+  wire::ClientResponse error = client.ReadResponse();
+  ASSERT_TRUE(error.transport_ok) << error.transport_error;
+  EXPECT_EQ(error.body.status, WireStatus::kMalformed);
+  EXPECT_EQ(error.request_id, 31u);
+  // Payload-level error: the connection survives and serves on.
+  EXPECT_TRUE(client.Ping().transport_ok);
+  EXPECT_EQ(harness->server->Stats().malformed_payloads, 1u);
+}
+
 TEST_F(ServerTest, ProtocolVersionMismatchIsRejected) {
   auto harness = MakeHarness();
   wire::Client client = harness->Connect();
@@ -508,6 +533,40 @@ TEST_F(ServerTest, TenantQuotaExhaustionRejectsTyped) {
   EXPECT_EQ(stats.quota_rejected, 1u);
   EXPECT_EQ(stats.tenant_requests.at(7), 3u);
   EXPECT_EQ(stats.tenant_requests.at(8), 1u);
+}
+
+TEST_F(ServerTest, TenantTrackingStaysBoundedUnderIdSpray) {
+  ServerOptions options;
+  options.max_tracked_tenants = 4;
+  options.tenant_request_quota = 2;
+  auto harness = MakeHarness(options);
+  wire::Client client = harness->Connect();
+  // Spray eight distinct tenant ids: the first four are tracked
+  // individually; the rest land in one shared overflow bucket with one
+  // shared quota, so rotating ids grows neither the map nor the budget.
+  std::vector<WireStatus> statuses;
+  for (uint32_t tenant = 100; tenant < 108; ++tenant) {
+    client.set_tenant(tenant);
+    wire::ClientResponse response = client.Predict((*tables_)[0], SeedFor(0));
+    ASSERT_TRUE(response.transport_ok) << response.transport_error;
+    statuses.push_back(response.body.status);
+  }
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(statuses[i], WireStatus::kOk) << "request " << i;
+  }
+  // Overflow requests 3 and 4 exceed the bucket's shared quota of 2.
+  EXPECT_EQ(statuses[6], WireStatus::kRejected);
+  EXPECT_EQ(statuses[7], WireStatus::kRejected);
+
+  ServerStats stats = harness->server->Stats();
+  EXPECT_EQ(stats.tenant_requests.size(), 4u);
+  EXPECT_EQ(stats.tenant_overflow_requests, 2u);
+  EXPECT_EQ(stats.quota_rejected, 2u);
+  // A tracked tenant still has its own budget left.
+  client.set_tenant(100);
+  wire::ClientResponse tracked = client.Predict((*tables_)[0], SeedFor(0));
+  ASSERT_TRUE(tracked.transport_ok);
+  EXPECT_EQ(tracked.body.status, WireStatus::kOk);
 }
 
 TEST_F(ServerTest, ConnectionsBeyondTheBoundGetBusyThenRecover) {
