@@ -31,6 +31,7 @@
 #include "features/config.h"
 #include "nn/gemm.h"
 #include "serve/batch_predictor.h"
+#include "serve/fault_injector.h"
 #include "serve/model_registry.h"
 #include "serve/prediction_service.h"
 #include "serve/result_cache.h"
@@ -478,6 +479,148 @@ DaemonResult MeasureDaemon(const SatoModel& model, const BenchEnv& env,
   return result;
 }
 
+/// Resilience datapoint: the daemon loopback replay run twice with
+/// retrying, deadline-bounded clients -- once fault-free, once under a
+/// seeded ~1% injected-fault schedule across every fault point -- so the
+/// JSON records what faults cost in tail latency and how many requests
+/// the retry/shed machinery saved vs surrendered.
+struct ResilienceResult {
+  size_t clients;
+  size_t requests;
+  uint64_t fault_ppm;           // per-point injection rate of the faulty run
+  uint64_t injected_faults;     // total injections actually fired
+  uint64_t retries;             // client retries (faulty run)
+  uint64_t deadline_exceeded;   // requests shed by the service (faulty run)
+  uint64_t typed_errors;        // non-kOk typed responses (faulty run)
+  uint64_t transport_failures;  // retry budget exhausted (faulty run)
+  uint64_t responses_ok;        // kOk responses (faulty run)
+  double p50_ms_fault_free;
+  double p99_ms_fault_free;
+  double p50_ms_faulty;
+  double p99_ms_faulty;
+};
+
+ResilienceResult MeasureResilience(const SatoModel& model, const BenchEnv& env,
+                                   const features::FeatureScaler& scaler,
+                                   const std::vector<Table>& tables,
+                                   size_t requests, size_t clients,
+                                   size_t workers) {
+  constexpr uint64_t kFaultPpm = 10'000;  // 1% at every fault point
+
+  struct PassResult {
+    std::vector<uint64_t> latencies_nanos;  // client-side, per request
+    uint64_t ok = 0;
+    uint64_t typed_errors = 0;
+    uint64_t transport_failures = 0;
+    uint64_t retries = 0;
+    uint64_t deadline_exceeded = 0;
+    uint64_t injected = 0;
+  };
+
+  auto run_pass = [&](serve::FaultInjector* injector) {
+    serve::ModelRegistry registry;
+    registry.PublishBorrowed(model, &env.context, scaler, "resilience");
+    serve::ResultCacheOptions cache_options;
+    cache_options.capacity_entries = 1024;
+    cache_options.fault_injector = injector;
+    serve::ResultCache cache(cache_options);
+    serve::PredictionServiceOptions options;
+    options.num_threads = workers;
+    options.max_batch_size = 8;
+    options.max_queue_delay_nanos = 200'000;
+    options.result_cache = &cache;
+    options.fault_injector = injector;
+    serve::PredictionService service(&registry, options);
+    serve::ServerOptions server_options;
+    server_options.fault_injector = injector;
+    serve::Server server(&service, server_options);
+
+    PassResult pass;
+    std::mutex mutex;
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        serve::wire::Client client;
+        client.set_fault_injector(injector);
+        serve::wire::RetryPolicy policy;
+        policy.max_attempts = 3;
+        policy.initial_backoff_nanos = 200'000;
+        policy.max_backoff_nanos = 5'000'000;
+        policy.jitter_fraction = 0.2;
+        policy.jitter_seed = 7 + c;
+        policy.request_deadline_nanos = 50'000'000;  // 50 ms end to end
+        client.set_retry_policy(policy);
+        if (!client.Connect(server.host(), server.port())) return;
+        std::vector<uint64_t> latencies;
+        uint64_t ok = 0, typed = 0, transport = 0;
+        for (size_t r = c; r < requests; r += clients) {
+          size_t i = r % tables.size();
+          util::Timer timer;
+          serve::wire::ClientResponse response = client.Predict(
+              tables[i], serve::BatchPredictor::TableSeed(2, r));
+          latencies.push_back(
+              static_cast<uint64_t>(timer.ElapsedSeconds() * 1e9));
+          if (response.transport_ok &&
+              response.body.status == serve::wire::WireStatus::kOk) {
+            ++ok;
+          } else if (response.transport_ok) {
+            ++typed;
+          } else {
+            ++transport;
+          }
+        }
+        std::lock_guard<std::mutex> lock(mutex);
+        pass.latencies_nanos.insert(pass.latencies_nanos.end(),
+                                    latencies.begin(), latencies.end());
+        pass.ok += ok;
+        pass.typed_errors += typed;
+        pass.transport_failures += transport;
+        pass.retries += client.total_retries();
+      });
+    }
+    for (auto& t : threads) t.join();
+    server.Shutdown();
+    service.Shutdown();
+    pass.deadline_exceeded = service.Stats().deadline_exceeded;
+    if (injector != nullptr) {
+      pass.injected = injector->Stats().total_injected();
+    }
+    std::sort(pass.latencies_nanos.begin(), pass.latencies_nanos.end());
+    return pass;
+  };
+
+  auto percentile_ms = [](const std::vector<uint64_t>& sorted, double p) {
+    if (sorted.empty()) return 0.0;
+    size_t index = static_cast<size_t>(p * static_cast<double>(sorted.size()));
+    index = std::min(index, sorted.size() - 1);
+    return static_cast<double>(sorted[index]) / 1e6;
+  };
+
+  PassResult clean = run_pass(nullptr);
+  serve::FaultPlan plan;
+  plan.SetAll(kFaultPpm);
+  plan.stall_nanos = 1'000'000;  // 1 ms injected stalls
+  serve::FaultInjector injector(/*seed=*/2026, plan);
+  PassResult faulty = run_pass(&injector);
+
+  ResilienceResult result;
+  result.clients = clients;
+  result.requests = requests;
+  result.fault_ppm = kFaultPpm;
+  result.injected_faults = faulty.injected;
+  result.retries = faulty.retries;
+  result.deadline_exceeded = faulty.deadline_exceeded;
+  result.typed_errors = faulty.typed_errors;
+  result.transport_failures = faulty.transport_failures;
+  result.responses_ok = faulty.ok;
+  result.p50_ms_fault_free = percentile_ms(clean.latencies_nanos, 0.50);
+  result.p99_ms_fault_free = percentile_ms(clean.latencies_nanos, 0.99);
+  result.p50_ms_faulty = percentile_ms(faulty.latencies_nanos, 0.50);
+  result.p99_ms_faulty = percentile_ms(faulty.latencies_nanos, 0.99);
+  return result;
+}
+
 ServeResult MeasureThroughput(const SatoModel& model, const BenchEnv& env,
                               const features::FeatureScaler& scaler,
                               const std::vector<Table>& tables,
@@ -515,8 +658,8 @@ void WriteJson(const char* path, const BenchEnv& env,
                const eval::Int8GateResult& gate,
                const PhaseBreakdown* int8_phases, const OnlineResult& online,
                const SwapResult& swap, const CacheReplayResult& replay,
-               const DaemonResult& daemon, size_t model_bytes,
-               size_t num_tables, size_t num_columns) {
+               const DaemonResult& daemon, const ResilienceResult& resilience,
+               size_t model_bytes, size_t num_tables, size_t num_columns) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "bench_serve: cannot write %s\n", path);
@@ -641,6 +784,31 @@ void WriteJson(const char* path, const BenchEnv& env,
                static_cast<unsigned long long>(daemon.responses_ok),
                daemon.requests_per_sec, daemon.mean_request_ms,
                static_cast<unsigned long long>(daemon.cache_hits));
+  // Daemon under a seeded ~1% injected-fault schedule vs fault-free, with
+  // retrying deadline-bounded clients: what faults cost in tail latency
+  // and how the shed/retry counters split the losses.
+  std::fprintf(f,
+               "  \"resilience\": {\"clients\": %zu, \"requests\": %zu, "
+               "\"fault_ppm\": %llu, \"injected_faults\": %llu, "
+               "\"retries\": %llu, \"deadline_exceeded\": %llu, "
+               "\"typed_errors\": %llu, \"transport_failures\": %llu, "
+               "\"responses_ok\": %llu,\n",
+               resilience.clients, resilience.requests,
+               static_cast<unsigned long long>(resilience.fault_ppm),
+               static_cast<unsigned long long>(resilience.injected_faults),
+               static_cast<unsigned long long>(resilience.retries),
+               static_cast<unsigned long long>(resilience.deadline_exceeded),
+               static_cast<unsigned long long>(resilience.typed_errors),
+               static_cast<unsigned long long>(resilience.transport_failures),
+               static_cast<unsigned long long>(resilience.responses_ok));
+  std::fprintf(f,
+               "    \"latency_ms_fault_free\": {\"p50\": %.4f, "
+               "\"p99\": %.4f},\n",
+               resilience.p50_ms_fault_free, resilience.p99_ms_fault_free);
+  std::fprintf(f,
+               "    \"latency_ms_faulty\": {\"p50\": %.4f, "
+               "\"p99\": %.4f}},\n",
+               resilience.p50_ms_faulty, resilience.p99_ms_faulty);
   std::fprintf(f, "  \"results\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
     const ServeResult& r = results[i];
@@ -826,9 +994,29 @@ int Run(const BenchFlags& flags) {
               static_cast<unsigned long long>(daemon.responses_ok),
               static_cast<unsigned long long>(daemon.cache_hits));
 
+  // Resilience: the same loopback daemon under a seeded injected-fault
+  // schedule vs fault-free, retrying clients with 50 ms deadlines.
+  ResilienceResult resilience =
+      MeasureResilience(model, env, scaler, tables, daemon_requests,
+                        /*clients=*/2, online_workers);
+  std::printf("resilience (%llu ppm faults, %zu requests): fault-free p50 "
+              "%.3fms p99 %.3fms -> faulty p50 %.3fms p99 %.3fms; %llu "
+              "injected, %llu retries, %llu shed, %llu ok / %llu typed / "
+              "%llu transport-failed\n",
+              static_cast<unsigned long long>(resilience.fault_ppm),
+              resilience.requests, resilience.p50_ms_fault_free,
+              resilience.p99_ms_fault_free, resilience.p50_ms_faulty,
+              resilience.p99_ms_faulty,
+              static_cast<unsigned long long>(resilience.injected_faults),
+              static_cast<unsigned long long>(resilience.retries),
+              static_cast<unsigned long long>(resilience.deadline_exceeded),
+              static_cast<unsigned long long>(resilience.responses_ok),
+              static_cast<unsigned long long>(resilience.typed_errors),
+              static_cast<unsigned long long>(resilience.transport_failures));
+
   WriteJson("BENCH_serve.json", env, results, phases, gate,
             have_int8_phases ? &int8_phases : nullptr, online, swap, replay,
-            daemon, model_bytes, tables.size(), num_columns);
+            daemon, resilience, model_bytes, tables.size(), num_columns);
   if (!replay.parity_ok) {
     std::fprintf(stderr,
                  "bench_serve: FATAL: cached responses diverged from cold\n");

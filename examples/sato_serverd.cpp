@@ -10,6 +10,11 @@
 //
 // SIGTERM / SIGINT trigger a graceful drain: in-flight requests finish,
 // new connections are refused, then the process exits with a stats line.
+// SIGHUP reloads the bundle from disk and republishes it through the
+// registry (hot swap: in-flight requests finish on the version they
+// pinned). --wal PATH makes corrections crash-safe: the log is replayed
+// into the registry on startup (a torn tail is truncated loudly, never
+// fatally) and every acknowledged correction is appended before its ack.
 
 #include <poll.h>
 #include <unistd.h>
@@ -29,6 +34,7 @@
 #include "core/model_io.h"
 #include "core/sato_model.h"
 #include "corpus/generator.h"
+#include "serve/correction_wal.h"
 #include "serve/model_registry.h"
 #include "serve/prediction_service.h"
 #include "serve/result_cache.h"
@@ -53,6 +59,8 @@ struct Flags {
   size_t workers = 2;
   size_t batch = 16;
   uint64_t seed = 71;
+  std::string wal_path;  // empty = corrections stay in memory only
+  bool wal_fsync = true;
 };
 
 int Usage(const char* argv0) {
@@ -68,6 +76,8 @@ int Usage(const char* argv0) {
       "  --workers N          prediction worker threads (default 2)\n"
       "  --batch N            max micro-batch size (default 16)\n"
       "  --seed N             corpus/model seed for --demo (default 71)\n"
+      "  --wal PATH           correction write-ahead log (replayed on boot)\n"
+      "  --wal-no-fsync       skip fsync per WAL append (best effort)\n"
       "  --demo               serve a synthetic untrained bundle\n"
       "  --self-test          loopback end-to-end smoke test, exit 0/1\n",
       argv0);
@@ -106,6 +116,10 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->batch = v;
     } else if (arg == "--seed" && next(&v)) {
       flags->seed = v;
+    } else if (arg == "--wal" && i + 1 < argc) {
+      flags->wal_path = argv[++i];
+    } else if (arg == "--wal-no-fsync") {
+      flags->wal_fsync = false;
     } else if (!arg.empty() && arg[0] != '-') {
       flags->bundle_path = arg;
     } else {
@@ -176,9 +190,15 @@ bool PublishFromBundle(serve::ModelRegistry* registry,
 int g_signal_pipe[2] = {-1, -1};
 
 void OnTermSignal(int) {
-  char byte = 1;
+  char byte = 'T';
   // write() is async-signal-safe; the result is deliberately ignored (a
   // full pipe means a signal is already pending).
+  ssize_t ignored = ::write(g_signal_pipe[1], &byte, 1);
+  (void)ignored;
+}
+
+void OnHupSignal(int) {
+  char byte = 'H';
   ssize_t ignored = ::write(g_signal_pipe[1], &byte, 1);
   (void)ignored;
 }
@@ -290,6 +310,9 @@ int Main(int argc, char** argv) {
   if (!ParseFlags(argc, argv, &flags)) return Usage(argv[0]);
   if (flags.self_test) flags.port = 0;  // never collide in CI
 
+  // Declared before the registry: the registry borrows a raw pointer to
+  // the WAL, so the appender must outlive it.
+  std::unique_ptr<serve::CorrectionWal> wal;
   serve::ModelRegistry registry;
   std::vector<Table> demo_tables;
   if (flags.demo) {
@@ -298,6 +321,31 @@ int Main(int argc, char** argv) {
     demo_tables = PublishDemoBundle(&registry, flags.seed);
   } else if (!PublishFromBundle(&registry, flags.bundle_path)) {
     return 1;
+  }
+
+  if (!flags.wal_path.empty()) {
+    // Documented startup order: replay first (heals any torn tail in
+    // place), feed the surviving corrections into the registry, THEN
+    // attach a fresh appender -- replayed records must not be re-appended.
+    serve::WalReplayResult replay =
+        serve::CorrectionWal::Replay(flags.wal_path);
+    for (serve::Correction& c : replay.corrections) {
+      registry.SubmitCorrection(std::move(c));
+    }
+    std::fprintf(stderr,
+                 "sato_serverd: wal %s: replayed %zu correction(s)%s\n",
+                 flags.wal_path.c_str(), replay.records,
+                 replay.truncated ? " (torn tail truncated)" : "");
+    serve::CorrectionWalOptions wopts;
+    wopts.fsync =
+        flags.wal_fsync ? serve::WalFsync::kAlways : serve::WalFsync::kNone;
+    try {
+      wal = std::make_unique<serve::CorrectionWal>(flags.wal_path, wopts);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "sato_serverd: %s\n", e.what());
+      return 1;
+    }
+    registry.AttachCorrectionWal(wal.get());
   }
 
   std::unique_ptr<serve::ResultCache> cache;
@@ -342,6 +390,9 @@ int Main(int argc, char** argv) {
   action.sa_handler = OnTermSignal;
   ::sigaction(SIGTERM, &action, nullptr);
   ::sigaction(SIGINT, &action, nullptr);
+  struct sigaction hup {};
+  hup.sa_handler = OnHupSignal;
+  ::sigaction(SIGHUP, &hup, nullptr);
 
   std::fprintf(stderr,
                "sato_serverd: listening on %s:%u (model v%llu, %zu workers, "
@@ -350,9 +401,31 @@ int Main(int argc, char** argv) {
                static_cast<unsigned long long>(registry.current_version()),
                flags.workers, flags.cache_entries);
 
-  // Park until SIGTERM/SIGINT.
-  char byte;
-  while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  // Park until SIGTERM/SIGINT; SIGHUP hot-reloads the bundle in between.
+  for (;;) {
+    char byte = 0;
+    ssize_t r = ::read(g_signal_pipe[0], &byte, 1);
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0 || byte != 'H') break;  // 'T' (or pipe error): drain
+    if (flags.bundle_path.empty()) {
+      std::fprintf(stderr,
+                   "sato_serverd: SIGHUP ignored (no bundle path to "
+                   "reload; --demo bundles are synthetic)\n");
+      continue;
+    }
+    const uint64_t old_version = registry.current_version();
+    if (!PublishFromBundle(&registry, flags.bundle_path)) {
+      std::fprintf(stderr,
+                   "sato_serverd: SIGHUP reload failed; still serving "
+                   "model v%llu\n",
+                   static_cast<unsigned long long>(old_version));
+      continue;
+    }
+    std::fprintf(stderr,
+                 "sato_serverd: SIGHUP reloaded %s: model v%llu -> v%llu\n",
+                 flags.bundle_path.c_str(),
+                 static_cast<unsigned long long>(old_version),
+                 static_cast<unsigned long long>(registry.current_version()));
   }
 
   std::fprintf(stderr, "sato_serverd: draining...\n");

@@ -1,6 +1,7 @@
 #include "serve/clock.h"
 
 #include <algorithm>
+#include <thread>
 
 namespace sato::serve {
 
@@ -19,6 +20,11 @@ bool SteadyClock::WaitUntil(std::condition_variable& cv,
                             std::function<bool()> pred) {
   return cv.wait_until(lock, base_ + std::chrono::nanoseconds(deadline_nanos),
                        std::move(pred));
+}
+
+void SteadyClock::SleepUntil(uint64_t deadline_nanos) {
+  std::this_thread::sleep_until(base_ +
+                                std::chrono::nanoseconds(deadline_nanos));
 }
 
 // -------------------------------------------------------------- FakeClock ----
@@ -46,12 +52,25 @@ bool FakeClock::WaitUntil(std::condition_variable& cv,
   }
 }
 
+void FakeClock::SleepUntil(uint64_t deadline_nanos) {
+  // Parks on clock-owned state only: a stack-local mutex/cv registered as
+  // a Waiter could be destroyed while a concurrent AdvanceNanos still
+  // iterates its snapshot, so sleepers get their own member cv instead.
+  std::unique_lock<std::mutex> lock(mutex_);
+  ++sleepers_;
+  waiters_changed_.notify_all();
+  while (now_nanos_ < deadline_nanos) sleepers_cv_.wait(lock);
+  --sleepers_;
+  waiters_changed_.notify_all();
+}
+
 void FakeClock::AdvanceNanos(uint64_t nanos) {
   std::vector<Waiter> waiters;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     now_nanos_ += nanos;
     waiters = waiters_;
+    sleepers_cv_.notify_all();
   }
   // Lock-then-unlock each waiter's mutex before notifying: a waiter that
   // already read the old time is necessarily parked in cv.wait (it held
@@ -66,12 +85,13 @@ void FakeClock::AdvanceNanos(uint64_t nanos) {
 
 size_t FakeClock::waiter_count() {
   std::lock_guard<std::mutex> lock(mutex_);
-  return waiters_.size();
+  return waiters_.size() + sleepers_;
 }
 
 void FakeClock::AwaitWaiters(size_t n) {
   std::unique_lock<std::mutex> lock(mutex_);
-  waiters_changed_.wait(lock, [&] { return waiters_.size() >= n; });
+  waiters_changed_.wait(lock,
+                        [&] { return waiters_.size() + sleepers_ >= n; });
 }
 
 void FakeClock::Register(const Waiter& waiter) {

@@ -38,6 +38,14 @@ class Clock {
                          std::unique_lock<std::mutex>& lock,
                          uint64_t deadline_nanos,
                          std::function<bool()> pred) = 0;
+
+  /// Blocks the calling thread until the clock reaches `deadline_nanos`.
+  /// The retry backoff in wire::Client sleeps through this, so backoff
+  /// timing is testable without wall-clock sleeps: a FakeClock parks the
+  /// sleeper (visible to waiter_count/AwaitWaiters) until AdvanceNanos
+  /// reaches the deadline. Returns immediately when the deadline has
+  /// already passed.
+  virtual void SleepUntil(uint64_t deadline_nanos) = 0;
 };
 
 /// Real time: std::chrono::steady_clock, epoch at construction.
@@ -49,6 +57,7 @@ class SteadyClock final : public Clock {
   bool WaitUntil(std::condition_variable& cv,
                  std::unique_lock<std::mutex>& lock, uint64_t deadline_nanos,
                  std::function<bool()> pred) override;
+  void SleepUntil(uint64_t deadline_nanos) override;
 
  private:
   std::chrono::steady_clock::time_point base_;
@@ -72,17 +81,23 @@ class FakeClock final : public Clock {
                  std::unique_lock<std::mutex>& lock, uint64_t deadline_nanos,
                  std::function<bool()> pred) override;
 
+  /// Parks on the clock's own condition variable (so no caller-owned
+  /// mutex/cv can dangle into a concurrent AdvanceNanos) until time
+  /// reaches the deadline. Counts as a waiter for AwaitWaiters.
+  void SleepUntil(uint64_t deadline_nanos) override;
+
   /// Moves time forward and wakes every parked WaitUntil caller so it
   /// re-evaluates its deadline against the new time.
   void AdvanceNanos(uint64_t nanos);
 
-  /// Callers currently parked inside WaitUntil. 0 after a service's
-  /// Shutdown() proves no deadline wait survives the batcher.
+  /// Callers currently parked inside WaitUntil or SleepUntil. 0 after a
+  /// service's Shutdown() proves no deadline wait survives the batcher.
   size_t waiter_count();
 
-  /// Blocks until at least `n` callers are parked inside WaitUntil.
-  /// Event-driven (woken by registration), not a poll -- tests use it to
-  /// know the batcher reached its deadline wait before advancing time.
+  /// Blocks until at least `n` callers are parked inside WaitUntil or
+  /// SleepUntil. Event-driven (woken by registration), not a poll --
+  /// tests use it to know the batcher reached its deadline wait (or a
+  /// retrying client its backoff sleep) before advancing time.
   void AwaitWaiters(size_t n);
 
  private:
@@ -96,7 +111,9 @@ class FakeClock final : public Clock {
 
   std::mutex mutex_;
   std::condition_variable waiters_changed_;
+  std::condition_variable sleepers_cv_;  // SleepUntil parks here
   uint64_t now_nanos_ = 0;
+  size_t sleepers_ = 0;
   std::vector<Waiter> waiters_;
 };
 

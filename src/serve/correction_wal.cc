@@ -1,0 +1,236 @@
+#include "serve/correction_wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace sato::serve {
+
+namespace {
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+uint32_t LoadU32(const char* p) {
+  const unsigned char* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+         (static_cast<uint32_t>(b[2]) << 16) |
+         (static_cast<uint32_t>(b[3]) << 24);
+}
+
+uint64_t LoadU64(const char* p) {
+  return static_cast<uint64_t>(LoadU32(p)) |
+         (static_cast<uint64_t>(LoadU32(p + 4)) << 32);
+}
+
+std::string EncodePayload(const Correction& correction) {
+  std::string payload;
+  payload.reserve(16 + correction.column_name.size());
+  AppendU32(&payload, static_cast<uint32_t>(correction.column_name.size()));
+  payload.append(correction.column_name);
+  AppendU32(&payload,
+            static_cast<uint32_t>(
+                static_cast<int32_t>(correction.corrected_type)));
+  AppendU64(&payload, correction.model_version);
+  return payload;
+}
+
+/// Strict decode; false on any bound violation or trailing bytes (a CRC
+/// match with a malformed payload would mean a writer bug -- still torn).
+bool DecodePayload(std::string_view payload, Correction* correction) {
+  if (payload.size() < 4) return false;
+  const uint32_t name_len = LoadU32(payload.data());
+  if (payload.size() != 4 + static_cast<size_t>(name_len) + 4 + 8) {
+    return false;
+  }
+  correction->column_name.assign(payload.data() + 4, name_len);
+  correction->corrected_type = static_cast<TypeId>(
+      static_cast<int32_t>(LoadU32(payload.data() + 4 + name_len)));
+  correction->model_version = LoadU64(payload.data() + 4 + name_len + 4);
+  return true;
+}
+
+}  // namespace
+
+uint32_t WalCrc32(std::string_view data) {
+  static const std::array<uint32_t, 256> kTable = [] {
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    return table;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (char ch : data) {
+    crc = kTable[(crc ^ static_cast<unsigned char>(ch)) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+CorrectionWal::CorrectionWal(std::string path, CorrectionWalOptions options)
+    : path_(std::move(path)), options_(options) {
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("CorrectionWal: cannot open " + path_ + ": " +
+                             std::strerror(errno));
+  }
+  struct stat st {};
+  if (::fstat(fd_, &st) == 0) {
+    good_size_ = static_cast<uint64_t>(st.st_size);
+  }
+}
+
+CorrectionWal::~CorrectionWal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool CorrectionWal::Append(const Correction& correction) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) {
+    ++failures_;
+    return false;
+  }
+  if (MaybeInject(options_.fault_injector, FaultPoint::kWalAppendFail)) {
+    ++failures_;
+    return false;
+  }
+  const std::string payload = EncodePayload(correction);
+  std::string record;
+  record.reserve(payload.size() + 8);
+  AppendU32(&record, static_cast<uint32_t>(payload.size()));
+  record.append(payload);
+  AppendU32(&record, WalCrc32(payload));
+
+  size_t written = 0;
+  while (written < record.size()) {
+    const ssize_t n =
+        ::write(fd_, record.data() + written, record.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    written += static_cast<size_t>(n);
+  }
+  const bool synced =
+      written == record.size() &&
+      (options_.fsync != WalFsync::kAlways || ::fsync(fd_) == 0);
+  if (!synced) {
+    // A torn record in the middle would poison every later append, so
+    // roll the file back to the last intact record before reporting the
+    // failure (the caller withholds the ack either way).
+    if (::ftruncate(fd_, static_cast<off_t>(good_size_)) != 0) {
+      ::close(fd_);
+      fd_ = -1;  // cannot restore a clean tail: refuse all later appends
+    }
+    ++failures_;
+    return false;
+  }
+  good_size_ += record.size();
+  ++appended_;
+  return true;
+}
+
+WalReplayResult CorrectionWal::Replay(const std::string& path) {
+  WalReplayResult out;
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    if (errno != ENOENT) {
+      util::LogMessage(util::LogLevel::kWarning,
+                       "CorrectionWal: cannot open " + path +
+                           " for replay: " + std::strerror(errno));
+    }
+    return out;
+  }
+  out.existed = true;
+
+  std::string data;
+  char chunk[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;
+    data.append(chunk, static_cast<size_t>(n));
+  }
+
+  size_t pos = 0;
+  bool torn = false;
+  while (pos < data.size()) {
+    const size_t remaining = data.size() - pos;
+    if (remaining < 4) {
+      torn = true;
+      break;
+    }
+    const uint32_t len = LoadU32(data.data() + pos);
+    if (len > kMaxRecordBytes ||
+        remaining < 4 + static_cast<size_t>(len) + 4) {
+      torn = true;
+      break;
+    }
+    const std::string_view payload(data.data() + pos + 4, len);
+    const uint32_t stored_crc = LoadU32(data.data() + pos + 4 + len);
+    Correction correction;
+    if (stored_crc != WalCrc32(payload) ||
+        !DecodePayload(payload, &correction)) {
+      torn = true;
+      break;
+    }
+    out.corrections.push_back(std::move(correction));
+    ++out.records;
+    pos += 4 + static_cast<size_t>(len) + 4;
+  }
+
+  if (torn) {
+    out.truncated = true;
+    out.truncated_bytes = data.size() - pos;
+    if (::ftruncate(fd, static_cast<off_t>(pos)) != 0) {
+      util::LogMessage(util::LogLevel::kWarning,
+                       "CorrectionWal: failed to truncate corrupt tail of " +
+                           path + ": " + std::strerror(errno));
+    }
+    // The loud line the acceptance criteria call for: corruption is
+    // survivable but never silent.
+    util::LogMessage(
+        util::LogLevel::kWarning,
+        "CorrectionWal: truncated " + std::to_string(out.truncated_bytes) +
+            " corrupt/torn trailing byte(s) at offset " +
+            std::to_string(pos) + " of " + path + "; kept " +
+            std::to_string(out.records) + " intact record(s)");
+  }
+  ::close(fd);
+  return out;
+}
+
+uint64_t CorrectionWal::appended() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return appended_;
+}
+
+uint64_t CorrectionWal::append_failures() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return failures_;
+}
+
+}  // namespace sato::serve

@@ -1,0 +1,64 @@
+#include "serve/fault_injector.h"
+
+namespace sato::serve {
+
+namespace {
+
+// splitmix64: the same generator BatchPredictor::TableSeed uses for its
+// per-table seed streams -- cheap, stateless, and well mixed, so adjacent
+// call indices produce statistically independent draws.
+constexpr uint64_t kGamma = 0x9E3779B97F4A7C15ull;
+
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+const char* FaultPointName(FaultPoint point) {
+  switch (point) {
+    case FaultPoint::kClientSend: return "client-send";
+    case FaultPoint::kClientRecv: return "client-recv";
+    case FaultPoint::kServerRecvShort: return "server-recv-short";
+    case FaultPoint::kServerRecvError: return "server-recv-error";
+    case FaultPoint::kServerRecvStall: return "server-recv-stall";
+    case FaultPoint::kServerSend: return "server-send";
+    case FaultPoint::kAdmissionReject: return "admission-reject";
+    case FaultPoint::kDispatchThrow: return "dispatch-throw";
+    case FaultPoint::kCacheLookupMiss: return "cache-lookup-miss";
+    case FaultPoint::kCacheInsertDrop: return "cache-insert-drop";
+    case FaultPoint::kWalAppendFail: return "wal-append-fail";
+  }
+  return "unknown";
+}
+
+bool FaultInjector::Trigger(FaultPoint point) {
+  const size_t p = static_cast<size_t>(point);
+  // fetch_add makes `k` unique per call even under contention, which is
+  // what keeps the k-th decision at this point a pure function of the
+  // seed: the stream is indexed by call ordinal, not by arrival time.
+  const uint64_t k = points_[p].calls.fetch_add(1, std::memory_order_relaxed);
+  const uint32_t rate = plan_.rate_ppm[p];
+  if (rate == 0) return false;
+  const uint64_t stream = Mix64(seed_ + kGamma * (static_cast<uint64_t>(p) + 1));
+  const uint64_t draw = Mix64(stream + kGamma * (k + 1));
+  if (draw % 1'000'000 >= rate) return false;
+  points_[p].injected.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+FaultInjectorStats FaultInjector::Stats() const {
+  FaultInjectorStats stats;
+  for (size_t p = 0; p < kNumFaultPoints; ++p) {
+    stats.calls[p] = points_[p].calls.load(std::memory_order_relaxed);
+    stats.injected[p] = points_[p].injected.load(std::memory_order_relaxed);
+  }
+  return stats;
+}
+
+}  // namespace sato::serve

@@ -1,0 +1,112 @@
+#ifndef SATO_SERVE_FAULT_INJECTOR_H_
+#define SATO_SERVE_FAULT_INJECTOR_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace sato::serve {
+
+/// Named fault sites threaded through the serving stack. Each point is an
+/// independent deterministic stream (see FaultInjector), so enabling one
+/// never perturbs the schedule of another.
+enum class FaultPoint : uint8_t {
+  kClientSend = 0,      ///< wire::Client frame send fails, connection drops
+  kClientRecv = 1,      ///< wire::Client response read fails before any byte
+  kServerRecvShort = 2, ///< server recv sweep capped to 1 byte (reassembly)
+  kServerRecvError = 3, ///< server recv treated as ECONNRESET, conn drops
+  kServerRecvStall = 4, ///< server stalls stall_nanos before the recv
+  kServerSend = 5,      ///< server response send fails, connection drops
+  kAdmissionReject = 6, ///< service admission forced to kRejected
+  kDispatchThrow = 7,   ///< worker task throws mid-dispatch (-> kFailed)
+  kCacheLookupMiss = 8, ///< result-cache lookup forced to miss (recompute)
+  kCacheInsertDrop = 9, ///< result-cache insert silently dropped
+  kWalAppendFail = 10,  ///< correction WAL append fails (ack withheld)
+};
+
+constexpr size_t kNumFaultPoints = 11;
+
+/// Stable human-readable name ("client-send", "wal-append-fail", ...).
+const char* FaultPointName(FaultPoint point);
+
+/// Per-point firing rates in parts-per-million of calls (0 = never,
+/// 1'000'000 = every call), plus the stall duration for kServerRecvStall.
+struct FaultPlan {
+  std::array<uint32_t, kNumFaultPoints> rate_ppm{};
+  uint64_t stall_nanos = 2'000'000;  // 2 ms
+
+  void Set(FaultPoint point, uint32_t ppm) {
+    rate_ppm[static_cast<size_t>(point)] = ppm;
+  }
+  void SetAll(uint32_t ppm) { rate_ppm.fill(ppm); }
+};
+
+/// Per-point call/injection counters; Stats() returns a relaxed snapshot.
+struct FaultInjectorStats {
+  std::array<uint64_t, kNumFaultPoints> calls{};
+  std::array<uint64_t, kNumFaultPoints> injected{};
+
+  uint64_t total_injected() const {
+    uint64_t n = 0;
+    for (uint64_t v : injected) n += v;
+    return n;
+  }
+};
+
+/// Seeded deterministic fault injection, injectable like serve::Clock: a
+/// null pointer anywhere an injector is accepted means "never fault", and
+/// production code pays one branch per fault point.
+///
+/// Determinism contract: the decision for the k-th Trigger() call at a
+/// given point is a pure function of (seed, point, k) -- a splitmix64
+/// stream per point, indexed by a per-point atomic call counter. Two runs
+/// with the same seed that issue the same per-point call sequences
+/// therefore replay the exact same fault schedule, regardless of thread
+/// interleaving across points; a failing chaos run reproduces from its
+/// seed alone. Points driven by logical operations (one call per request,
+/// per dispatch, per cache probe) stay deterministic even under
+/// multi-threaded servers; points driven by physical I/O granularity
+/// (server recv sweeps, where TCP segmentation decides the call count)
+/// replay only the per-point decision stream, not wall-clock placement.
+class FaultInjector {
+ public:
+  /// All-zero plan: Trigger never fires (still counts calls).
+  FaultInjector() : FaultInjector(0, FaultPlan{}) {}
+  FaultInjector(uint64_t seed, const FaultPlan& plan)
+      : seed_(seed), plan_(plan) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// True when the fault at `point` should fire for this call. Thread-safe
+  /// and lock-free; each call advances the point's stream by one.
+  bool Trigger(FaultPoint point);
+
+  /// Stall duration injected at kServerRecvStall sites.
+  uint64_t stall_nanos() const { return plan_.stall_nanos; }
+
+  uint64_t seed() const { return seed_; }
+  const FaultPlan& plan() const { return plan_; }
+
+  FaultInjectorStats Stats() const;
+
+ private:
+  struct PointState {
+    std::atomic<uint64_t> calls{0};
+    std::atomic<uint64_t> injected{0};
+  };
+
+  const uint64_t seed_;
+  const FaultPlan plan_;
+  std::array<PointState, kNumFaultPoints> points_;
+};
+
+/// Null-safe trigger helper: the idiom every instrumented site uses.
+inline bool MaybeInject(FaultInjector* injector, FaultPoint point) {
+  return injector != nullptr && injector->Trigger(point);
+}
+
+}  // namespace sato::serve
+
+#endif  // SATO_SERVE_FAULT_INJECTOR_H_

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "serve/correction_wal.h"
+
 namespace sato::serve {
 
 ModelBundle::ModelBundle(std::shared_ptr<const SatoModel> model,
@@ -101,20 +103,32 @@ RegistryStats ModelRegistry::Stats() const {
   }
   stats.corrections_submitted = corrections_submitted_;
   stats.corrections_dropped = corrections_dropped_;
+  stats.corrections_wal_failed = corrections_wal_failed_;
   return stats;
+}
+
+void ModelRegistry::AttachCorrectionWal(CorrectionWal* wal) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  wal_ = wal;
 }
 
 bool ModelRegistry::SubmitCorrection(Correction correction) {
   std::lock_guard<std::mutex> lock(mutex_);
   ++corrections_submitted_;
-  bool evicted = false;
+  // Durability first: the WAL append happens strictly before the
+  // in-memory record, so "accepted" always means "replayable". A failed
+  // append records NOTHING -- a correction half-present in memory but
+  // absent from the log would silently evaporate on restart.
+  if (wal_ != nullptr && !wal_->Append(correction)) {
+    ++corrections_wal_failed_;
+    return false;
+  }
   while (corrections_.size() >= max_corrections_) {
     corrections_.pop_front();
     ++corrections_dropped_;
-    evicted = true;
   }
   corrections_.push_back(std::move(correction));
-  return !evicted;
+  return true;
 }
 
 std::vector<Correction> ModelRegistry::Corrections() const {

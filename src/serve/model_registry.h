@@ -17,6 +17,8 @@
 
 namespace sato::serve {
 
+class CorrectionWal;
+
 namespace internal {
 /// Per-version counters that outlive the bundle itself: the registry and
 /// the bundle share one record, so served counts survive retirement.
@@ -120,6 +122,10 @@ struct RegistryStats {
   std::vector<VersionInfo> versions;  ///< ascending by version
   uint64_t corrections_submitted = 0;
   uint64_t corrections_dropped = 0;  ///< evicted from the bounded log
+  /// Corrections refused because the attached WAL could not durably
+  /// record them -- each one was answered with a typed failure, never a
+  /// false ack.
+  uint64_t corrections_wal_failed = 0;
 };
 
 /// Versioned model registry with RCU-style hot swap.
@@ -180,9 +186,20 @@ class ModelRegistry {
 
   // ---- AdaTyper adaptation hook (correction log only; no learning yet) --
 
-  /// Appends one user correction to the bounded in-memory log, evicting
-  /// the oldest entry when full. Always succeeds; returns false when the
-  /// append evicted an entry.
+  /// Attaches a durable write-ahead log (serve/correction_wal.h): every
+  /// subsequent SubmitCorrection appends to the WAL BEFORE touching the
+  /// in-memory log, and fails without recording anything when the WAL
+  /// append fails -- so a correction the caller acknowledges is always
+  /// replayable after a crash. Borrowed; pass nullptr to detach, and
+  /// detach (or destroy the registry) before destroying the WAL.
+  void AttachCorrectionWal(CorrectionWal* wal);
+
+  /// Appends one user correction to the bounded in-memory log (evicting
+  /// the oldest entry when full -- see Stats().corrections_dropped) and,
+  /// when a WAL is attached, to durable storage first. Returns true when
+  /// the correction was accepted; false ONLY when the attached WAL could
+  /// not record it, in which case the correction is dropped entirely and
+  /// the caller must not acknowledge it.
   bool SubmitCorrection(Correction correction);
 
   /// Snapshot of the retained corrections, oldest first.
@@ -212,6 +229,8 @@ class ModelRegistry {
   size_t max_corrections_ = 1024;
   uint64_t corrections_submitted_ = 0;
   uint64_t corrections_dropped_ = 0;
+  uint64_t corrections_wal_failed_ = 0;
+  CorrectionWal* wal_ = nullptr;  // borrowed durable log; null = memory only
 };
 
 }  // namespace sato::serve

@@ -18,6 +18,9 @@ struct RequestState {
   uint64_t seed = 0;
   uint64_t submit_nanos = 0;
   uint64_t deadline_nanos = 0;
+  /// Absolute caller deadline on the service clock (0 = none): past this
+  /// instant the batcher/worker sheds the request instead of serving it.
+  uint64_t client_deadline_nanos = 0;
   // Result-cache plumbing: the key computed (and missed) at Submit time,
   // reused for the completion-side Insert when the serving version still
   // matches (the common case; a straddled swap recomputes).
@@ -87,6 +90,7 @@ const char* RequestStatusName(RequestStatus status) {
     case RequestStatus::kRejected: return "rejected";
     case RequestStatus::kShutdown: return "shutdown";
     case RequestStatus::kFailed: return "failed";
+    case RequestStatus::kDeadlineExceeded: return "deadline-exceeded";
   }
   return "unknown";
 }
@@ -149,6 +153,11 @@ PredictionService::~PredictionService() { Shutdown(); }
 
 PredictionHandle PredictionService::Submit(const Table& table,
                                            uint64_t seed) {
+  return Submit(table, seed, /*deadline_budget_nanos=*/0);
+}
+
+PredictionHandle PredictionService::Submit(const Table& table, uint64_t seed,
+                                           uint64_t deadline_budget_nanos) {
   // Content-addressed fast path: a hit resolves right here -- no admission
   // slot, no batch seat, no worker. The key pins the version current at
   // lookup time; a concurrent Publish makes a hit at worst equivalent to a
@@ -211,6 +220,12 @@ PredictionHandle PredictionService::Submit(const Table& table,
     if (stop_) {
       admission = RequestStatus::kShutdown;
       ++rejected_shutdown_;
+    } else if (MaybeInject(options_.fault_injector,
+                           FaultPoint::kAdmissionReject)) {
+      // Injected overload: indistinguishable from a genuinely full queue,
+      // which is the point -- clients must treat both as retryable kBusy.
+      admission = RequestStatus::kRejected;
+      ++rejected_;
     } else if (outstanding_ >= options_.queue_capacity) {
       admission = RequestStatus::kRejected;
       ++rejected_;
@@ -256,6 +271,12 @@ PredictionHandle PredictionService::Submit(const Table& table,
       state->submit_nanos = clock_->NowNanos();
       state->deadline_nanos =
           state->submit_nanos + options_.max_queue_delay_nanos;
+      // The wire carries a RELATIVE budget (client and service clocks share
+      // no epoch); it becomes absolute exactly here, on the service clock.
+      state->client_deadline_nanos =
+          deadline_budget_nanos == 0
+              ? 0
+              : state->submit_nanos + deadline_budget_nanos;
       pending_.push_back(state);
     }
   }
@@ -285,48 +306,77 @@ void PredictionService::BatcherLoop() {
       return stop_ || pending_.size() >= options_.max_batch_size;
     });
 
-    const size_t batch_size =
-        std::min(pending_.size(), options_.max_batch_size);
+    // Shed-then-fill: pull pending requests until the batch fills,
+    // shedding any whose caller deadline already expired -- inference on
+    // an answer nobody is waiting for would only add queueing delay for
+    // the requests behind it. Shed requests release their admission slot
+    // and count as completed (deadline_exceeded in Stats), but take no
+    // latency sample: they measure the caller's impatience, not ours.
     std::vector<std::shared_ptr<internal::RequestState>> batch;
-    batch.reserve(batch_size);
-    for (size_t i = 0; i < batch_size; ++i) {
-      batch.push_back(std::move(pending_.front()));
+    std::vector<std::shared_ptr<internal::RequestState>> shed;
+    batch.reserve(std::min(pending_.size(), options_.max_batch_size));
+    const uint64_t now_nanos = clock_->NowNanos();
+    while (!pending_.empty() && batch.size() < options_.max_batch_size) {
+      std::shared_ptr<internal::RequestState> request =
+          std::move(pending_.front());
       pending_.pop_front();
+      if (request->client_deadline_nanos != 0 &&
+          now_nanos >= request->client_deadline_nanos) {
+        --outstanding_;
+        ++completed_;
+        ++deadline_exceeded_;
+        shed.push_back(std::move(request));
+      } else {
+        batch.push_back(std::move(request));
+      }
     }
-    ++batches_;
-    ++batch_size_histogram_[batch_size];
 
     // Pin the model version for this whole micro-batch: one atomic
     // shared_ptr load. Requests in this batch all serve on `bundle` even
-    // if a Publish lands mid-execution; the next batch re-pins.
-    std::shared_ptr<const ModelBundle> bundle = registry_->Current();
-    const bool swapped = bundle->version() != last_pinned_version_;
-    if (swapped) {
-      ++model_swaps_;
-      last_pinned_version_ = bundle->version();
+    // if a Publish lands mid-execution; the next batch re-pins. An
+    // all-shed sweep pins nothing and counts no batch.
+    std::shared_ptr<const ModelBundle> bundle;
+    bool swapped = false;
+    if (!batch.empty()) {
+      ++batches_;
+      ++batch_size_histogram_[batch.size()];
+      bundle = registry_->Current();
+      swapped = bundle->version() != last_pinned_version_;
+      if (swapped) {
+        ++model_swaps_;
+        last_pinned_version_ = bundle->version();
+      }
     }
 
     lock.unlock();
-    if (swapped && options_.result_cache != nullptr) {
-      // Space reclamation, not correctness: superseded entries are already
-      // unreachable (their keys embed the old version), so drop them now
-      // instead of letting LRU pressure age them out.
-      options_.result_cache->PurgeVersionsOtherThan(bundle->version());
+    for (auto& request : shed) {
+      PredictionResult result;
+      result.status = RequestStatus::kDeadlineExceeded;
+      Resolve(request, std::move(result));
     }
-    for (auto& request : batch) {
-      pool_.Submit(
-          [this, state = std::move(request), bundle](size_t worker) mutable {
-            ExecuteRequest(state, bundle, worker);
-            // Drop the pin before the task returns, not when the pool
-            // eventually destroys the closure: once the pool's Wait()
-            // barrier passes (Shutdown), no task still pins a retired
-            // bundle, so "old version freed after its last in-flight
-            // batch" is a guarantee rather than an eventually.
-            bundle.reset();
-            state.reset();
-          });
+    shed.clear();
+    if (bundle != nullptr) {
+      if (swapped && options_.result_cache != nullptr) {
+        // Space reclamation, not correctness: superseded entries are
+        // already unreachable (their keys embed the old version), so drop
+        // them now instead of letting LRU pressure age them out.
+        options_.result_cache->PurgeVersionsOtherThan(bundle->version());
+      }
+      for (auto& request : batch) {
+        pool_.Submit(
+            [this, state = std::move(request), bundle](size_t worker) mutable {
+              ExecuteRequest(state, bundle, worker);
+              // Drop the pin before the task returns, not when the pool
+              // eventually destroys the closure: once the pool's Wait()
+              // barrier passes (Shutdown), no task still pins a retired
+              // bundle, so "old version freed after its last in-flight
+              // batch" is a guarantee rather than an eventually.
+              bundle.reset();
+              state.reset();
+            });
+      }
+      bundle.reset();  // the tasks' copies are the remaining pins
     }
-    bundle.reset();  // the tasks' copies are the remaining pins
     lock.lock();
   }
 }
@@ -347,10 +397,39 @@ void PredictionService::ExecuteRequest(
     worker_context_[worker] = bundle->context_ptr();
   }
 
+  // Last-chance shed: the deadline may have expired between batch
+  // formation and this worker picking the task up (queue depth, a stalled
+  // sibling). Once past this check the request runs to completion.
+  if (state->client_deadline_nanos != 0) {
+    bool expired = false;
+    try {
+      expired = clock_->NowNanos() >= state->client_deadline_nanos;
+    } catch (...) {
+      // An injected clock threw: serve rather than shed.
+    }
+    if (expired) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --outstanding_;
+        ++completed_;
+        ++deadline_exceeded_;
+      }
+      PredictionResult result;
+      result.status = RequestStatus::kDeadlineExceeded;
+      Resolve(state, std::move(result));
+      return;
+    }
+  }
+
   PredictionResult result;
   result.status = RequestStatus::kOk;
   result.model_version = bundle->version();
   try {
+    if (MaybeInject(options_.fault_injector, FaultPoint::kDispatchThrow)) {
+      // Deliberately thrown INSIDE the normal try so it exercises exactly
+      // the escape path a real predictor exception would take.
+      throw std::runtime_error("injected dispatch fault");
+    }
     if (state->table.num_columns() > 0) {
       // The caller-supplied seed is the ONLY stochastic input: prediction
       // is a pure function of (table, seed) and the pinned version,
@@ -425,6 +504,7 @@ ServiceStats PredictionService::Stats() const {
     stats.submitted = submitted_;
     stats.rejected = rejected_;
     stats.rejected_shutdown = rejected_shutdown_;
+    stats.deadline_exceeded = deadline_exceeded_;
     stats.accepted = submitted_ - rejected_ - rejected_shutdown_;
     stats.completed = completed_;
     stats.outstanding = outstanding_;
@@ -448,6 +528,7 @@ void PredictionService::ResetStats() {
   completed_ = 0;
   rejected_ = 0;
   rejected_shutdown_ = 0;
+  deadline_exceeded_ = 0;
   batches_ = 0;
   model_swaps_ = 0;
   cache_hits_ = 0;

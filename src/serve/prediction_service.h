@@ -16,6 +16,7 @@
 #include "features/pipeline.h"
 #include "nn/workspace.h"
 #include "serve/clock.h"
+#include "serve/fault_injector.h"
 #include "serve/model_registry.h"
 #include "serve/result_cache.h"
 #include "serve/thread_pool.h"
@@ -29,6 +30,11 @@ enum class RequestStatus : uint8_t {
   kRejected = 1,  ///< bounded admission queue was full at Submit time
   kShutdown = 2,  ///< submitted after Shutdown() began
   kFailed = 3,    ///< prediction threw; PredictionResult::error holds it
+  /// The caller-supplied deadline expired before the request reached a
+  /// worker: the batcher (or the worker, for requests already dispatched)
+  /// shed it instead of spending inference on an answer nobody is waiting
+  /// for. Only possible when Submit was given a nonzero deadline budget.
+  kDeadlineExceeded = 4,
 };
 
 /// Stable human-readable name ("ok", "rejected", ...).
@@ -111,6 +117,11 @@ struct PredictionServiceOptions {
   /// prediction is inserted under the version that actually served it.
   /// nullptr (default) disables caching entirely.
   ResultCache* result_cache = nullptr;
+
+  /// Deterministic fault injection (kAdmissionReject at Submit,
+  /// kDispatchThrow inside the worker). Borrowed; must outlive the
+  /// service. nullptr (default) disables.
+  FaultInjector* fault_injector = nullptr;
 };
 
 /// Snapshot of per-service counters (see PredictionService::Stats).
@@ -124,6 +135,10 @@ struct ServiceStats {
   uint64_t completed = 0;          ///< reached kOk or kFailed
   uint64_t rejected = 0;           ///< kRejected (admission queue full)
   uint64_t rejected_shutdown = 0;  ///< kShutdown (submitted after Shutdown)
+  /// kDeadlineExceeded: admitted but shed because the caller's deadline
+  /// expired before (or while) the request reached a worker. Counted in
+  /// completed as well -- shed requests still release their admission slot.
+  uint64_t deadline_exceeded = 0;
   uint64_t outstanding = 0;        ///< admitted, not yet completed
   uint64_t batches = 0;            ///< micro-batches dispatched
   /// Micro-batches whose pinned model version differed from the previous
@@ -222,6 +237,17 @@ class PredictionService {
   /// O(1) -- backpressure caps submitter-side work too.
   PredictionHandle Submit(const Table& table, uint64_t seed);
 
+  /// Deadline-aware Submit: `deadline_budget_nanos` is the remaining time
+  /// the caller is willing to wait, measured on the SERVICE clock from the
+  /// moment of this call (relative, so client and server clocks need no
+  /// common epoch -- this is what the wire header's deadline_micros feeds).
+  /// 0 means no deadline (identical to the 2-argument overload). A request
+  /// whose deadline expires before it reaches a worker resolves
+  /// kDeadlineExceeded without running inference; a request that starts
+  /// executing always runs to completion.
+  PredictionHandle Submit(const Table& table, uint64_t seed,
+                          uint64_t deadline_budget_nanos);
+
   /// Graceful drain; idempotent and safe to call concurrently. After it
   /// returns, every previously admitted request is resolved and further
   /// Submits resolve kShutdown.
@@ -289,6 +315,7 @@ class PredictionService {
   uint64_t completed_ = 0;
   uint64_t rejected_ = 0;
   uint64_t rejected_shutdown_ = 0;
+  uint64_t deadline_exceeded_ = 0;
   uint64_t outstanding_ = 0;
   uint64_t batches_ = 0;
   uint64_t model_swaps_ = 0;

@@ -65,7 +65,8 @@ CacheKey ComputeCacheKey(const Table& table, uint64_t seed,
   return key;
 }
 
-ResultCache::ResultCache(const ResultCacheOptions& options) {
+ResultCache::ResultCache(const ResultCacheOptions& options)
+    : fault_injector_(options.fault_injector) {
   capacity_entries_ = std::max<size_t>(1, options.capacity_entries);
   size_t shards = std::clamp<size_t>(options.num_shards, 1, 256);
   size_t rounded = 1;
@@ -82,6 +83,12 @@ bool ResultCache::Lookup(const CacheKey& key, std::vector<TypeId>* type_ids) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   ++shard.lookups;
+  // A forced miss degrades to a recompute downstream; determinism makes
+  // that byte-identical, so this point can only ever cost latency.
+  if (MaybeInject(fault_injector_, FaultPoint::kCacheLookupMiss)) {
+    injected_lookup_misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   auto it = shard.index.find(key);
   if (it == shard.index.end()) return false;
   ++shard.hits;
@@ -94,6 +101,10 @@ void ResultCache::Insert(const CacheKey& key, uint64_t model_version,
                          const std::vector<TypeId>& type_ids) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
+  if (MaybeInject(fault_injector_, FaultPoint::kCacheInsertDrop)) {
+    injected_insert_drops_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   ++shard.insertions;
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
@@ -159,6 +170,10 @@ ResultCacheStats ResultCache::Stats() const {
     stats.bytes += shard.bytes;
   }
   stats.misses = stats.lookups - stats.hits;
+  stats.injected_lookup_misses =
+      injected_lookup_misses_.load(std::memory_order_relaxed);
+  stats.injected_insert_drops =
+      injected_insert_drops_.load(std::memory_order_relaxed);
   stats.hit_rate = stats.lookups == 0
                        ? 0.0
                        : static_cast<double>(stats.hits) /

@@ -1,6 +1,7 @@
 #ifndef SATO_SERVE_RESULT_CACHE_H_
 #define SATO_SERVE_RESULT_CACHE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <list>
@@ -9,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "serve/fault_injector.h"
 #include "table/semantic_type.h"
 #include "table/table.h"
 
@@ -56,6 +58,11 @@ struct ResultCacheOptions {
   /// Each shard holds ceil(capacity / shards) entries under its own mutex,
   /// so concurrent producers on different keys rarely contend.
   size_t num_shards = 8;
+  /// Fault injection (kCacheLookupMiss forces a miss, kCacheInsertDrop
+  /// drops an insert): both degrade to a recompute -- by the determinism
+  /// contract the cache can only ever lose speed, never correctness.
+  /// Borrowed; nullptr (default) disables.
+  FaultInjector* fault_injector = nullptr;
 };
 
 /// Aggregated counters over every shard (Stats() takes each shard lock in
@@ -69,6 +76,8 @@ struct ResultCacheStats {
   uint64_t version_purged = 0;   ///< entries dropped by PurgeVersionsOtherThan
   uint64_t entries = 0;          ///< currently resident
   uint64_t bytes = 0;            ///< resident payload footprint (approx.)
+  uint64_t injected_lookup_misses = 0;  ///< fault-forced misses (chaos runs)
+  uint64_t injected_insert_drops = 0;   ///< fault-dropped inserts (chaos runs)
   size_t shards = 0;
   size_t capacity_entries = 0;
   double hit_rate = 0.0;         ///< hits / lookups, 0 before any lookup
@@ -149,6 +158,9 @@ class ResultCache {
   size_t shard_capacity_;
   size_t shard_mask_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  FaultInjector* fault_injector_ = nullptr;
+  std::atomic<uint64_t> injected_lookup_misses_{0};
+  std::atomic<uint64_t> injected_insert_drops_{0};
 };
 
 }  // namespace sato::serve

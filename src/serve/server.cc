@@ -297,7 +297,22 @@ void Server::ServeConnection(Connection* connection) {
         continue;
       }
       if ((fds[0].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
-      ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      // Socket-read fault points, decided per readable sweep. Each one
+      // degrades into a failure mode the code below already has to
+      // survive: kServerRecvError is a peer reset (drop the connection),
+      // kServerRecvStall a scheduling hiccup (the client's deadline is
+      // what bounds it), kServerRecvShort a 1-byte trickle (the framing
+      // loop must reassemble split headers regardless of arrival shape).
+      FaultInjector* injector = options_.fault_injector;
+      if (MaybeInject(injector, FaultPoint::kServerRecvError)) break;
+      if (MaybeInject(injector, FaultPoint::kServerRecvStall)) {
+        clock_->SleepUntil(clock_->NowNanos() + injector->stall_nanos());
+      }
+      const size_t recv_cap =
+          MaybeInject(injector, FaultPoint::kServerRecvShort)
+              ? 1
+              : sizeof(chunk);
+      ssize_t n = ::recv(fd, chunk, recv_cap, 0);
       if (n < 0) {
         if (errno == EINTR) continue;
         break;
@@ -368,8 +383,16 @@ void Server::HandleFrame(int fd, const wire::FrameHeader& header,
         ++stats_.malformed_payloads;
         break;
       }
-      service_->registry()->SubmitCorrection(
-          Correction{std::move(column_name), type, model_version});
+      // The ack is gated on durability: SubmitCorrection returns false
+      // when an attached WAL could not record the correction, and a
+      // client must never see kOk for a correction that would evaporate
+      // on restart (it retries on the typed failure instead).
+      if (!service_->registry()->SubmitCorrection(
+              Correction{std::move(column_name), type, model_version})) {
+        body.status = wire::WireStatus::kFailed;
+        body.message = "correction not durably recorded";
+        break;
+      }
       body.status = wire::WireStatus::kOk;
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.corrections;
@@ -416,7 +439,10 @@ void Server::HandleFrame(int fd, const wire::FrameHeader& header,
         break;
       }
       // The handle owns the result's storage -- it must outlive `result`.
-      PredictionHandle handle = service_->Submit(table, seed);
+      // The header's deadline budget is relative (client and server clocks
+      // share no epoch); the service converts it to absolute on ITS clock.
+      PredictionHandle handle = service_->Submit(
+          table, seed, uint64_t{header.deadline_micros} * 1000);
       const PredictionResult& result = handle.Get();
       body.model_version = result.model_version;
       body.cache_hit = result.cache_hit;
@@ -439,6 +465,13 @@ void Server::HandleFrame(int fd, const wire::FrameHeader& header,
         case RequestStatus::kShutdown: {
           body.status = wire::WireStatus::kShutdown;
           body.message = "service shutting down";
+          break;
+        }
+        case RequestStatus::kDeadlineExceeded: {
+          body.status = wire::WireStatus::kDeadlineExceeded;
+          body.message = "deadline expired before dispatch";
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.predict_deadline_exceeded;
           break;
         }
         case RequestStatus::kFailed: {
@@ -474,6 +507,15 @@ void Server::HandleFrame(int fd, const wire::FrameHeader& header,
 
 void Server::SendResponse(int fd, uint16_t opcode, uint64_t request_id,
                           const wire::ResponseBody& body) {
+  if (MaybeInject(options_.fault_injector, FaultPoint::kServerSend)) {
+    // Simulated connection death before the response leaves: the peer
+    // sees an EOF with ZERO response bytes, the one shape its retry rule
+    // treats as safe to retry (determinism makes the recompute
+    // byte-identical). Shutdown, not close: the fd stays valid for the
+    // connection loop, which exits on the next recv's EOF.
+    ::shutdown(fd, SHUT_RDWR);
+    return;
+  }
   std::string payload;
   wire::EncodeResponsePayload(body, &payload);
   wire::FrameHeader header;

@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "serve/clock.h"
+#include "serve/fault_injector.h"
 #include "serve/prediction_service.h"
 #include "serve/result_cache.h"
 #include "serve/wire.h"
@@ -52,6 +53,11 @@ struct ServerOptions {
   /// Time source for the wire-latency counters. Borrowed; must outlive
   /// the server. nullptr -> the server owns a SteadyClock.
   Clock* clock = nullptr;
+
+  /// Deterministic fault injection on the socket paths (kServerRecvShort,
+  /// kServerRecvError, kServerRecvStall, kServerSend). Borrowed; must
+  /// outlive the server. nullptr (default) disables.
+  FaultInjector* fault_injector = nullptr;
 };
 
 /// Monotonic counters; Stats() returns a mutex-consistent snapshot.
@@ -67,6 +73,8 @@ struct ServerStats {
   uint64_t predict_rejected = 0;     ///< service admission queue full
   uint64_t quota_rejected = 0;       ///< per-tenant quota exhausted
   uint64_t predict_failed = 0;
+  /// Predicts shed because the wire deadline expired pre-dispatch.
+  uint64_t predict_deadline_exceeded = 0;
   uint64_t cache_hits = 0;           ///< predict responses served from cache
   uint64_t corrections = 0;
   uint64_t pings = 0;

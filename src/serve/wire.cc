@@ -1,14 +1,17 @@
 #include "serve/wire.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 namespace sato::serve::wire {
@@ -36,6 +39,16 @@ std::string ErrnoString(const char* what) {
   return std::string(what) + ": " + std::strerror(errno);
 }
 
+// splitmix64 finalizer for the deterministic retry jitter stream.
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
 }  // namespace
 
 const char* WireStatusName(WireStatus status) {
@@ -47,8 +60,31 @@ const char* WireStatusName(WireStatus status) {
     case WireStatus::kMalformed: return "malformed";
     case WireStatus::kBusy: return "busy";
     case WireStatus::kUnsupported: return "unsupported";
+    case WireStatus::kDeadlineExceeded: return "deadline-exceeded";
   }
   return "unknown";
+}
+
+uint64_t RetryBackoffNanos(const RetryPolicy& policy, int retry_index) {
+  if (retry_index < 1) retry_index = 1;
+  double base = static_cast<double>(policy.initial_backoff_nanos);
+  const double cap = static_cast<double>(policy.max_backoff_nanos);
+  for (int i = 1; i < retry_index && base < cap; ++i) {
+    base *= policy.backoff_multiplier;
+  }
+  base = std::min(base, cap);
+  uint64_t nanos = static_cast<uint64_t>(base);
+  if (policy.jitter_fraction > 0.0) {
+    const uint64_t draw =
+        Mix64(policy.jitter_seed +
+              0x9E3779B97F4A7C15ull * static_cast<uint64_t>(retry_index));
+    // Top 53 bits -> a uniform double in [0, 1): the full jitter range is
+    // reachable and the draw is identical on every platform.
+    const double unit =
+        static_cast<double>(draw >> 11) * (1.0 / 9007199254740992.0);
+    nanos += static_cast<uint64_t>(unit * policy.jitter_fraction * base);
+  }
+  return nanos;
 }
 
 void AppendU16(std::string* out, uint16_t v) {
@@ -134,6 +170,7 @@ std::string EncodeFrame(const FrameHeader& header, std::string_view payload) {
   AppendU64(&out, header.request_id);
   AppendU32(&out, header.tenant_id);
   AppendU32(&out, static_cast<uint32_t>(payload.size()));
+  AppendU32(&out, header.deadline_micros);
   out.append(payload);
   return out;
 }
@@ -158,8 +195,10 @@ DecodeStatus DecodeHeader(std::string_view buffer, uint32_t max_payload,
   if (buffer.size() >= 6 && LoadU16(buffer.data() + 4) != kProtocolVersion) {
     return DecodeStatus::kBadVersion;
   }
-  if (buffer.size() >= kHeaderBytes &&
-      LoadU32(buffer.data() + 20) > max_payload) {
+  // payload_len sits at offset 20, before the v2 deadline field, so the
+  // oversized check fires as soon as 24 bytes arrive -- no need to wait
+  // for the full 28-byte header a hostile length will never justify.
+  if (buffer.size() >= 24 && LoadU32(buffer.data() + 20) > max_payload) {
     return DecodeStatus::kOversized;
   }
   if (buffer.size() < kHeaderBytes) return DecodeStatus::kNeedMore;
@@ -170,6 +209,7 @@ DecodeStatus DecodeHeader(std::string_view buffer, uint32_t max_payload,
   header->request_id = LoadU64(buffer.data() + 8);
   header->tenant_id = LoadU32(buffer.data() + 16);
   header->payload_len = LoadU32(buffer.data() + 20);
+  header->deadline_micros = LoadU32(buffer.data() + 24);
   if (buffer.size() < kHeaderBytes + header->payload_len) {
     return DecodeStatus::kNeedMore;
   }
@@ -278,7 +318,7 @@ bool DecodeResponsePayload(std::string_view payload, ResponseBody* body,
     *error = "response payload truncated";
     return false;
   }
-  if (status > static_cast<uint8_t>(WireStatus::kUnsupported)) {
+  if (status > static_cast<uint8_t>(WireStatus::kDeadlineExceeded)) {
     *error = "response carries unknown status byte";
     return false;
   }
@@ -318,8 +358,10 @@ bool SendAll(int fd, std::string_view bytes, std::string* error) {
   return true;
 }
 
-int RecvExactly(int fd, char* out, size_t n, std::string* error) {
+int RecvExactly(int fd, char* out, size_t n, std::string* error,
+                size_t* received) {
   size_t got = 0;
+  if (received != nullptr) *received = 0;
   while (got < n) {
     ssize_t r = ::recv(fd, out + got, n - got, 0);
     if (r < 0) {
@@ -333,6 +375,7 @@ int RecvExactly(int fd, char* out, size_t n, std::string* error) {
       return -1;
     }
     got += static_cast<size_t>(r);
+    if (received != nullptr) *received = got;
   }
   return 1;
 }
@@ -345,8 +388,19 @@ Client::Client(Client&& other) noexcept
     : fd_(other.fd_),
       tenant_id_(other.tenant_id_),
       next_request_id_(other.next_request_id_),
-      error_(std::move(other.error_)) {
+      error_(std::move(other.error_)),
+      retry_policy_(other.retry_policy_),
+      clock_(other.clock_),
+      own_clock_(std::move(other.own_clock_)),
+      fault_injector_(other.fault_injector_),
+      total_retries_(other.total_retries_.load()),
+      host_(std::move(other.host_)),
+      port_(other.port_),
+      recv_timeout_ms_(other.recv_timeout_ms_),
+      connect_timeout_ms_(other.connect_timeout_ms_),
+      have_endpoint_(other.have_endpoint_) {
   other.fd_ = -1;
+  other.have_endpoint_ = false;
 }
 
 Client& Client::operator=(Client&& other) noexcept {
@@ -357,13 +411,31 @@ Client& Client::operator=(Client&& other) noexcept {
     tenant_id_ = other.tenant_id_;
     next_request_id_ = other.next_request_id_;
     error_ = std::move(other.error_);
+    retry_policy_ = other.retry_policy_;
+    clock_ = other.clock_;
+    own_clock_ = std::move(other.own_clock_);
+    fault_injector_ = other.fault_injector_;
+    total_retries_ = other.total_retries_.load();
+    host_ = std::move(other.host_);
+    port_ = other.port_;
+    recv_timeout_ms_ = other.recv_timeout_ms_;
+    connect_timeout_ms_ = other.connect_timeout_ms_;
+    have_endpoint_ = other.have_endpoint_;
+    other.have_endpoint_ = false;
   }
   return *this;
 }
 
+Clock* Client::EffectiveClock() {
+  if (clock_ != nullptr) return clock_;
+  if (own_clock_ == nullptr) own_clock_ = std::make_unique<SteadyClock>();
+  return own_clock_.get();
+}
+
 bool Client::Connect(const std::string& host, uint16_t port,
-                     int recv_timeout_ms) {
+                     int recv_timeout_ms, int connect_timeout_ms) {
   Close();
+  error_.clear();
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) {
     error_ = ErrnoString("socket");
@@ -377,11 +449,75 @@ bool Client::Connect(const std::string& host, uint16_t port,
     Close();
     return false;
   }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+
+  // Bounded connect: flip non-blocking, start the handshake, poll for
+  // writability with the remaining budget (EINTR re-polls, exactly like
+  // the recv path), then read the terminal result from SO_ERROR. A
+  // blackholed SYN therefore fails with a typed "connect timed out"
+  // instead of blocking for the kernel's multi-minute default.
+  const int saved_flags = ::fcntl(fd_, F_GETFL, 0);
+  const bool bounded = connect_timeout_ms > 0 && saved_flags >= 0;
+  if (bounded) ::fcntl(fd_, F_SETFL, saved_flags | O_NONBLOCK);
+  int rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && bounded && (errno == EINPROGRESS || errno == EINTR)) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(connect_timeout_ms);
+    for (;;) {
+      const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (remaining.count() <= 0) {
+        error_ = "connect timed out after " +
+                 std::to_string(connect_timeout_ms) + " ms";
+        Close();
+        return false;
+      }
+      pollfd pfd{fd_, POLLOUT, 0};
+      const int pr = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+      if (pr < 0) {
+        if (errno == EINTR) continue;  // re-poll with the remaining budget
+        error_ = ErrnoString("poll(connect)");
+        Close();
+        return false;
+      }
+      if (pr == 0) continue;  // loop re-checks the deadline, then fails
+      break;
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0) {
+      error_ = ErrnoString("getsockopt(SO_ERROR)");
+      Close();
+      return false;
+    }
+    if (so_error != 0) {
+      error_ = std::string("connect: ") + std::strerror(so_error);
+      Close();
+      return false;
+    }
+    rc = 0;
+  } else if (rc != 0 && errno == EINTR && !bounded) {
+    // Unbounded blocking connect interrupted: the handshake continues in
+    // the kernel; wait for it like the bounded path, just without a cap.
+    pollfd pfd{fd_, POLLOUT, 0};
+    while (::poll(&pfd, 1, -1) < 0 && errno == EINTR) {
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &so_error, &len);
+    if (so_error != 0) {
+      error_ = std::string("connect: ") + std::strerror(so_error);
+      Close();
+      return false;
+    }
+    rc = 0;
+  }
+  if (rc != 0) {
     error_ = ErrnoString("connect");
     Close();
     return false;
   }
+  if (bounded) ::fcntl(fd_, F_SETFL, saved_flags);  // restore blocking mode
+
   if (recv_timeout_ms > 0) {
     timeval tv{};
     tv.tv_sec = recv_timeout_ms / 1000;
@@ -390,6 +526,11 @@ bool Client::Connect(const std::string& host, uint16_t port,
   }
   int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  host_ = host;
+  port_ = port;
+  recv_timeout_ms_ = recv_timeout_ms;
+  connect_timeout_ms_ = connect_timeout_ms;
+  have_endpoint_ = true;
   return true;
 }
 
@@ -421,12 +562,38 @@ bool Client::HalfClose() {
 }
 
 uint64_t Client::SendFrame(Opcode opcode, std::string_view payload) {
+  // The pipelined form has no attempt tracking, so the header carries the
+  // full policy budget (its best-known remaining time).
+  const uint64_t budget = retry_policy_.request_deadline_nanos;
+  uint32_t micros = 0;
+  if (budget > 0) {
+    micros = static_cast<uint32_t>(
+        std::min<uint64_t>((budget + 999) / 1000, UINT32_MAX));
+    if (micros == 0) micros = 1;
+  }
+  return SendFrameWithDeadline(opcode, payload, micros);
+}
+
+uint64_t Client::SendFrameWithDeadline(Opcode opcode, std::string_view payload,
+                                       uint32_t deadline_micros) {
   if (fd_ < 0) {
     error_ = "not connected";
     return 0;
   }
+  if (MaybeInject(fault_injector_, FaultPoint::kClientSend)) {
+    // The injected failure drops the connection BEFORE any byte leaves,
+    // so a retry cannot duplicate a request the server already saw.
+    error_ = "injected client send fault";
+    Close();
+    return 0;
+  }
   uint64_t id = next_request_id_++;
-  std::string frame = EncodeFrame(opcode, id, tenant_id_, payload);
+  FrameHeader header;
+  header.opcode = static_cast<uint16_t>(opcode);
+  header.request_id = id;
+  header.tenant_id = tenant_id_;
+  header.deadline_micros = deadline_micros;
+  std::string frame = EncodeFrame(header, payload);
   if (!SendAll(fd_, frame, &error_)) return 0;
   return id;
 }
@@ -452,9 +619,18 @@ ClientResponse Client::ReadResponse() {
     response.transport_error = "not connected";
     return response;
   }
+  if (MaybeInject(fault_injector_, FaultPoint::kClientRecv)) {
+    // Fires before the read: no response byte was consumed, so the
+    // failure is in the retryable class.
+    response.transport_error = "injected client recv fault";
+    Close();
+    return response;
+  }
   char header_bytes[kHeaderBytes];
+  size_t header_got = 0;
   int r = RecvExactly(fd_, header_bytes, kHeaderBytes,
-                      &response.transport_error);
+                      &response.transport_error, &header_got);
+  response.response_bytes_received = header_got > 0;
   if (r == 0) {
     response.transport_error = "connection closed by server";
     return response;
@@ -493,32 +669,98 @@ ClientResponse Client::ReadResponse() {
   return response;
 }
 
-ClientResponse Client::Ping() {
-  if (SendPing() == 0) {
-    ClientResponse response;
-    response.transport_error = error_;
-    return response;
+bool Client::Retryable(const ClientResponse& response) {
+  if (response.deadline_exceeded) return false;  // the budget is spent
+  if (response.transport_ok) {
+    // Typed congestion: the server explicitly did not admit the request,
+    // so re-sending cannot duplicate work it already performed.
+    return response.body.status == WireStatus::kBusy ||
+           response.body.status == WireStatus::kRejected;
   }
-  return ReadResponse();
+  // Transport failure: only when no response byte arrived. Once the first
+  // payload byte is in, the server definitively processed the request and
+  // a retry could duplicate its side effects.
+  return !response.response_bytes_received;
 }
 
-ClientResponse Client::Predict(const Table& table, uint64_t seed) {
-  if (SendPredict(table, seed) == 0) {
-    ClientResponse response;
+ClientResponse Client::Attempt(Opcode opcode, std::string_view payload,
+                               uint64_t deadline_nanos, Clock* clock) {
+  ClientResponse response;
+  uint32_t deadline_micros = 0;
+  if (deadline_nanos != 0) {
+    const uint64_t now = clock->NowNanos();
+    if (now >= deadline_nanos) {
+      response.transport_error = "request deadline exceeded";
+      response.deadline_exceeded = true;
+      return response;
+    }
+    deadline_micros = static_cast<uint32_t>(
+        std::min<uint64_t>((deadline_nanos - now + 999) / 1000, UINT32_MAX));
+    if (deadline_micros == 0) deadline_micros = 1;
+  }
+  if (!connected()) {
+    if (!have_endpoint_ ||
+        !Connect(host_, port_, recv_timeout_ms_, connect_timeout_ms_)) {
+      response.transport_error =
+          error_.empty() ? "not connected" : error_;
+      return response;  // retryable: nothing was sent
+    }
+  }
+  if (SendFrameWithDeadline(opcode, payload, deadline_micros) == 0) {
     response.transport_error = error_;
+    // A partial send leaves the stream unframed; drop the connection so
+    // the next attempt starts clean.
+    Close();
     return response;
   }
-  return ReadResponse();
+  response = ReadResponse();
+  if (!response.transport_ok) {
+    Close();  // dead or corrupt transport: reconnect on the next attempt
+  } else if (response.body.status == WireStatus::kBusy) {
+    // kBusy is sent just before the server closes the connection; drop it
+    // now so the retry reconnects instead of writing into a dead socket.
+    Close();
+  }
+  return response;
+}
+
+ClientResponse Client::RoundTrip(Opcode opcode, std::string_view payload) {
+  const RetryPolicy policy = retry_policy_;
+  Clock* clock = EffectiveClock();
+  const uint64_t deadline =
+      policy.request_deadline_nanos != 0
+          ? clock->NowNanos() + policy.request_deadline_nanos
+          : 0;
+  const int max_attempts = std::max(1, policy.max_attempts);
+  for (int attempt = 1;; ++attempt) {
+    ClientResponse response = Attempt(opcode, payload, deadline, clock);
+    response.attempts = attempt;
+    if (!Retryable(response) || attempt >= max_attempts) return response;
+    const uint64_t wake =
+        clock->NowNanos() + RetryBackoffNanos(policy, attempt);
+    if (deadline != 0 && wake >= deadline) {
+      // The backoff would outlive the budget: surface the last typed
+      // error now instead of sleeping into certain failure.
+      return response;
+    }
+    ++total_retries_;
+    clock->SleepUntil(wake);
+  }
+}
+
+ClientResponse Client::Ping() { return RoundTrip(Opcode::kPing, {}); }
+
+ClientResponse Client::Predict(const Table& table, uint64_t seed) {
+  std::string payload;
+  EncodePredictPayload(table, seed, &payload);
+  return RoundTrip(Opcode::kPredict, payload);
 }
 
 ClientResponse Client::Correct(std::string_view column_name, TypeId type,
                                uint64_t model_version) {
-  if (SendCorrection(column_name, type, model_version) == 0) {
-    ClientResponse response;
-    response.transport_error = error_;
-    return response;
-  }
-  return ReadResponse();
+  std::string payload;
+  EncodeCorrectionPayload(column_name, type, model_version, &payload);
+  return RoundTrip(Opcode::kCorrection, payload);
 }
 
 }  // namespace sato::serve::wire

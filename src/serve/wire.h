@@ -1,18 +1,22 @@
 #ifndef SATO_SERVE_WIRE_H_
 #define SATO_SERVE_WIRE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "serve/clock.h"
+#include "serve/fault_injector.h"
 #include "table/semantic_type.h"
 #include "table/table.h"
 
 /// Length-prefixed binary wire protocol spoken by sato_serverd.
 ///
-/// Every frame is a fixed 24-byte little-endian header followed by
+/// Every frame is a fixed 28-byte little-endian header followed by
 /// `payload_len` payload bytes:
 ///
 ///   offset  size  field
@@ -23,6 +27,14 @@
 ///        8     8  request_id  echoed verbatim in the response
 ///       16     4  tenant_id   quota/accounting principal
 ///       20     4  payload_len payload bytes following the header
+///       24     4  deadline_micros  remaining request budget in
+///                 microseconds at send time; 0 = no deadline. The server
+///                 converts it to an absolute deadline on ITS clock the
+///                 moment the frame parses (relative-on-the-wire, so the
+///                 two hosts never need comparable epochs) and the
+///                 service sheds the request -- typed kDeadlineExceeded,
+///                 never silence -- when that deadline passes before
+///                 dispatch. Protocol version 2 added this field.
 ///
 /// The length field is UNTRUSTED input: decoders bound it (kMaxPayloadBytes
 /// by default, configurable per server) BEFORE allocating anything, so an
@@ -45,7 +57,7 @@
 namespace sato::serve::wire {
 
 constexpr uint32_t kMagic = 0x4F544153;  // little-endian "SATO"
-constexpr uint16_t kProtocolVersion = 1;
+constexpr uint16_t kProtocolVersion = 2;  // v2: header grew deadline_micros
 
 /// Default bound on the untrusted payload-length field. Generous for
 /// tables (a 16 MiB table is ~4M cells) yet small enough that a garbage
@@ -73,6 +85,7 @@ enum class WireStatus : uint8_t {
   kMalformed = 4,    ///< frame or payload failed validation
   kBusy = 5,         ///< connection refused: per-connection admission full
   kUnsupported = 6,  ///< unknown opcode or protocol version
+  kDeadlineExceeded = 7,  ///< request budget expired before dispatch
 };
 
 /// Stable human-readable name ("ok", "rejected", ...).
@@ -85,9 +98,10 @@ struct FrameHeader {
   uint64_t request_id = 0;
   uint32_t tenant_id = 0;
   uint32_t payload_len = 0;
+  uint32_t deadline_micros = 0;  ///< remaining budget; 0 = no deadline
 };
 
-constexpr size_t kHeaderBytes = 24;
+constexpr size_t kHeaderBytes = 28;
 
 // ---- little-endian primitives (shared by codecs and tests) ----------------
 
@@ -183,6 +197,43 @@ bool DecodeResponsePayload(std::string_view payload, ResponseBody* body,
 
 // ---- blocking client ------------------------------------------------------
 
+/// Retry discipline for the convenience round trips (Ping / Predict /
+/// Correct). An attempt is retried ONLY when it is provably side-effect
+/// safe to do so:
+///   - transport errors where no response byte arrived (the request may
+///     never have reached the server; re-sending a predict is idempotent
+///     and a duplicated correction is tolerated by the WAL's at-least-once
+///     contract);
+///   - typed kBusy / kRejected responses (the server explicitly did NOT
+///     admit the request).
+/// Never after the first response payload byte arrives, and never on any
+/// other typed status -- kFailed / kDeadlineExceeded / kShutdown are
+/// terminal answers, not transient congestion.
+struct RetryPolicy {
+  /// Total tries including the first. 1 (default) disables retries.
+  int max_attempts = 1;
+  /// Backoff before retry r (1-based) is
+  ///   min(initial * multiplier^(r-1), max) + jitter
+  /// where jitter is a deterministic draw in [0, jitter_fraction * base).
+  uint64_t initial_backoff_nanos = 1'000'000;  // 1 ms
+  double backoff_multiplier = 2.0;
+  uint64_t max_backoff_nanos = 100'000'000;  // 100 ms
+  double jitter_fraction = 0.0;
+  /// Seed of the deterministic jitter stream (splitmix64 over the retry
+  /// index), so two clients with different seeds desynchronise while a
+  /// replayed run keeps its exact timing.
+  uint64_t jitter_seed = 0x5A70;
+  /// End-to-end budget for one logical request across all attempts and
+  /// backoffs, measured on the client's clock. 0 = unbounded. The
+  /// remaining budget rides in the frame header (deadline_micros) so the
+  /// server can shed the request once it cannot possibly answer in time.
+  uint64_t request_deadline_nanos = 0;
+};
+
+/// The backoff before retry `retry_index` (1-based), pure and stateless:
+/// the FakeClock tests assert the exact sequence against this.
+uint64_t RetryBackoffNanos(const RetryPolicy& policy, int retry_index);
+
 /// Everything one response carries, plus transport state. `transport_ok`
 /// false means the connection failed before a response arrived (refused,
 /// timeout, EOF); `transport_error` says why.
@@ -192,12 +243,27 @@ struct ClientResponse {
   uint16_t opcode = 0;       ///< response opcode as received
   uint64_t request_id = 0;   ///< echoed id
   ResponseBody body;
+  /// Attempts this logical request consumed (1 = no retry).
+  int attempts = 1;
+  /// True once any response byte arrived on the final attempt -- the
+  /// no-duplicate-side-effects guard: a transport failure after this is
+  /// NEVER retried.
+  bool response_bytes_received = false;
+  /// True when the client-side request deadline expired before (or
+  /// instead of) completing an attempt.
+  bool deadline_exceeded = false;
 };
 
 /// Minimal blocking TCP client for sato_serverd: the test batteries, the
 /// daemon self-test and the benchmark replay all speak through it. One
 /// in-flight request per call for the convenience methods; SendFrame /
 /// ReadResponse expose the pipelined form. Not thread-safe.
+///
+/// The convenience round trips honour the configured RetryPolicy: bounded
+/// retries with exponential backoff + deterministic jitter, slept through
+/// the injectable clock (a FakeClock test advances backoffs by hand, no
+/// wall time). A broken connection is re-established automatically
+/// between attempts using the endpoint from the last successful Connect.
 class Client {
  public:
   Client() = default;
@@ -208,14 +274,38 @@ class Client {
   Client& operator=(Client&& other) noexcept;
 
   /// Connects with the given receive timeout (so a protocol bug in a test
-  /// fails loudly instead of hanging forever). Returns false + error().
+  /// fails loudly instead of hanging forever) and connect timeout (so a
+  /// blackholed SYN fails typed instead of blocking unboundedly; <= 0
+  /// falls back to the OS default blocking connect). Returns false +
+  /// error(). EINTR during the bounded connect is re-polled against the
+  /// remaining budget, matching the recv path's EINTR discipline.
   bool Connect(const std::string& host, uint16_t port,
-               int recv_timeout_ms = 10'000);
+               int recv_timeout_ms = 10'000, int connect_timeout_ms = 10'000);
   void Close();
   bool connected() const { return fd_ >= 0; }
   int fd() const { return fd_; }
 
   void set_tenant(uint32_t tenant_id) { tenant_id_ = tenant_id; }
+
+  /// Retry/deadline discipline for the convenience round trips.
+  void set_retry_policy(const RetryPolicy& policy) { retry_policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+
+  /// Time source for backoff sleeps and the request deadline. Borrowed;
+  /// must outlive the client. nullptr (default) -> an owned SteadyClock.
+  void set_clock(Clock* clock) { clock_ = clock; }
+
+  /// Fault injection on the client's own send/recv paths (kClientSend /
+  /// kClientRecv). Borrowed; nullptr (default) disables.
+  void set_fault_injector(FaultInjector* injector) {
+    fault_injector_ = injector;
+  }
+
+  /// Retries performed across all round trips so far. Atomic so a test
+  /// thread can watch a FakeClock-driven retry loop progress from outside.
+  uint64_t total_retries() const {
+    return total_retries_.load(std::memory_order_acquire);
+  }
 
   /// Sends raw bytes verbatim -- the adversarial tests build hostile
   /// frames with this.
@@ -225,6 +315,8 @@ class Client {
   bool HalfClose();
 
   /// Sends one frame, returns the request id used (0 on send failure).
+  /// The pipelined form performs no retries; the header carries the full
+  /// policy deadline as its budget.
   uint64_t SendPing();
   uint64_t SendPredict(const Table& table, uint64_t seed);
   uint64_t SendCorrection(std::string_view column_name, TypeId type,
@@ -233,7 +325,7 @@ class Client {
   /// Reads exactly one response frame.
   ClientResponse ReadResponse();
 
-  /// Convenience round trips.
+  /// Convenience round trips (retrying, deadline-bounded).
   ClientResponse Ping();
   ClientResponse Predict(const Table& table, uint64_t seed);
   ClientResponse Correct(std::string_view column_name, TypeId type,
@@ -242,12 +334,32 @@ class Client {
   const std::string& error() const { return error_; }
 
  private:
+  Clock* EffectiveClock();
   uint64_t SendFrame(Opcode opcode, std::string_view payload);
+  uint64_t SendFrameWithDeadline(Opcode opcode, std::string_view payload,
+                                 uint32_t deadline_micros);
+  /// One logical request: retry loop around Attempt().
+  ClientResponse RoundTrip(Opcode opcode, std::string_view payload);
+  /// One attempt: (re)connect if needed, send, read.
+  ClientResponse Attempt(Opcode opcode, std::string_view payload,
+                         uint64_t deadline_nanos, Clock* clock);
+  static bool Retryable(const ClientResponse& response);
 
   int fd_ = -1;
   uint32_t tenant_id_ = 0;
   uint64_t next_request_id_ = 1;
   std::string error_;
+  RetryPolicy retry_policy_;
+  Clock* clock_ = nullptr;                  // borrowed when set
+  std::unique_ptr<SteadyClock> own_clock_;  // lazily created fallback
+  FaultInjector* fault_injector_ = nullptr;
+  std::atomic<uint64_t> total_retries_{0};
+  // Endpoint remembered for between-attempt reconnects.
+  std::string host_;
+  uint16_t port_ = 0;
+  int recv_timeout_ms_ = 0;
+  int connect_timeout_ms_ = 0;
+  bool have_endpoint_ = false;
 };
 
 // ---- socket helpers (shared with the server) ------------------------------
@@ -257,8 +369,11 @@ class Client {
 bool SendAll(int fd, std::string_view bytes, std::string* error);
 
 /// Reads exactly n bytes. Returns 1 on success, 0 on clean EOF at a frame
-/// boundary (nothing read yet), -1 on error or EOF mid-read.
-int RecvExactly(int fd, char* out, size_t n, std::string* error);
+/// boundary (nothing read yet), -1 on error or EOF mid-read. When
+/// `received` is non-null it is set to the bytes actually read -- the
+/// client's no-retry-after-first-payload-byte guard keys off it.
+int RecvExactly(int fd, char* out, size_t n, std::string* error,
+                size_t* received = nullptr);
 
 }  // namespace sato::serve::wire
 

@@ -59,6 +59,7 @@ std::string RawHeader(uint16_t opcode, uint64_t request_id,
   wire::AppendU64(&out, request_id);
   wire::AppendU32(&out, /*tenant_id=*/0);
   wire::AppendU32(&out, payload_len);
+  wire::AppendU32(&out, /*deadline_micros=*/0);
   return out;
 }
 
